@@ -1,0 +1,82 @@
+// Ablations of design choices called out in DESIGN.md §5:
+//
+//  * edge-scale calibration — our kernel constant is chosen so that
+//    E[deg v] = wv (making wmin a physical "expected minimum degree"); the
+//    paper leaves the Theta-constant free. Sweeping the constant shows how
+//    strongly the success probability depends on it, i.e. why pinning it is
+//    necessary for quantitative statements like EXP-T32's slope.
+//  * quantized addresses — greedy routing quality vs address precision in
+//    bits (Theorem 3.5 applied to finite-precision coordinates).
+//  * objective tie handling is covered by the deterministic-id tie-break;
+//    patching-strategy comparison lives in bench_t34.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+
+namespace smallworld::bench {
+namespace {
+
+void ablation_edge_scale(benchmark::State& state) {
+    // range = multiple of the calibrated constant, in percent.
+    const double multiplier = static_cast<double>(state.range(0)) / 100.0;
+    const double n = 32768.0 * bench_scale();
+    GirgParams params = standard_params(n, 2.5, 2.0, 2.0);
+    params.edge_scale *= multiplier;
+    const Girg& girg = cached_girg(params, 24001);
+    TrialConfig config;
+    config.targets = 12;
+    config.sources_per_target = 48;
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, GreedyRouter{}, girg_objective_factory(), config,
+                                25001);
+    }
+    report_stats(state, stats);
+    state.counters["scale_multiplier"] = multiplier;
+    state.counters["avg_degree"] = girg.graph.average_degree();
+}
+
+void ablation_quantized(benchmark::State& state) {
+    const int bits = static_cast<int>(state.range(0));
+    const double n = 65536.0 * bench_scale();
+    const GirgParams params = standard_params(n, 2.5, 2.0, 2.0);
+    const Girg& girg = cached_girg(params, 26001);
+    TrialConfig config;
+    config.targets = 12;
+    config.sources_per_target = 32;
+    config.restrict_to_giant = true;
+    const ObjectiveFactory factory = [bits](const Girg& g,
+                                            Vertex target) -> std::unique_ptr<Objective> {
+        if (bits >= 52) return std::make_unique<GirgObjective>(g, target);
+        return std::make_unique<QuantizedObjective>(g, target, bits);
+    };
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, GreedyRouter{}, factory, config, 27001);
+    }
+    report_stats(state, stats);
+    state.counters["mantissa_bits"] = bits;
+}
+
+void register_all() {
+    auto* scale = benchmark::RegisterBenchmark("ABL_EdgeScale", ablation_edge_scale);
+    for (const int pct : {25, 50, 100, 200, 400, 2400}) scale->Arg(pct);
+    scale->Iterations(1)->Unit(benchmark::kMillisecond);
+
+    auto* quant = benchmark::RegisterBenchmark("ABL_QuantizedAddresses", ablation_quantized);
+    for (const int bits : {2, 4, 6, 10, 16, 52}) quant->Arg(bits);
+    quant->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "experiments/runner.h"
+#include "girg/generator.h"
+
+namespace smallworld::bench {
+
+/// Scale factor for bench workloads: SMALLWORLD_BENCH_SCALE=4 quadruples the
+/// base graph sizes (the shipped defaults finish the whole bench suite in a
+/// few minutes on a laptop).
+inline double bench_scale() {
+    static const double scale = [] {
+        const char* env = std::getenv("SMALLWORLD_BENCH_SCALE");
+        if (env == nullptr) return 1.0;
+        const double parsed = std::atof(env);
+        return parsed > 0.0 ? parsed : 1.0;
+    }();
+    return scale;
+}
+
+/// Process-wide cache of generated GIRGs so every sweep point of every
+/// registered benchmark reuses the instance instead of re-sampling it.
+inline const Girg& cached_girg(const GirgParams& params, std::uint64_t seed) {
+    static std::mutex mutex;
+    static std::map<std::string, std::unique_ptr<Girg>> cache;
+    std::ostringstream key;
+    key << params.n << '|' << params.dim << '|' << params.alpha << '|' << params.beta
+        << '|' << params.wmin << '|' << params.edge_scale << '|' << seed;
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = cache[key.str()];
+    if (!slot) slot = std::make_unique<Girg>(generate_girg(params, seed));
+    return *slot;
+}
+
+/// Publishes the trial aggregate as benchmark counters (the "row" of the
+/// reproduced series).
+inline void report_stats(benchmark::State& state, const TrialStats& stats) {
+    state.counters["success"] = stats.success_rate();
+    state.counters["success_in_comp"] = stats.in_component_success_rate();
+    state.counters["hops_mean"] = stats.hops.mean();
+    state.counters["hops_max"] = stats.hops.max();
+    state.counters["stretch_mean"] = stats.stretch.mean();
+    state.counters["bfs_mean"] = stats.bfs_distance.mean();
+    state.counters["attempts"] = static_cast<double>(stats.attempts);
+}
+
+inline GirgParams standard_params(double n, double beta, double alpha, double wmin,
+                                  int dim = 2) {
+    GirgParams params;
+    params.n = n;
+    params.dim = dim;
+    params.alpha = alpha;
+    params.beta = beta;
+    params.wmin = wmin;
+    params.edge_scale = calibrated_edge_scale(params);
+    return params;
+}
+
+}  // namespace smallworld::bench

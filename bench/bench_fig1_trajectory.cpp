@@ -1,0 +1,136 @@
+// EXP-F1 — Figure 1: the typical trajectory of a greedy path.
+//
+// The paper's only figure shows the two-phase structure: starting from a
+// low-weight source, the walk climbs through layers of doubly-exponentially
+// increasing weight (w -> w^{1/(beta-2)} per hop) into the core, then
+// descends through layers of doubly-exponentially increasing objective
+// (phi -> phi^{beta-2}) while the weight falls, visiting each layer at most
+// once. Series reproduced, per beta and per alpha (incl. threshold):
+//  * fraction of trajectories with unimodal weight profile (rise then fall);
+//  * fraction with phase-ordered V1 -> V2 structure;
+//  * mean hops spent in each phase and the mean peak weight, vs the
+//    doubly-exponential prediction w_peak ~ exp(Theta(sqrt(log n)))...
+//    reported as log(peak)/log(n) for scale-free reading;
+//  * mean weight-growth exponent log w_{i+2} / log w_i per first-phase hop
+//    pair, to compare against 1/(beta-2) (Lemma 8.1 (iii)).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+#include "core/layers.h"
+#include "core/phases.h"
+#include "graph/components.h"
+#include "graph/core_decomposition.h"
+
+namespace smallworld::bench {
+namespace {
+
+void fig1_trajectory(benchmark::State& state, double alpha) {
+    const double beta = static_cast<double>(state.range(0)) / 10.0;
+    const double n = 131072.0 * bench_scale();
+    const GirgParams params = standard_params(n, beta, alpha, 2.0);
+    const Girg& girg = cached_girg(params, 14001);
+
+    double unimodal = 0;
+    double ordered = 0;
+    double monotone = 0;
+    double clean_layers = 0;
+    double total = 0;
+    RunningStats first_phase;
+    RunningStats second_phase;
+    RunningStats peak_weight;
+    RunningStats growth_exponent;
+    RunningStats peak_core_percentile;
+
+    for (auto _ : state) {
+        const auto components = connected_components(girg.graph);
+        const auto giant = giant_component_vertices(components);
+        // Coreness percentile lookup: how deep in the k-core hierarchy the
+        // trajectory's peak-weight vertex sits ("the core of the network",
+        // Section 4).
+        const auto coreness = core_decomposition(girg.graph);
+        std::vector<std::uint32_t> sorted_core(coreness.begin(), coreness.end());
+        std::sort(sorted_core.begin(), sorted_core.end());
+        const auto core_percentile = [&](std::uint32_t c) {
+            const auto it = std::lower_bound(sorted_core.begin(), sorted_core.end(), c);
+            return static_cast<double>(it - sorted_core.begin()) /
+                   static_cast<double>(sorted_core.size());
+        };
+        const LayerStructure layers(params, params.wmin, 0.05);
+        Rng rng(15001);
+        for (int trial = 0; trial < 400; ++trial) {
+            const Vertex s = giant[rng.uniform_index(giant.size())];
+            const Vertex t = giant[rng.uniform_index(giant.size())];
+            if (s == t || girg.distance(s, t) < 0.05) continue;
+            const GirgObjective objective(girg, t);
+            const auto result = GreedyRouter{}.route(girg.graph, objective, s);
+            if (!result.success() || result.steps() < 3) continue;
+            const auto points = annotate_trajectory(girg, t, result.path);
+            const auto shape = analyze_trajectory(points);
+            ++total;
+            unimodal += shape.weight_unimodal ? 1 : 0;
+            ordered += shape.phase_ordered ? 1 : 0;
+            monotone += shape.objective_monotone ? 1 : 0;
+            first_phase.add(static_cast<double>(shape.first_phase_hops));
+            second_phase.add(static_cast<double>(shape.second_phase_hops));
+            peak_weight.add(std::log(shape.peak_weight) / std::log(n));
+            {
+                auto interior = points;
+                interior.pop_back();  // the target's synthetic point
+                clean_layers += check_layer_discipline(layers, interior).clean() ? 1 : 0;
+                Vertex peak = interior.front().vertex;
+                for (const auto& point : interior) {
+                    if (girg.weight(point.vertex) > girg.weight(peak)) peak = point.vertex;
+                }
+                peak_core_percentile.add(core_percentile(coreness[peak]));
+            }
+            // Weight growth per first-phase hop pair (Lemma 8.1 (iii)
+            // predicts exponent >= gamma(zeta eps1) ~ 1/(beta-2)).
+            for (std::size_t i = 0; i + 2 < points.size(); ++i) {
+                if (points[i].phase != RoutingPhase::kFirst ||
+                    points[i + 2].phase != RoutingPhase::kFirst) {
+                    continue;
+                }
+                const double w0 = points[i].weight;
+                const double w2 = points[i + 2].weight;
+                if (w0 > 1.5) growth_exponent.add(std::log(w2) / std::log(w0));
+            }
+        }
+    }
+    state.counters["paths"] = total;
+    state.counters["frac_unimodal"] = total > 0 ? unimodal / total : 0.0;
+    state.counters["frac_phase_ordered"] = total > 0 ? ordered / total : 0.0;
+    state.counters["frac_phi_monotone"] = total > 0 ? monotone / total : 0.0;
+    state.counters["frac_clean_layers"] = total > 0 ? clean_layers / total : 0.0;
+    state.counters["peak_core_percentile"] = peak_core_percentile.mean();
+    state.counters["first_phase_hops"] = first_phase.mean();
+    state.counters["second_phase_hops"] = second_phase.mean();
+    state.counters["log_peak_w_over_log_n"] = peak_weight.mean();
+    state.counters["weight_growth_exp_2hop"] = growth_exponent.mean();
+    state.counters["predicted_growth_exp"] = 1.0 / (beta - 2.0);
+}
+
+void register_all() {
+    for (const auto& [name, alpha] :
+         {std::pair{"alpha2", 2.0}, std::pair{"alphaInf", kAlphaInfinity}}) {
+        auto* b = benchmark::RegisterBenchmark(
+            (std::string("F1_Trajectory/") + name).c_str(),
+            [alpha = alpha](benchmark::State& state) { fig1_trajectory(state, alpha); });
+        for (const int beta10 : {23, 25, 27}) b->Arg(beta10);
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,78 @@
+// EXP-GEN — generator ablation: the expected-linear-time layered cell
+// sampler vs the O(n^2) reference sampler. Same distribution (tested in
+// girg_test.cpp); here we reproduce the scaling separation and report
+// edges/second. Also sweeps dimension and the threshold model, the regimes
+// that stress different parts of the cell recursion.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "girg/fast_sampler.h"
+#include "girg/naive_sampler.h"
+#include "random/power_law.h"
+
+namespace smallworld::bench {
+namespace {
+
+struct VertexSet {
+    std::vector<double> weights;
+    PointCloud positions;
+};
+
+VertexSet make_vertices(const GirgParams& params, std::uint64_t seed) {
+    Rng rng(seed);
+    VertexSet out;
+    out.positions = sample_poisson_point_process(params.n, params.dim, rng);
+    const PowerLaw law(params.beta, params.wmin);
+    out.weights = law.sample_many(out.positions.count(), rng);
+    return out;
+}
+
+void sampler_bench(benchmark::State& state, SamplerKind kind, double alpha, int dim) {
+    GirgParams params = standard_params(static_cast<double>(state.range(0)), 2.5, alpha,
+                                        2.0, dim);
+    const VertexSet vertices = make_vertices(params, 22001);
+    std::size_t edges = 0;
+    std::uint64_t seed = 23001;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        const auto sampled =
+            kind == SamplerKind::kFast
+                ? sample_edges_fast(params, vertices.weights, vertices.positions, rng)
+                : sample_edges_naive(params, vertices.weights, vertices.positions, rng);
+        edges = sampled.size();
+        benchmark::DoNotOptimize(edges);
+    }
+    state.counters["edges"] = static_cast<double>(edges);
+    state.counters["edges_per_sec"] = benchmark::Counter(
+        static_cast<double>(edges) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["vertices"] = static_cast<double>(vertices.weights.size());
+}
+
+void register_all() {
+    const auto add = [](const std::string& name, SamplerKind kind, double alpha, int dim,
+                        std::initializer_list<int> sizes) {
+        auto* b = benchmark::RegisterBenchmark(
+            ("GEN_Sampler/" + name).c_str(), [kind, alpha, dim](benchmark::State& state) {
+                sampler_bench(state, kind, alpha, dim);
+            });
+        for (const int n : sizes) b->Arg(n);
+        b->Unit(benchmark::kMillisecond);
+    };
+    add("naive/alpha2/d2", SamplerKind::kNaive, 2.0, 2, {1 << 10, 1 << 12, 1 << 14});
+    add("fast/alpha2/d2", SamplerKind::kFast, 2.0, 2,
+        {1 << 10, 1 << 12, 1 << 14, 1 << 17, 1 << 20});
+    add("fast/alphaInf/d2", SamplerKind::kFast, kAlphaInfinity, 2, {1 << 14, 1 << 17});
+    add("fast/alpha2/d1", SamplerKind::kFast, 2.0, 1, {1 << 17});
+    add("fast/alpha2/d3", SamplerKind::kFast, 2.0, 3, {1 << 17});
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,103 @@
+// EXP-K — Section 1.1: the Kleinberg baseline and its shortcomings.
+//
+// Series reproduced:
+//  * greedy hops vs lattice side for exponents r in {0, 1, 2, 3, 3.5}:
+//    polylog growth only at the critical r = 2, polynomial elsewhere
+//    ("fragile exponent");
+//  * the noisy-positions variant (same edge recipe, no lattice): greedy
+//    success collapses, motivating the GIRG analysis where success is
+//    Omega(1) despite random positions.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+#include "kleinberg/lattice.h"
+#include "kleinberg/noisy.h"
+#include "random/stats.h"
+
+namespace smallworld::bench {
+namespace {
+
+void kleinberg_lattice(benchmark::State& state, double exponent) {
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    KleinbergParams params;
+    params.side = side;
+    params.q = 1;
+    params.exponent = exponent;
+    RunningStats hops;
+    std::size_t attempts = 0;
+    std::size_t delivered = 0;
+    for (auto _ : state) {
+        const KleinbergGrid grid = generate_kleinberg(params, 18001);
+        Rng rng(19001);
+        for (int trial = 0; trial < 400; ++trial) {
+            const auto s = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+            const auto t = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+            if (s == t) continue;
+            const KleinbergObjective objective(grid, t);
+            const auto result = GreedyRouter{}.route(grid.graph, objective, s);
+            ++attempts;
+            if (result.success()) {
+                ++delivered;
+                hops.add(static_cast<double>(result.steps()));
+            }
+        }
+    }
+    state.counters["success"] =
+        static_cast<double>(delivered) / static_cast<double>(attempts);
+    state.counters["hops_mean"] = hops.mean();
+    state.counters["hops_over_log2_side"] =
+        hops.mean() / std::pow(std::log2(static_cast<double>(side)), 2.0);
+    state.counters["hops_over_side_2_3"] =
+        hops.mean() / std::pow(static_cast<double>(side), 2.0 / 3.0);
+}
+
+void kleinberg_noisy(benchmark::State& state) {
+    NoisyKleinbergParams params;
+    params.n = static_cast<std::size_t>(state.range(0));
+    params.q = 1;
+    params.exponent = 2.0;
+    std::size_t attempts = 0;
+    std::size_t delivered = 0;
+    for (auto _ : state) {
+        const NoisyKleinbergGraph graph = generate_noisy_kleinberg(params, 20001);
+        Rng rng(21001);
+        for (int trial = 0; trial < 300; ++trial) {
+            const auto s = static_cast<Vertex>(rng.uniform_index(graph.num_vertices()));
+            const auto t = static_cast<Vertex>(rng.uniform_index(graph.num_vertices()));
+            if (s == t) continue;
+            const NoisyKleinbergObjective objective(graph, t);
+            ++attempts;
+            delivered += GreedyRouter{}.route(graph.graph, objective, s).success() ? 1 : 0;
+        }
+    }
+    state.counters["success"] =
+        static_cast<double>(delivered) / static_cast<double>(attempts);
+}
+
+void register_all() {
+    for (const double exponent : {0.0, 1.0, 2.0, 3.0, 3.5}) {
+        std::ostringstream name;
+        name << "K_Lattice/r" << exponent;
+        auto* b = benchmark::RegisterBenchmark(
+            name.str().c_str(),
+            [exponent](benchmark::State& state) { kleinberg_lattice(state, exponent); });
+        for (const int side : {64, 128, 256, 512}) b->Arg(side);
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    auto* noisy = benchmark::RegisterBenchmark("K_NoisyPositions", kleinberg_noisy);
+    for (const int n : {1024, 4096, 16384}) noisy->Arg(n);
+    noisy->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

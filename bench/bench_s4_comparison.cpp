@@ -1,0 +1,56 @@
+// EXP-S4 — Section 4, comparison with the experimental literature:
+//  * weight-aware greedy routing (the paper's phi) achieves the high success
+//    probabilities reported by Boguna et al. [11] (>97%) at moderate wmin;
+//  * degree-agnostic geometric routing [9, 10] is "far less efficient and
+//    robust (e.g., it completely fails for some values of beta in [2,3])" —
+//    we sweep beta for both objectives and reproduce the separation.
+//
+// Series reproduced: success rate and stretch vs beta for objective in
+// {phi, geometric}; plus the [11]-like operating point (beta 2.1, avg
+// degree ~ internet) where phi-routing must land above 0.9.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+
+namespace smallworld::bench {
+namespace {
+
+void s4_compare(benchmark::State& state, bool geometric) {
+    const double beta = static_cast<double>(state.range(0)) / 10.0;
+    const double n = 65536.0 * bench_scale();
+    const GirgParams params = standard_params(n, beta, 2.0, 3.0);
+    const Girg& girg = cached_girg(params, 16001);
+    TrialConfig config;
+    config.targets = 12;
+    config.sources_per_target = 48;
+    config.restrict_to_giant = true;
+    const auto factory =
+        geometric ? geometric_objective_factory() : girg_objective_factory();
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, GreedyRouter{}, factory, config, 17001);
+    }
+    report_stats(state, stats);
+    state.counters["beta"] = beta;
+}
+
+void register_all() {
+    for (const bool geometric : {false, true}) {
+        auto* b = benchmark::RegisterBenchmark(
+            (std::string("S4_Comparison/") + (geometric ? "geometric" : "phi")).c_str(),
+            [geometric](benchmark::State& state) { s4_compare(state, geometric); });
+        for (const int beta10 : {21, 23, 25, 27, 29}) b->Arg(beta10);
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,54 @@
+// EXP-T31 — Theorem 3.1: greedy routing succeeds with probability Omega(1).
+//
+// Series reproduced: success rate of pure greedy routing over uniformly
+// random (s,t) pairs, swept across n (must stay bounded away from 0 as n
+// grows), across beta in (2,3) and across alpha including the threshold
+// model (robustness in all model parameters, third bullet of Section 1).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+
+namespace smallworld::bench {
+namespace {
+
+void t31_success(benchmark::State& state, double beta, double alpha) {
+    const double n = static_cast<double>(state.range(0)) * bench_scale();
+    const GirgParams params = standard_params(n, beta, alpha, 2.0);
+    const Girg& girg = cached_girg(params, /*seed=*/1001);
+    TrialConfig config;
+    config.targets = 12;
+    config.sources_per_target = 48;
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, GreedyRouter{}, girg_objective_factory(), config,
+                                /*seed=*/2001);
+    }
+    report_stats(state, stats);
+}
+
+void register_all() {
+    for (const auto& [name, beta, alpha] :
+         {std::tuple{"beta2.2/alpha2", 2.2, 2.0}, std::tuple{"beta2.5/alpha2", 2.5, 2.0},
+          std::tuple{"beta2.8/alpha2", 2.8, 2.0}, std::tuple{"beta2.5/alpha1.2", 2.5, 1.2},
+          std::tuple{"beta2.5/alpha4", 2.5, 4.0},
+          std::tuple{"beta2.5/alphaInf", 2.5, kAlphaInfinity}}) {
+        auto* b = benchmark::RegisterBenchmark(
+            (std::string("T31_GreedySuccess/") + name).c_str(),
+            [beta = beta, alpha = alpha](benchmark::State& state) {
+                t31_success(state, beta, alpha);
+            });
+        for (const int n : {1 << 11, 1 << 13, 1 << 15, 1 << 17}) b->Arg(n);
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

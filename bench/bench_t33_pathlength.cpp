@@ -1,0 +1,59 @@
+// EXP-T33 — Theorem 3.3: greedy paths are ultra-short. In case of success
+// the number of hops is (2+o(1))/|log(beta-2)| * loglog n and the stretch
+// over the BFS shortest path is 1+o(1).
+//
+// Series reproduced:
+//  * mean/max hops vs n, against the predicted 2/|log(beta-2)| loglog n;
+//  * the leading constant: hops / loglog n should approach 2/|log(beta-2)|;
+//  * mean stretch vs n, which must drift toward 1.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+
+namespace smallworld::bench {
+namespace {
+
+void t33_pathlength(benchmark::State& state, double beta) {
+    const double n = static_cast<double>(state.range(0)) * bench_scale();
+    const GirgParams params = standard_params(n, beta, 2.0, 2.0);
+    const Girg& girg = cached_girg(params, 6001);
+    TrialConfig config;
+    config.targets = 12;
+    config.sources_per_target = 48;
+    config.restrict_to_giant = true;  // Theorem 3.3 conditions on success
+    config.min_graph_distance = 2;
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, GreedyRouter{}, girg_objective_factory(), config,
+                                7001);
+    }
+    report_stats(state, stats);
+    const double loglog = std::log(std::log(n));
+    state.counters["predicted_hops"] = params.predicted_hops(n);
+    state.counters["hops_over_loglog"] = stats.hops.mean() / loglog;
+    state.counters["paper_constant"] = 2.0 / std::fabs(std::log(beta - 2.0));
+}
+
+void register_all() {
+    for (const double beta : {2.3, 2.5, 2.7}) {
+        std::ostringstream name;
+        name << "T33_PathLength/beta" << beta;
+        auto* b = benchmark::RegisterBenchmark(
+            name.str().c_str(), [beta](benchmark::State& state) { t33_pathlength(state, beta); });
+        for (const int n : {1 << 12, 1 << 14, 1 << 16, 1 << 18}) b->Arg(n);
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

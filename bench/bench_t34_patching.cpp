@@ -1,0 +1,74 @@
+// EXP-T34 / EXP-GP — Theorem 3.4: every (P1)-(P3) patching protocol delivers
+// with probability 1 for same-component pairs, still within
+// (2+o(1))/|log(beta-2)| loglog n steps a.a.s.; and Section 5's discussion
+// of gravity-pressure routing, which violates (P3) and pays for it in
+// sparse networks with heavy exploration tails.
+//
+// Series reproduced, per protocol in {greedy, phi-dfs, msg-history,
+// gravity-pressure} and per wmin in {1 (sparse), 2, 4 (dense)}:
+//  * in-component success rate (1.0 for the patching protocols);
+//  * mean steps and the exploration footprint (distinct vertices visited);
+//  * the q95 steps tail separating (P3)-conforming protocols from
+//    gravity-pressure in the sparse regime.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/gravity_pressure.h"
+#include "core/greedy.h"
+#include "core/message_history.h"
+#include "core/phi_dfs.h"
+#include "random/stats.h"
+
+namespace smallworld::bench {
+namespace {
+
+void t34_patching(benchmark::State& state, const Router& router) {
+    const double wmin = static_cast<double>(state.range(0));
+    const double n = 32768.0 * bench_scale();
+    const GirgParams params = standard_params(n, 2.5, 2.0, wmin);
+    const Girg& girg = cached_girg(params, 8001);
+    TrialConfig config;
+    config.targets = 10;
+    config.sources_per_target = 24;
+    config.restrict_to_giant = true;
+    config.collect_step_samples = true;  // for the EXP-GP tail quantiles
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, router, girg_objective_factory(), config, 9001);
+    }
+    report_stats(state, stats);
+    state.counters["steps_mean"] = stats.steps_all.mean();
+    state.counters["steps_max"] = stats.steps_all.max();
+    state.counters["steps_q95"] = quantile(stats.step_samples, 0.95);
+    state.counters["steps_q99"] = quantile(stats.step_samples, 0.99);
+    state.counters["visited_mean"] = stats.distinct_visited.mean();
+    state.counters["visited_max"] = stats.distinct_visited.max();
+    state.counters["predicted_hops"] = params.predicted_hops(n);
+}
+
+void register_all() {
+    static const GreedyRouter greedy;
+    static const PhiDfsRouter phi_dfs;
+    static const MessageHistoryRouter message_history;
+    static const GravityPressureRouter gravity_pressure;
+    for (const Router* router :
+         {static_cast<const Router*>(&greedy), static_cast<const Router*>(&phi_dfs),
+          static_cast<const Router*>(&message_history),
+          static_cast<const Router*>(&gravity_pressure)}) {
+        auto* b = benchmark::RegisterBenchmark(
+            ("T34_Patching/" + router->name()).c_str(),
+            [router](benchmark::State& state) { t34_patching(state, *router); });
+        for (const int wmin : {1, 2, 4}) b->Arg(wmin);
+        b->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,103 @@
+// Greedy forwarding in a synthetic internet, after Boguna-Papadopoulos-
+// Krioukov [11] and Krioukov et al.'s open question [51]: "can we devise
+// routing protocols for the internet that, having no full view of the
+// network topology, can still efficiently route messages?"
+//
+// [11] embedded the real AS-level internet into the hyperbolic plane and
+// showed greedy geometric forwarding delivers >97% of packets with stretch
+// close to 1. We sample a hyperbolic random graph at internet-like
+// parameters (power law ~2.1, average degree ~6), run geometric greedy
+// forwarding plus the paper's patching, and report the same metrics —
+// the laptop-scale analogue of the paper's affirmative answer.
+//
+//   ./internet_routing [nodes] [packets] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/phi_dfs.h"
+#include "experiments/runner.h"
+#include "experiments/table.h"
+#include "graph/graph_stats.h"
+#include "hyperbolic/embedder.h"
+#include "hyperbolic/hrg.h"
+#include "hyperbolic/hyperbolic_objective.h"
+#include "hyperbolic/mapping.h"
+
+using namespace smallworld;
+
+int main(int argc, char** argv) {
+    HrgParams params;
+    params.n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20000;
+    const int packets = argc > 2 ? std::atoi(argv[2]) : 3000;
+    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+    params.alpha_h = 0.55;  // degree exponent 2*0.55+1 = 2.1, like the AS graph
+    params.c_h = 3.5;       // sets the average degree near the AS graph's ~6
+    params.t_h = 0.0;
+
+    std::cout << "Sampling a hyperbolic 'internet' with " << params.n << " ASes...\n";
+    const HyperbolicGraph internet = generate_hrg(params, seed);
+    std::cout << "  " << internet.graph.num_edges() << " links, average degree "
+              << internet.graph.average_degree() << ", degree exponent ~"
+              << power_law_exponent_mle(internet.graph, 5) << "\n\n";
+
+    const GraphObjectiveFactory factory = [&](Vertex target) -> std::unique_ptr<Objective> {
+        return std::make_unique<HyperbolicObjective>(internet, target);
+    };
+
+    TrialConfig config;
+    config.targets = 24;
+    config.sources_per_target = static_cast<std::size_t>(packets / 24);
+    config.restrict_to_giant = true;
+
+    // The [11] pipeline in miniature: pretend we only measured the
+    // topology, re-embed it into the disk from degrees + structure alone,
+    // and route on the *inferred* coordinates.
+    std::cout << "Embedding the topology back into the hyperbolic disk "
+              << "(no coordinates used)...\n";
+    const HyperbolicGraph inferred = embed_graph(internet.graph, {});
+    std::cout << "  edge fit of the inferred embedding: "
+              << embedding_edge_fit(inferred) << "\n\n";
+    const GraphObjectiveFactory inferred_factory =
+        [&](Vertex target) -> std::unique_ptr<Objective> {
+        return std::make_unique<HyperbolicObjective>(inferred, target);
+    };
+
+    const GreedyRouter greedy;
+    const PhiDfsRouter phi_dfs;
+    const auto greedy_stats =
+        run_graph_trials(internet.graph, greedy, factory, config, seed + 1);
+    const auto patched_stats =
+        run_graph_trials(internet.graph, phi_dfs, factory, config, seed + 1);
+    const auto inferred_stats =
+        run_graph_trials(internet.graph, greedy, inferred_factory, config, seed + 1);
+    const auto inferred_patched =
+        run_graph_trials(internet.graph, phi_dfs, inferred_factory, config, seed + 1);
+
+    Table table({"protocol", "coordinates", "delivery", "mean hops", "mean stretch"});
+    const auto add_row = [&](const std::string& name, const std::string& coords,
+                             const TrialStats& stats) {
+        table.add_row()
+            .cell(name)
+            .cell(coords)
+            .cell(stats.success_rate(), 4)
+            .cell(stats.hops.mean(), 2)
+            .cell(stats.stretch.mean(), 3);
+    };
+    add_row("greedy (geometric)", "true", greedy_stats);
+    add_row("greedy + phi-DFS", "true", patched_stats);
+    add_row("greedy (geometric)", "inferred", inferred_stats);
+    add_row("greedy + phi-DFS", "inferred", inferred_patched);
+    table.print(std::cout, "Packet forwarding with local knowledge only");
+
+    std::cout << "\n[11] reported >97% delivery with stretch ~1.1 on the embedded\n"
+              << "real internet; Theorems 3.2/3.4 are the reason: failure decays\n"
+              << "exponentially in the minimum degree, and any (P1)-(P3) patching\n"
+              << "reaches 100% while keeping paths asymptotically shortest.\n"
+              << "Our 'inferred' rows use a deliberately simple degree+BFS-tree\n"
+              << "embedder (not [11]'s likelihood fit): greedy loses packets on the\n"
+              << "imperfect geometry, yet phi-DFS patching still delivers all of\n"
+              << "them — by exploring, not by teleporting — which is exactly the\n"
+              << "division of labor Theorem 3.4 promises for imperfect embeddings.\n";
+    return 0;
+}

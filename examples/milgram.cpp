@@ -1,0 +1,128 @@
+// Milgram's letter-forwarding experiment on a synthetic social network.
+//
+// Milgram [59, 71] handed letters to random people with only the *name,
+// address and profession* of a target person; each holder forwarded the
+// letter to the acquaintance most likely to know the target. About a fifth
+// to a third of letters arrived, over ~6 hops on average.
+//
+// We restage the experiment on a GIRG "society": positions model where
+// people live (and, per the paper, their interests), weights model how
+// connected they are, and each holder forwards to the neighbor maximizing
+// the paper's objective phi. Letters are dropped at dead ends — exactly the
+// "lost letters" of the original study. Output: delivery rate, hop
+// histogram, and the degrees-of-separation summary.
+//
+//   ./milgram [population] [letters] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/phases.h"
+#include "experiments/table.h"
+#include "girg/generator.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "random/stats.h"
+
+using namespace smallworld;
+
+int main(int argc, char** argv) {
+    const double population = argc > 1 ? std::atof(argv[1]) : 300000.0;
+    const int letters = argc > 2 ? std::atoi(argv[2]) : 2000;
+    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1967;
+
+    GirgParams params;
+    params.n = population;
+    params.dim = 2;       // geography (and hidden traits)
+    params.beta = 2.5;    // scale-free acquaintance counts
+    params.alpha = 2.0;
+    params.wmin = 2.5;    // everyone keeps at least a couple of active contacts
+    params.edge_scale = calibrated_edge_scale(params);
+
+    std::cout << "Building a society of ~" << population << " people...\n";
+    const Girg society = generate_girg(params, seed);
+    std::cout << "  " << society.num_vertices() << " people, average "
+              << society.graph.average_degree() << " acquaintances each\n\n";
+
+    // One target person — Milgram's target was a Boston stockbroker, i.e.
+    // a well-connected professional, so we pick someone of solid (but not
+    // hub-level) connectedness; this is exactly Theorem 3.2 (ii)'s setting,
+    // where delivery succeeds a.a.s. Starters are random people.
+    const auto components = connected_components(society.graph);
+    const auto giant = giant_component_vertices(components);
+    Rng rng(seed + 1);
+    Vertex target = giant[0];
+    for (const Vertex v : giant) {
+        if (society.weight(v) >= 12.0 && society.weight(v) <= 20.0) {
+            target = v;
+            break;
+        }
+    }
+    std::cout << "  target: person " << target << " with "
+              << society.graph.degree(target) << " acquaintances\n\n";
+    const GirgObjective objective(society, target);
+    const auto bfs = bfs_distances(society.graph, target);
+
+    // Milgram's letters were lost to two causes: structural dead ends and
+    // people who simply didn't bother. Each holder forwards with this
+    // probability — the attrition reported for the 1967/1969 studies.
+    const double participation = 0.75;
+
+    std::vector<double> hops;
+    std::vector<double> optimal;
+    int delivered = 0;
+    int dead_ends = 0;
+    int abandoned = 0;
+    const GreedyRouter router;
+    for (int letter = 0; letter < letters; ++letter) {
+        const auto starter = static_cast<Vertex>(rng.uniform_index(society.num_vertices()));
+        if (starter == target) continue;
+        const auto result = router.route(society.graph, objective, starter);
+        if (!result.success()) {
+            ++dead_ends;
+            continue;
+        }
+        // Every intermediate holder must choose to participate.
+        bool alive = true;
+        for (std::size_t hop = 0; alive && hop < result.steps(); ++hop) {
+            alive = rng.bernoulli(participation);
+        }
+        if (!alive) {
+            ++abandoned;
+            continue;
+        }
+        ++delivered;
+        hops.push_back(static_cast<double>(result.steps()));
+        if (bfs[starter] > 0) optimal.push_back(static_cast<double>(bfs[starter]));
+    }
+
+    const int total = delivered + dead_ends + abandoned;
+    const double rate = static_cast<double>(delivered) / total;
+    const Summary chain = summarize(hops);
+    const Summary shortest = summarize(optimal);
+
+    std::cout << "Letters delivered: " << delivered << "/" << total << " ("
+              << 100.0 * rate << "%)  [Milgram: ~22-29%]\n";
+    std::cout << "  lost to dead ends: " << dead_ends
+              << ", abandoned en route: " << abandoned << "\n";
+    std::cout << "Degrees of separation (delivered letters): mean " << chain.mean
+              << ", median " << chain.median << "  [Milgram: ~6]\n";
+    std::cout << "Shortest possible chains (oracle): mean " << shortest.mean << "\n";
+    std::cout << "Stretch of the folk routing: " << chain.mean / shortest.mean << "\n\n";
+
+    Table histogram({"chain length", "letters", "share"});
+    Histogram h = make_histogram(hops, 0.0, 16.0, 16);
+    for (std::size_t bin = 0; bin < h.counts.size(); ++bin) {
+        if (h.counts[bin] == 0) continue;
+        histogram.add_row()
+            .cell(std::to_string(bin))
+            .cell(h.counts[bin])
+            .cell(static_cast<double>(h.counts[bin]) / static_cast<double>(hops.size()), 3);
+    }
+    histogram.print(std::cout, "Chain-length distribution");
+
+    std::cout << "\nTheory (Thm 3.3): chains are (2+o(1))/|log(beta-2)| loglog n = "
+              << params.predicted_hops(params.n) << " hops — 'six degrees' is the\n"
+              << "loglog of a planet-sized network, found without any global map.\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+// Why GIRGs? A side-by-side of decentralized greedy routing across the
+// models discussed in Section 1.1:
+//
+//   * Kleinberg's lattice (the classic): always delivers, but only because
+//     every node secretly knows a path to the target through the grid; and
+//     only the critical exponent r = 2 gives short routes.
+//   * Kleinberg with noisy positions (no lattice): greedy collapses.
+//   * GIRG (this paper): random positions AND scale-free weights — greedy
+//     succeeds with constant probability, patching makes it 100%, and the
+//     paths are loglog-short.
+//
+//   ./model_comparison [scale] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/phi_dfs.h"
+#include "experiments/runner.h"
+#include "experiments/table.h"
+#include "girg/generator.h"
+#include "kleinberg/lattice.h"
+#include "kleinberg/noisy.h"
+#include "random/stats.h"
+
+using namespace smallworld;
+
+namespace {
+
+struct Row {
+    std::string model;
+    double success = 0.0;
+    double hops = 0.0;
+    std::string note;
+};
+
+Row run_kleinberg(std::uint32_t side, double exponent, std::uint64_t seed) {
+    KleinbergParams params;
+    params.side = side;
+    params.q = 1;
+    params.exponent = exponent;
+    const KleinbergGrid grid = generate_kleinberg(params, seed);
+    Rng rng(seed + 1);
+    RunningStats hops;
+    int delivered = 0;
+    int attempts = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+        if (s == t) continue;
+        const KleinbergObjective objective(grid, t);
+        const auto result = GreedyRouter{}.route(grid.graph, objective, s);
+        ++attempts;
+        if (result.success()) {
+            ++delivered;
+            hops.add(static_cast<double>(result.steps()));
+        }
+    }
+    std::string note = exponent == 2.0 ? "needs the lattice + critical exponent"
+                                       : "wrong exponent: polynomially slow";
+    return {"Kleinberg lattice r=" + std::to_string(exponent).substr(0, 3),
+            static_cast<double>(delivered) / attempts, hops.mean(), note};
+}
+
+Row run_noisy(std::size_t n, std::uint64_t seed) {
+    NoisyKleinbergParams params;
+    params.n = n;
+    params.q = 1;
+    const NoisyKleinbergGraph graph = generate_noisy_kleinberg(params, seed);
+    Rng rng(seed + 1);
+    RunningStats hops;
+    int delivered = 0;
+    int attempts = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(graph.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(graph.num_vertices()));
+        if (s == t) continue;
+        const NoisyKleinbergObjective objective(graph, t);
+        ++attempts;
+        const auto result = GreedyRouter{}.route(graph.graph, objective, s);
+        if (result.success()) {
+            ++delivered;
+            hops.add(static_cast<double>(result.steps()));
+        }
+    }
+    return {"Kleinberg, noisy positions", static_cast<double>(delivered) / attempts,
+            hops.mean(), "no lattice -> greedy collapses"};
+}
+
+Row run_girg(double n, std::uint64_t seed, bool patched) {
+    GirgParams params;
+    params.n = n;
+    params.dim = 2;
+    params.beta = 2.5;
+    params.alpha = 2.0;
+    params.wmin = 2.0;
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg girg = generate_girg(params, seed);
+    TrialConfig config;
+    config.targets = 16;
+    config.sources_per_target = 32;
+    config.restrict_to_giant = patched;
+    const GreedyRouter greedy;
+    const PhiDfsRouter phi_dfs;
+    const Router& router = patched ? static_cast<const Router&>(phi_dfs) : greedy;
+    const auto stats =
+        run_girg_trials(girg, router, girg_objective_factory(), config, seed + 1);
+    if (patched) {
+        return {"GIRG + phi-DFS patching", stats.in_component_success_rate(),
+                stats.hops.mean(), "Thm 3.4: success 1, loglog steps"};
+    }
+    return {"GIRG greedy (this paper)", stats.success_rate(), stats.hops.mean(),
+            "random positions, still works"};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 101;
+    const auto side = static_cast<std::uint32_t>(128 * scale);
+    const auto n = static_cast<std::size_t>(side) * side;
+
+    std::cout << "All models sized to ~" << n << " nodes; greedy routing with\n"
+              << "purely local knowledge in each.\n\n";
+
+    Table table({"model", "success", "mean hops", "remark"});
+    for (const Row& row :
+         {run_kleinberg(side, 2.0, seed), run_kleinberg(side, 3.0, seed),
+          run_noisy(n, seed), run_girg(static_cast<double>(n), seed, false),
+          run_girg(static_cast<double>(n), seed, true)}) {
+        table.add_row()
+            .cell(row.model)
+            .cell(row.success, 3)
+            .cell(row.hops, 1)
+            .cell(row.note);
+    }
+    table.print(std::cout, "Decentralized routing across small-world models");
+
+    std::cout << "\nThe GIRG rows are the paper's contribution: no planted lattice,\n"
+              << "any alpha > 1, any beta in (2,3) — and the patched protocol is\n"
+              << "both always-successful and asymptotically optimal.\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 1 of the paper as printed tables: the typical greedy
+// trajectory climbs through weight layers into the core (read the
+// "from source" table top-down: geometric-mean weight rises
+// doubly-exponentially while the distance to the target barely moves), then
+// descends toward the target through objective layers (read the
+// "before target" table bottom-up: the objective rises by a power per hop
+// while the weight falls back down).
+//
+//   ./trajectory_figure [n] [beta] [pairs] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "experiments/trajectory_profile.h"
+#include "girg/generator.h"
+
+using namespace smallworld;
+
+int main(int argc, char** argv) {
+    GirgParams params;
+    params.n = argc > 1 ? std::atof(argv[1]) : 200000.0;
+    params.beta = argc > 2 ? std::atof(argv[2]) : 2.5;
+    params.dim = 2;
+    params.alpha = 2.0;
+    params.wmin = 2.0;
+    params.edge_scale = calibrated_edge_scale(params);
+
+    TrajectoryProfileConfig config;
+    config.pairs = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 500;
+    const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 4242;
+
+    std::cout << "Sampling a GIRG with n ~ " << params.n << ", beta = " << params.beta
+              << " and routing " << config.pairs << " far-apart pairs...\n\n";
+    const Girg girg = generate_girg(params, seed);
+    const TrajectoryProfile profile = collect_trajectory_profile(girg, config, seed + 1);
+
+    std::cout << "Aggregated over " << profile.paths << " successful greedy paths\n\n";
+    profile.to_table(false).print(std::cout,
+                                  "First phase - aligned at the source (Figure 1, left):");
+    std::cout << "\nExpected: weight rises by ~the exponent 1/(beta-2) = "
+              << 1.0 / (params.beta - 2.0) << " per two hops; distance barely moves;\n"
+              << "paths sit in V1 (frac ~1) until the weight peaks.\n\n";
+
+    profile.to_table(true).print(
+        std::cout, "Second phase - aligned at the target (Figure 1, right):");
+    std::cout << "\nRead bottom-up (hop 0 = last vertex before t): the objective\n"
+              << "phi rises by ~the exponent beta-2 per hop while the weight falls\n"
+              << "and the distance to the target collapses; paths are in V2\n"
+              << "(frac in V1 ~ 0) near delivery.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "core/faulty.h"
+
+#include <stdexcept>
+
+#include "random/splitmix64.h"
+
+namespace smallworld {
+
+FaultyLinkGreedyRouter::FaultyLinkGreedyRouter(double failure_prob, std::uint64_t seed,
+                                               int max_retries)
+    : failure_prob_(failure_prob), seed_(seed), max_retries_(max_retries) {
+    if (!(failure_prob >= 0.0 && failure_prob <= 1.0)) {
+        throw std::invalid_argument("FaultyLinkGreedyRouter: failure_prob in [0,1]");
+    }
+    if (max_retries < 0) {
+        throw std::invalid_argument("FaultyLinkGreedyRouter: max_retries >= 0");
+    }
+}
+
+RoutingResult FaultyLinkGreedyRouter::route(const Graph& graph, const Objective& objective,
+                                            Vertex source,
+                                            const RoutingOptions& options) const {
+    RoutingResult result;
+    result.path.push_back(source);
+    const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
+    const Vertex target = objective.target();
+
+    // Link (v,u) at epoch k is up iff a hash-derived coin clears
+    // failure_prob; deterministic per (seed, v, u, k), so the run is
+    // reproducible and both endpoints agree on the link state.
+    const auto link_up = [&](Vertex v, Vertex u, std::uint64_t epoch) {
+        if (failure_prob_ <= 0.0) return true;
+        if (failure_prob_ >= 1.0) return false;
+        const std::uint64_t lo = v < u ? v : u;
+        const std::uint64_t hi = v < u ? u : v;
+        const std::uint64_t h =
+            hash_combine(hash_combine(seed_, (lo << 32) | hi), epoch);
+        const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return coin >= failure_prob_;
+    };
+
+    Vertex current = source;
+    std::uint64_t epoch = 0;
+    int retries = 0;
+    while (true) {
+        if (current == target) {
+            result.status = RoutingStatus::kDelivered;
+            return result;
+        }
+        if (result.steps() >= max_steps) {
+            result.status = RoutingStatus::kStepLimit;
+            return result;
+        }
+        const double current_value = objective.value(current);
+        Vertex best = kNoVertex;
+        double best_value = current_value;
+        bool any_improving = false;
+        for (const Vertex u : graph.neighbors(current)) {
+            const double value = objective.value(u);
+            if (!(value > current_value)) continue;
+            any_improving = true;
+            if (link_up(current, u, epoch) && value > best_value) {
+                best = u;
+                best_value = value;
+            }
+        }
+        ++epoch;
+        if (best != kNoVertex) {
+            retries = 0;
+            result.path.push_back(best);
+            current = best;
+            continue;
+        }
+        if (!any_improving) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
+        // All improving links are down this epoch: wait and retry.
+        if (++retries > max_retries_) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
+    }
+}
+
+}  // namespace smallworld

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// Greedy routing over unreliable links — the robustness scenario of the
+/// Theorem 3.5 discussion: "it is no problem if some of the edges fail
+/// during execution of the routing, since the current vertex can send the
+/// message to any other good neighbor instead."
+///
+/// At each hop every incident link is independently unavailable with
+/// probability `failure_prob` (re-drawn per hop: transient failures). The
+/// message goes to the best *available* neighbor if that improves on the
+/// current vertex; with all improving links down the packet waits out one
+/// hop (a retry, counted as a step) up to `max_retries` times, then drops.
+/// Effectively greedy w.r.t. an adversarially subsampled neighborhood,
+/// which Theorem 3.5 covers because the best surviving neighbor is still a
+/// "good enough" choice.
+class FaultyLinkGreedyRouter final : public Router {
+public:
+    FaultyLinkGreedyRouter(double failure_prob, std::uint64_t seed, int max_retries = 3);
+
+    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+                                      Vertex source,
+                                      const RoutingOptions& options = {}) const override;
+    [[nodiscard]] std::string name() const override { return "greedy-faulty"; }
+
+private:
+    double failure_prob_;
+    std::uint64_t seed_;
+    int max_retries_;
+};
+
+}  // namespace smallworld

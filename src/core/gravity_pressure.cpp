@@ -1,0 +1,70 @@
+#include "core/gravity_pressure.h"
+
+#include <unordered_map>
+
+namespace smallworld {
+
+RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& objective,
+                                           Vertex source,
+                                           const RoutingOptions& options) const {
+    RoutingResult result;
+    result.path.push_back(source);
+    const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
+    const Vertex target = objective.target();
+
+    std::unordered_map<Vertex, std::size_t> visits;
+    bool pressure = false;
+    double escape_value = 0.0;  // objective of the local optimum to beat
+
+    Vertex current = source;
+    while (true) {
+        if (current == target) {
+            result.status = RoutingStatus::kDelivered;
+            return result;
+        }
+        if (result.steps() >= max_steps) {
+            result.status = RoutingStatus::kStepLimit;
+            return result;
+        }
+
+        Vertex next = kNoVertex;
+        if (!pressure) {
+            const Vertex best = best_neighbor(graph, objective, current);
+            if (best != kNoVertex && objective.value(best) > objective.value(current)) {
+                next = best;
+            } else if (best == kNoVertex) {
+                result.status = RoutingStatus::kDeadEnd;  // isolated vertex
+                return result;
+            } else {
+                pressure = true;
+                escape_value = objective.value(current);
+            }
+        }
+        if (pressure) {
+            ++visits[current];
+            // Least-visited neighbor; ties toward higher objective, then id.
+            std::size_t best_visits = 0;
+            double best_value = 0.0;
+            for (const Vertex u : graph.neighbors(current)) {
+                const auto it = visits.find(u);
+                const std::size_t u_visits = it == visits.end() ? 0 : it->second;
+                const double u_value = objective.value(u);
+                if (next == kNoVertex || u_visits < best_visits ||
+                    (u_visits == best_visits && u_value > best_value)) {
+                    next = u;
+                    best_visits = u_visits;
+                    best_value = u_value;
+                }
+            }
+            if (next == kNoVertex) {
+                result.status = RoutingStatus::kDeadEnd;
+                return result;
+            }
+            if (objective.value(next) > escape_value) pressure = false;
+        }
+        result.path.push_back(next);
+        current = next;
+    }
+}
+
+}  // namespace smallworld

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// The gravity–pressure routing algorithm of Cvetkovski & Crovella [23],
+/// discussed (critically) in Section 5: in gravity mode the packet moves
+/// greedily; at a local optimum it switches to pressure mode, where it moves
+/// to the least-visited neighbor (per-packet visit counters) until it finds
+/// a vertex with better objective than the local optimum, then resumes
+/// gravity mode.
+///
+/// This protocol does NOT satisfy (P3) — it always prefers any unexplored
+/// vertex over returning to a promising earlier one — so Theorem 3.4 does
+/// not apply; the paper predicts it can explore large parts of the giant in
+/// sparse networks, which EXP-GP measures.
+class GravityPressureRouter final : public Router {
+public:
+    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+                                      Vertex source,
+                                      const RoutingOptions& options = {}) const override;
+    [[nodiscard]] std::string name() const override { return "gravity-pressure"; }
+};
+
+}  // namespace smallworld

@@ -1,0 +1,34 @@
+#include "core/greedy.h"
+
+namespace smallworld {
+
+RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective,
+                                  Vertex source, const RoutingOptions& options) const {
+    RoutingResult result;
+    result.path.push_back(source);
+    const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
+    const Vertex target = objective.target();
+
+    Vertex current = source;
+    double current_value = objective.value(current);
+    while (true) {
+        if (current == target) {
+            result.status = RoutingStatus::kDelivered;
+            return result;
+        }
+        const Vertex next = best_neighbor(graph, objective, current);
+        if (next == kNoVertex || !(objective.value(next) > current_value)) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
+        result.path.push_back(next);
+        current = next;
+        current_value = objective.value(current);
+        if (result.steps() >= max_steps) {
+            result.status = RoutingStatus::kStepLimit;
+            return result;
+        }
+    }
+}
+
+}  // namespace smallworld

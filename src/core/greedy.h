@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// Algorithm 1 — pure greedy routing. From the current vertex the message
+/// moves to the neighbor of maximal objective if that improves on the
+/// current vertex; otherwise the packet is dropped (dead end). Succeeds with
+/// probability Omega(1) (Theorem 3.1), in (2+o(1))/|log(beta-2)| * loglog n
+/// steps (Theorem 3.3).
+class GreedyRouter final : public Router {
+public:
+    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+                                      Vertex source,
+                                      const RoutingOptions& options = {}) const override;
+    [[nodiscard]] std::string name() const override { return "greedy"; }
+};
+
+}  // namespace smallworld

@@ -1,0 +1,86 @@
+#include "core/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smallworld {
+
+LayerStructure::LayerStructure(const GirgParams& params, double w0, double phi0,
+                               double eps1) {
+    if (!(w0 >= params.wmin)) {
+        throw std::invalid_argument("LayerStructure: w0 must be >= wmin");
+    }
+    if (!(phi0 > 0.0 && phi0 <= 1.0)) {
+        throw std::invalid_argument("LayerStructure: phi0 must be in (0, 1]");
+    }
+    gamma_ = params.gamma(eps1);
+    if (!(gamma_ > 1.0)) {
+        throw std::invalid_argument("LayerStructure: gamma(eps1) must exceed 1");
+    }
+
+    // Weight landmarks y_{j+1} = y_j^gamma, capped at the largest weight the
+    // model can meaningfully produce (wmin * n bounds every threshold ball).
+    const double w_cap = params.wmin * params.n;
+    for (double y = w0; y < w_cap; y = std::pow(y, gamma_)) {
+        weight_landmarks_.push_back(y);
+        if (y <= 1.0 + 1e-12) break;  // gamma-powering would not grow
+    }
+    if (weight_landmarks_.empty()) weight_landmarks_.push_back(w0);
+
+    // Objective landmarks psi_{j+1} = psi_j^gamma descend from phi0 toward
+    // the smallest objective any vertex can have (weight wmin at the torus
+    // diameter); store ascending, i.e. in route order.
+    const double phi_floor = params.wmin / (params.wmin * params.n) * std::pow(2.0, params.dim);
+    std::vector<double> descending;
+    for (double psi = phi0; psi > phi_floor / 10.0; psi = std::pow(psi, gamma_)) {
+        descending.push_back(psi);
+        if (psi >= 1.0) break;  // gamma-powering would not shrink
+        if (descending.size() > 200) break;  // safety for extreme parameters
+    }
+    objective_landmarks_.assign(descending.rbegin(), descending.rend());
+}
+
+int LayerStructure::weight_layer(double weight) const noexcept {
+    const auto it =
+        std::upper_bound(weight_landmarks_.begin(), weight_landmarks_.end(), weight);
+    return static_cast<int>(it - weight_landmarks_.begin()) - 1;
+}
+
+int LayerStructure::objective_layer(double phi) const noexcept {
+    const auto it = std::upper_bound(objective_landmarks_.begin(),
+                                     objective_landmarks_.end(), phi);
+    return static_cast<int>(it - objective_landmarks_.begin()) - 1;
+}
+
+int LayerStructure::layer_of(const TrajectoryPoint& point) const noexcept {
+    if (point.phase == RoutingPhase::kFirst) return weight_layer(point.weight);
+    const int obj_layer = objective_layer(point.objective);
+    if (obj_layer < 0) return -1;
+    return static_cast<int>(num_weight_layers()) + obj_layer;
+}
+
+LayerDiscipline check_layer_discipline(const LayerStructure& layers,
+                                       const std::vector<TrajectoryPoint>& trajectory) {
+    LayerDiscipline out;
+    std::vector<bool> seen(layers.num_weight_layers() + layers.num_objective_layers(),
+                           false);
+    int previous = -2;  // sentinel: nothing yet
+    for (const TrajectoryPoint& point : trajectory) {
+        const int layer = layers.layer_of(point);
+        if (layer == previous) continue;  // staying inside a layer is fine
+        if (layer >= 0) {
+            if (seen[static_cast<std::size_t>(layer)]) {
+                ++out.layers_revisited;
+            } else {
+                seen[static_cast<std::size_t>(layer)] = true;
+                ++out.layers_visited;
+            }
+            if (previous >= -1 && layer < previous) ++out.backward_moves;
+        }
+        previous = layer;
+    }
+    return out;
+}
+
+}  // namespace smallworld

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/phases.h"
+#include "girg/params.h"
+
+namespace smallworld {
+
+/// The layer decomposition of Lemma 8.1 (see Figure 1): the first routing
+/// phase is partitioned into weight layers A_{1,j} with doubly-exponential
+/// landmarks y_{j+1} = y_j^{gamma}, the second phase into objective layers
+/// A_{2,j} with psi_{j+1} = psi_j^{gamma}. The paper proves that with
+/// sufficiently high probability a greedy path visits every layer at most
+/// once and traverses them in order — the analytical heart of all main
+/// theorems. This class materializes the landmarks so experiments can test
+/// that statement on sampled trajectories.
+class LayerStructure {
+public:
+    /// Builds layers for a GIRG with base weight w0 >= wmin (the first
+    /// weight landmark) and base objective phi0 <= 1 (the first objective
+    /// landmark), using growth exponent gamma = gamma(eps1) > 1.
+    LayerStructure(const GirgParams& params, double w0, double phi0,
+                   double eps1 = kDefaultEps1);
+
+    /// Weight landmarks y_0 < y_1 < ... (ascending).
+    [[nodiscard]] const std::vector<double>& weight_landmarks() const noexcept {
+        return weight_landmarks_;
+    }
+    /// Objective landmarks stored ascending (the paper's psi_j descend from
+    /// phi0 via psi_{j+1} = psi_j^gamma; the route climbs them towards
+    /// phi0, so we keep them in route order: smallest first, phi0 last).
+    /// Layer k holds objectives in [landmark_k, landmark_{k+1}).
+    [[nodiscard]] const std::vector<double>& objective_landmarks() const noexcept {
+        return objective_landmarks_;
+    }
+
+    /// Index of the weight layer containing w (-1 if w < y_0).
+    [[nodiscard]] int weight_layer(double weight) const noexcept;
+    /// Index of the objective layer containing phi (-1 if phi < psi_0).
+    [[nodiscard]] int objective_layer(double phi) const noexcept;
+
+    /// Global layer id of a trajectory point: first-phase layers come first
+    /// (by weight), then second-phase layers (by objective), matching the
+    /// ordering A_{1,1} < ... < A_{1,inf} < ... < A_{2,1} of Section 8.1.
+    /// Points below the first landmark map to -1.
+    [[nodiscard]] int layer_of(const TrajectoryPoint& point) const noexcept;
+
+    [[nodiscard]] std::size_t num_weight_layers() const noexcept {
+        return weight_landmarks_.size();
+    }
+    [[nodiscard]] std::size_t num_objective_layers() const noexcept {
+        return objective_landmarks_.size();
+    }
+
+private:
+    double gamma_ = 2.0;
+    std::vector<double> weight_landmarks_;
+    std::vector<double> objective_landmarks_;
+};
+
+/// Layer-discipline statistics of one trajectory (Lemma 8.1's conclusion):
+/// how many layers were visited more than once, and whether the layer
+/// sequence ever moved backwards.
+struct LayerDiscipline {
+    std::size_t layers_visited = 0;
+    std::size_t layers_revisited = 0;   ///< visited, left, and re-entered
+    std::size_t backward_moves = 0;     ///< hops to a strictly earlier layer
+    [[nodiscard]] bool clean() const noexcept {
+        return layers_revisited == 0 && backward_moves == 0;
+    }
+};
+
+[[nodiscard]] LayerDiscipline check_layer_discipline(
+    const LayerStructure& layers, const std::vector<TrajectoryPoint>& trajectory);
+
+}  // namespace smallworld

@@ -1,0 +1,149 @@
+#include "core/message_history.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace smallworld {
+
+namespace {
+
+/// Candidate exploration edge (from a visited vertex to an unvisited one),
+/// ordered by objective of the far endpoint; ties toward smaller ids keep
+/// runs deterministic.
+struct Candidate {
+    double value;
+    Vertex from;
+    Vertex to;
+
+    bool operator<(const Candidate& other) const noexcept {
+        if (value != other.value) return value < other.value;
+        if (to != other.to) return to > other.to;
+        return from > other.from;
+    }
+};
+
+class Run {
+public:
+    Run(const Graph& graph, const Objective& objective, Vertex source,
+        const RoutingOptions& options)
+        : graph_(graph),
+          objective_(objective),
+          source_(source),
+          max_steps_(options.effective_max_steps(graph.num_vertices())) {}
+
+    RoutingResult execute() {
+        result_.path.push_back(source_);
+        Vertex current = source_;
+        bool first_visit = true;
+        while (true) {
+            if (current == objective_.target()) {
+                result_.status = RoutingStatus::kDelivered;
+                return result_;
+            }
+            if (visited_.insert(current).second) {
+                for (const Vertex u : graph_.neighbors(current)) {
+                    if (!visited_.contains(u)) {
+                        frontier_.push({objective_.value(u), current, u});
+                    }
+                }
+            }
+
+            // (P1) first-visit rule: from a newly visited vertex with a
+            // strictly better neighbor, proceed to the best neighbor.
+            if (first_visit) {
+                const Vertex best = best_neighbor(graph_, objective_, current);
+                if (best != kNoVertex &&
+                    objective_.value(best) > objective_.value(current)) {
+                    first_visit = !visited_.contains(best);
+                    if (!move_to(best)) return result_;
+                    current = best;
+                    continue;
+                }
+            }
+
+            // Local optimum (or revisit): jump to the globally best
+            // unexplored edge, paying for the walk back through the visited
+            // subgraph.
+            const auto candidate = pop_best_candidate();
+            if (!candidate) {
+                result_.status = RoutingStatus::kExhausted;
+                return result_;
+            }
+            if (candidate->from != current) {
+                if (!walk_within_visited(current, candidate->from)) return result_;
+                current = candidate->from;
+            }
+            first_visit = true;
+            if (!move_to(candidate->to)) return result_;
+            current = candidate->to;
+        }
+    }
+
+private:
+    /// Lazy-deletion pop: skip entries whose far endpoint got visited since.
+    [[nodiscard]] std::optional<Candidate> pop_best_candidate() {
+        while (!frontier_.empty()) {
+            Candidate top = frontier_.top();
+            frontier_.pop();
+            if (!visited_.contains(top.to)) return top;
+        }
+        return std::nullopt;
+    }
+
+    /// BFS inside the visited subgraph (always connected: it grows along
+    /// traversed edges), appending the walk to the path.
+    bool walk_within_visited(Vertex from, Vertex to) {
+        std::unordered_map<Vertex, Vertex> parent;
+        std::deque<Vertex> queue{from};
+        parent[from] = from;
+        while (!queue.empty()) {
+            const Vertex v = queue.front();
+            queue.pop_front();
+            if (v == to) break;
+            for (const Vertex u : graph_.neighbors(v)) {
+                if (!visited_.contains(u) || parent.contains(u)) continue;
+                parent[u] = v;
+                queue.push_back(u);
+            }
+        }
+        std::vector<Vertex> walk;
+        for (Vertex v = to; v != from; v = parent.at(v)) walk.push_back(v);
+        for (auto it = walk.rbegin(); it != walk.rend(); ++it) {
+            if (!move_to(*it)) return false;
+        }
+        return true;
+    }
+
+    bool move_to(Vertex v) {
+        if (result_.steps() >= max_steps_) {
+            result_.status = RoutingStatus::kStepLimit;
+            return false;
+        }
+        result_.path.push_back(v);
+        return true;
+    }
+
+    const Graph& graph_;
+    const Objective& objective_;
+    Vertex source_;
+    std::size_t max_steps_;
+
+    std::unordered_set<Vertex> visited_;
+    std::priority_queue<Candidate> frontier_;
+    RoutingResult result_;
+};
+
+}  // namespace
+
+RoutingResult MessageHistoryRouter::route(const Graph& graph, const Objective& objective,
+                                          Vertex source,
+                                          const RoutingOptions& options) const {
+    return Run(graph, objective, source, options).execute();
+}
+
+}  // namespace smallworld

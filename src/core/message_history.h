@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// The first patching example of Section 5 (SMTP-style): the message stores
+/// the list of visited vertices and, per visited vertex, the objective of
+/// its best unexplored incident edge. The protocol routes greedily whenever
+/// possible and otherwise explores the best unexplored edge leaving any
+/// visited vertex, walking back to it through the already-visited subgraph
+/// (every traversed edge counts as a step, so the reported cost is honest).
+/// Satisfies (P1)-(P3).
+class MessageHistoryRouter final : public Router {
+public:
+    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+                                      Vertex source,
+                                      const RoutingOptions& options = {}) const override;
+    [[nodiscard]] std::string name() const override { return "msg-history"; }
+};
+
+}  // namespace smallworld

@@ -1,0 +1,72 @@
+#include "core/neighborhoods.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smallworld {
+
+NeighborhoodClasses::NeighborhoodClasses(const Girg& girg, Vertex target, double eps,
+                                         double eps1)
+    : girg_(&girg), target_(target), eps_(eps), eps1_(eps1) {
+    if (!(eps > 0.0 && eps <= eps1)) {
+        throw std::invalid_argument("NeighborhoodClasses: need 0 < eps <= eps1");
+    }
+    const GirgParams& p = girg.params;
+    if (p.threshold()) {
+        zeta_ = 1.5;
+    } else {
+        zeta_ = std::max(1.5, (2.0 * p.alpha - 1.0) / (2.0 * p.alpha + 4.0 - 2.0 * p.beta));
+    }
+}
+
+double NeighborhoodClasses::phi(Vertex v) const noexcept {
+    return girg_->objective(v, girg_->position(target_));
+}
+
+RoutingPhase NeighborhoodClasses::phase(Vertex v) const noexcept {
+    return classify_phase(*girg_, girg_->weight(v), phi(v), eps1_);
+}
+
+bool NeighborhoodClasses::in_good_set(Vertex u, Vertex v) const noexcept {
+    const GirgParams& p = girg_->params;
+    const double gamma_eps = p.gamma(eps_);
+    const double wv = girg_->weight(v);
+    const double phi_v = phi(v);
+    if (phase(v) == RoutingPhase::kFirst) {
+        // (4): wu >= wv^gamma(eps) and phi(u) >= phi(v) wv^{gamma(eps)-1}.
+        return girg_->weight(u) >= std::pow(wv, gamma_eps) &&
+               phi(u) >= phi_v * std::pow(wv, gamma_eps - 1.0);
+    }
+    // (5): u in V2 with phi(u) >= phi(v)^{1/gamma(eps)}.
+    return phase(u) == RoutingPhase::kSecond &&
+           phi(u) >= std::pow(phi_v, 1.0 / gamma_eps);
+}
+
+bool NeighborhoodClasses::in_bad_set(Vertex u, Vertex v) const noexcept {
+    const GirgParams& p = girg_->params;
+    const double gamma_eps = p.gamma(eps_);
+    const double wv = girg_->weight(v);
+    const double phi_v = phi(v);
+    if (phase(v) == RoutingPhase::kFirst) {
+        // (4): wu <= wv^{gamma(zeta eps)} and phi(u) >= phi(v) wv^{gamma(eps)-1}.
+        return girg_->weight(u) <= std::pow(wv, p.gamma(zeta_ * eps_)) &&
+               phi(u) >= phi_v * std::pow(wv, gamma_eps - 1.0);
+    }
+    // (5): u in V1 with phi(u) >= phi(v)^{1/gamma(eps)}.
+    return phase(u) == RoutingPhase::kFirst &&
+           phi(u) >= std::pow(phi_v, 1.0 / gamma_eps);
+}
+
+NeighborhoodClasses::Counts NeighborhoodClasses::neighbor_counts(Vertex v) const {
+    Counts counts;
+    for (const Vertex u : girg_->graph.neighbors(v)) {
+        if (u == target_) continue;  // the target trivially dominates
+        counts.good += in_good_set(u, v) ? 1 : 0;
+        counts.bad += in_bad_set(u, v) ? 1 : 0;
+        ++counts.degree;
+    }
+    return counts;
+}
+
+}  // namespace smallworld

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/phases.h"
+#include "girg/girg.h"
+
+namespace smallworld {
+
+/// The good/bad vertex classes of Section 7.3, relative to a current vertex
+/// v and a target position. For v in V1 (first phase):
+///
+///   V+(v,eps) = { u : wu >= wv^{gamma(eps)}            and phi(u) >= phi(v) wv^{gamma(eps)-1} }
+///   V-(v,eps) = { u : wu <= wv^{gamma(zeta eps)}       and phi(u) >= phi(v) wv^{gamma(eps)-1} }
+///
+/// and for v in V2 (second phase):
+///
+///   V+(v,eps) = { u in V2 : phi(u) >= phi(v)^{1/gamma(eps)} }
+///   V-(v,eps) = { u in V1 : phi(u) >= phi(v)^{1/gamma(eps)} }
+///
+/// Lemmas 7.11/7.12 prove E|Γ(v) ∩ V+| = Ω(wmin^{β-2} ... ^{Ω(eps)}) grows
+/// while E|Γ(v) ∩ V-| shrinks polynomially — the engine behind the layer
+/// argument. This module makes the classes queryable so experiments can
+/// validate the lemmas on sampled graphs.
+class NeighborhoodClasses {
+public:
+    /// eps in (0, eps1]; zeta = max{3/2, (2 alpha - 1)/(2 alpha + 4 - 2 beta)}
+    /// for finite alpha and 3/2 for the threshold model (Section 7.3).
+    NeighborhoodClasses(const Girg& girg, Vertex target, double eps,
+                        double eps1 = kDefaultEps1);
+
+    [[nodiscard]] double zeta() const noexcept { return zeta_; }
+    [[nodiscard]] double phi(Vertex v) const noexcept;
+    [[nodiscard]] RoutingPhase phase(Vertex v) const noexcept;
+
+    [[nodiscard]] bool in_good_set(Vertex u, Vertex v) const noexcept;
+    [[nodiscard]] bool in_bad_set(Vertex u, Vertex v) const noexcept;
+
+    /// Counts of the current vertex's good/bad *neighbors* — the quantities
+    /// bounded by Lemmas 7.11 (i)/(ii) and 7.12 (i)/(ii).
+    struct Counts {
+        std::size_t good = 0;
+        std::size_t bad = 0;
+        std::size_t degree = 0;
+    };
+    [[nodiscard]] Counts neighbor_counts(Vertex v) const;
+
+private:
+    const Girg* girg_;
+    Vertex target_;
+    double eps_;
+    double eps1_;
+    double zeta_;
+};
+
+}  // namespace smallworld

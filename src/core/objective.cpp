@@ -1,0 +1,78 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <limits>
+
+#include "geometry/torus.h"
+#include "random/splitmix64.h"
+
+namespace smallworld {
+
+GirgObjective::GirgObjective(const Girg& girg, Vertex target)
+    : girg_(&girg), target_(target) {}
+
+double GirgObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    return girg_->objective(v, girg_->position(target_));
+}
+
+GeometricObjective::GeometricObjective(const PointCloud& positions, Vertex target)
+    : positions_(&positions), target_(target) {}
+
+double GeometricObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    const double dist = torus_distance(positions_->point(v), positions_->point(target_),
+                                       positions_->dim);
+    if (dist == 0.0) return std::numeric_limits<double>::max();
+    return 1.0 / dist;
+}
+
+RelaxedObjective::RelaxedObjective(const Girg& girg, Vertex target, RelaxationKind kind,
+                                   double magnitude, std::uint64_t seed)
+    : girg_(&girg), target_(target), kind_(kind), magnitude_(magnitude), seed_(seed) {}
+
+double RelaxedObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    const double phi = girg_->objective(v, girg_->position(target_));
+    // Noise in [-1, 1], a deterministic function of (seed, v).
+    const std::uint64_t h = hash_combine(seed_, v);
+    const double noise =
+        2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
+    switch (kind_) {
+        case RelaxationKind::kExponent: {
+            const double base = std::min(girg_->weight(v), 1.0 / phi);
+            // base >= wmin could still be < 1 for wmin < 1; a base below 1
+            // would flip the direction of the exponentiation, which is fine:
+            // the theorem's condition is symmetric in the exponent sign.
+            return phi * std::pow(base, magnitude_ * noise);
+        }
+        case RelaxationKind::kConstantFactor: {
+            return phi * std::pow(magnitude_, noise);
+        }
+    }
+    return phi;
+}
+
+QuantizedObjective::QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits)
+    : girg_(&girg), target_(target), mantissa_bits_(mantissa_bits) {
+    if (mantissa_bits < 1 || mantissa_bits > 52) {
+        throw std::invalid_argument("QuantizedObjective: mantissa_bits in [1, 52]");
+    }
+}
+
+double QuantizedObjective::quantize(double x, int mantissa_bits) noexcept {
+    if (x == 0.0 || !std::isfinite(x)) return x;
+    int exponent = 0;
+    const double mantissa = std::frexp(x, &exponent);  // in [0.5, 1)
+    const double scale = std::ldexp(1.0, mantissa_bits);
+    return std::ldexp(std::round(mantissa * scale) / scale, exponent);
+}
+
+double QuantizedObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    return quantize(girg_->objective(v, girg_->position(target_)), mantissa_bits_);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "girg/girg.h"
+#include "graph/graph.h"
+
+namespace smallworld {
+
+/// The objective function phi that greedy routing maximizes in every hop
+/// (Section 2.2). The single semantic requirement, needed for correctness
+/// of every protocol, is that the target vertex globally maximizes the
+/// objective; implementations return +infinity at the target.
+///
+/// An Objective instance is bound to one target; evaluating phi(v) uses only
+/// v's address (position, weight) and the target's position — the locality
+/// property the paper emphasizes.
+class Objective {
+public:
+    virtual ~Objective() = default;
+
+    /// phi(v); larger is better; +infinity iff v is the target.
+    [[nodiscard]] virtual double value(Vertex v) const = 0;
+
+    [[nodiscard]] virtual Vertex target() const = 0;
+};
+
+/// The paper's canonical objective phi(v) = wv / (wmin * n * ||xv - xt||^d),
+/// i.e. "forward to the acquaintance most likely to know the target":
+/// for alpha < infinity maximizing phi is equivalent to maximizing the
+/// connection probability p_{v,t}.
+class GirgObjective final : public Objective {
+public:
+    GirgObjective(const Girg& girg, Vertex target);
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+private:
+    const Girg* girg_;
+    Vertex target_;
+};
+
+/// Degree-agnostic geometric objective 1/||xv - xt|| (torus L-infinity) —
+/// the "geometric greedy process" of [9,10] discussed in Section 4, which
+/// ignores weights and is far less robust. Used as the comparison series in
+/// EXP-S4. Works on any point cloud, not just GIRGs.
+class GeometricObjective final : public Objective {
+public:
+    GeometricObjective(const PointCloud& positions, Vertex target);
+    GeometricObjective(const Girg& girg, Vertex target)
+        : GeometricObjective(girg.positions, target) {}
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+private:
+    const PointCloud* positions_;
+    Vertex target_;
+};
+
+/// How the relaxed objective perturbs phi (Theorem 3.5).
+enum class RelaxationKind {
+    /// phi~(v) = phi(v) * min{wv, phi(v)^{-1}}^{xi_v}, xi_v uniform in
+    /// [-exponent, exponent] — the shape of Condition (2). The theorem
+    /// requires exponent = o(1); constant exponents violate it and slow the
+    /// routing down (Remark 10.1), which EXP-T35 demonstrates.
+    kExponent,
+    /// phi~(v) = c_v * phi(v) with c_v uniform in [1/factor, factor] —
+    /// bounded constant-factor noise, the mildest relaxation.
+    kConstantFactor,
+};
+
+/// A deterministic pseudo-random perturbation of a base objective: the noise
+/// for vertex v is derived by hashing (seed, v), so phi~ is a genuine
+/// function of the vertex (consistent across queries) as Theorem 3.5
+/// requires, yet "adversarially" scrambles the ordering of near-equal
+/// neighbors.
+class RelaxedObjective final : public Objective {
+public:
+    RelaxedObjective(const Girg& girg, Vertex target, RelaxationKind kind,
+                     double magnitude, std::uint64_t seed);
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+private:
+    const Girg* girg_;
+    Vertex target_;
+    RelaxationKind kind_;
+    double magnitude_;
+    std::uint64_t seed_;
+};
+
+/// Greedy routing with *quantized addresses*: the practical face of
+/// Theorem 3.5. Real deployments (e.g. the hyperbolic internet embeddings
+/// of [11]) ship coordinates with a handful of bits; this objective rounds
+/// phi(v) to `mantissa_bits` bits of relative precision, i.e. a
+/// multiplicative (1 ± 2^-mantissa_bits) perturbation — squarely inside the
+/// theorem's constant-factor relaxation class for any bits >= 1.
+class QuantizedObjective final : public Objective {
+public:
+    QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits);
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+    /// Rounds x to the given number of mantissa bits (exposed for tests).
+    [[nodiscard]] static double quantize(double x, int mantissa_bits) noexcept;
+
+private:
+    const Girg* girg_;
+    Vertex target_;
+    int mantissa_bits_;
+};
+
+}  // namespace smallworld

@@ -1,0 +1,100 @@
+#include "core/p_checker.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smallworld {
+
+namespace {
+
+std::string describe_move(Vertex from, Vertex to) {
+    std::ostringstream os;
+    os << "move " << from << " -> " << to;
+    return os.str();
+}
+
+}  // namespace
+
+std::vector<PatchingViolation> check_patching_conditions(
+    const Graph& graph, const Objective& objective, const std::vector<Vertex>& path,
+    const PatchingCheckOptions& options) {
+    std::vector<PatchingViolation> violations;
+    if (path.empty()) return violations;
+
+    std::unordered_map<Vertex, std::size_t> first_seen_at;  // vertex -> path index
+    std::unordered_set<Vertex> frontier;  // unvisited vertices adjacent to visited ones
+    std::size_t steps_since_new = 0;
+
+    const auto mark_visited = [&](Vertex v, std::size_t index) {
+        if (!first_seen_at.emplace(v, index).second) return;
+        frontier.erase(v);
+        for (const Vertex u : graph.neighbors(v)) {
+            if (!first_seen_at.contains(u)) frontier.insert(u);
+        }
+    };
+    mark_visited(path.front(), 0);
+
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const Vertex v = path[i];
+        const Vertex next = path[i + 1];
+
+        if (!graph.has_edge(v, next)) {
+            violations.push_back({i, "adjacency",
+                                  describe_move(v, next) + " is not a graph edge"});
+            continue;
+        }
+
+        // P1b: on the first visit of v, a strictly better neighbor forces
+        // the move to v's best neighbor.
+        if (first_seen_at.at(v) == i) {
+            const Vertex best = best_neighbor(graph, objective, v);
+            if (best != kNoVertex && objective.value(best) > objective.value(v) &&
+                next != best && objective.value(next) < objective.value(best)) {
+                std::ostringstream os;
+                os << describe_move(v, next) << " but best neighbor is " << best;
+                violations.push_back({i, "P1b", os.str()});
+            }
+        }
+
+        if (!first_seen_at.contains(next)) {
+            // P1a: a move to an unvisited vertex must pick the best
+            // unvisited neighbor of v.
+            Vertex best_unvisited = kNoVertex;
+            double best_value = 0.0;
+            for (const Vertex u : graph.neighbors(v)) {
+                if (first_seen_at.contains(u)) continue;
+                const double value = objective.value(u);
+                if (best_unvisited == kNoVertex || value > best_value) {
+                    best_unvisited = u;
+                    best_value = value;
+                }
+            }
+            if (best_unvisited != kNoVertex && objective.value(next) < best_value) {
+                std::ostringstream os;
+                os << describe_move(v, next) << " but best unvisited neighbor is "
+                   << best_unvisited;
+                violations.push_back({i, "P1a", os.str()});
+            }
+            steps_since_new = 0;
+            mark_visited(next, i + 1);
+        } else {
+            ++steps_since_new;
+            const double k = static_cast<double>(first_seen_at.size());
+            const double bound =
+                options.p2_coeff * std::pow(k, options.p2_power) + options.p2_offset;
+            // P2: only binding while an unexplored neighbor still exists.
+            if (!frontier.empty() && static_cast<double>(steps_since_new) > bound) {
+                std::ostringstream os;
+                os << "no new vertex for " << steps_since_new << " steps with "
+                   << first_seen_at.size() << " explored";
+                violations.push_back({i, "P2", os.str()});
+                steps_since_new = 0;  // report once per stall
+            }
+        }
+    }
+    return violations;
+}
+
+}  // namespace smallworld

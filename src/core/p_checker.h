@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// Checks a recorded routing path against the paper's patching conditions
+/// (page 10). (P1) is checked exactly from the trace; (P2)/(P3) are checked
+/// in the effective polynomial-bound form that a finite trace can witness.
+struct PatchingViolation {
+    std::size_t step = 0;     // index into the path where the rule broke
+    std::string rule;         // "P1a", "P1b", "P2"
+    std::string description;
+};
+
+struct PatchingCheckOptions {
+    /// (P2): after k distinct vertices are explored, a new vertex must be
+    /// visited within p2_coeff * k^p2_power + p2_offset steps (while an
+    /// unexplored neighbor of the explored set exists).
+    double p2_coeff = 4.0;
+    double p2_power = 3.0;
+    double p2_offset = 16.0;
+};
+
+/// Verifies:
+///  P1a — every move to a previously unvisited vertex u from v picks the
+///        unvisited neighbor of v with the largest objective;
+///  P1b — on the first visit of v, if some neighbor has a strictly larger
+///        objective than v, the next move goes to v's best neighbor;
+///  P2  — polynomial-time exploration as parameterized above.
+/// Consecutive path entries must be graph-adjacent (checked too).
+[[nodiscard]] std::vector<PatchingViolation> check_patching_conditions(
+    const Graph& graph, const Objective& objective, const std::vector<Vertex>& path,
+    const PatchingCheckOptions& options = {});
+
+}  // namespace smallworld

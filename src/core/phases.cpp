@@ -1,0 +1,84 @@
+#include "core/phases.h"
+
+#include <cmath>
+
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+RoutingPhase classify_phase(const Girg& girg, double weight, double phi, double eps1) {
+    const double gamma = girg.params.gamma(eps1);
+    return phi <= std::pow(weight, -gamma) ? RoutingPhase::kFirst : RoutingPhase::kSecond;
+}
+
+std::vector<TrajectoryPoint> annotate_trajectory(const Girg& girg, Vertex target,
+                                                 const std::vector<Vertex>& path,
+                                                 double eps1) {
+    std::vector<TrajectoryPoint> points;
+    points.reserve(path.size());
+    const double* target_position = girg.position(target);
+    for (const Vertex v : path) {
+        TrajectoryPoint p;
+        p.vertex = v;
+        p.weight = girg.weight(v);
+        p.distance = torus_distance(girg.position(v), target_position, girg.params.dim);
+        if (v == target) {
+            // Finite stand-in: phi at one torus-lattice spacing.
+            p.objective = p.weight * girg.params.n / girg.params.wmin;
+        } else {
+            p.objective = girg.objective(v, target_position);
+        }
+        p.phase = classify_phase(girg, p.weight, p.objective, eps1);
+        points.push_back(p);
+    }
+    return points;
+}
+
+TrajectoryShape analyze_trajectory(const std::vector<TrajectoryPoint>& points) {
+    TrajectoryShape shape;
+    if (points.empty()) return shape;
+    shape.hops = points.size() - 1;
+
+    // Phase counts & ordering.
+    bool seen_second = false;
+    shape.phase_ordered = true;
+    for (const auto& p : points) {
+        if (p.phase == RoutingPhase::kFirst) {
+            if (seen_second) shape.phase_ordered = false;
+            ++shape.first_phase_hops;
+        } else {
+            seen_second = true;
+            ++shape.second_phase_hops;
+        }
+        shape.peak_weight = std::max(shape.peak_weight, p.weight);
+    }
+
+    // Objective monotonicity (greedy guarantees it; patching may dip).
+    shape.objective_monotone = true;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (!(points[i].objective > points[i - 1].objective)) {
+            shape.objective_monotone = false;
+            break;
+        }
+    }
+
+    // Weight unimodality up to small jitter: strictly one "rise then fall"
+    // pattern at the resolution of 2x noise (weights fluctuate by constant
+    // factors along the typical trajectory, Section 6).
+    const double jitter = 2.0;
+    bool falling = false;
+    shape.weight_unimodal = true;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const double prev = points[i - 1].weight;
+        const double cur = points[i].weight;
+        if (!falling) {
+            if (cur < prev / jitter) falling = true;
+        } else if (cur > prev * jitter) {
+            shape.weight_unimodal = false;
+            break;
+        }
+    }
+    return shape;
+}
+
+}  // namespace smallworld

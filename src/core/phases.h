@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "core/objective.h"
+#include "girg/girg.h"
+
+namespace smallworld {
+
+/// Phase of a vertex on the greedy trajectory (Section 7.3): V1 is the
+/// weight-increasing first phase (phi(v) <= wv^{-gamma(eps1)}), V2 the
+/// objective-increasing second phase.
+enum class RoutingPhase { kFirst, kSecond };
+
+/// Default eps1 used for phase classification in the trajectory analysis.
+inline constexpr double kDefaultEps1 = 0.05;
+
+[[nodiscard]] RoutingPhase classify_phase(const Girg& girg, double weight, double phi,
+                                          double eps1 = kDefaultEps1);
+
+/// One hop of a recorded greedy trajectory (the data behind Figure 1).
+struct TrajectoryPoint {
+    Vertex vertex = kNoVertex;
+    double weight = 0.0;
+    double objective = 0.0;       // phi(v) toward the target
+    double distance = 0.0;        // torus distance to the target
+    RoutingPhase phase = RoutingPhase::kFirst;
+};
+
+/// Decorates a routing path with per-hop weight/objective/distance and the
+/// V1/V2 phase. The target's infinite objective is replaced by the finite
+/// value wv/(wmin n r^d) at r = 0 clamp — callers plotting should drop the
+/// final point or use the provided finite fields.
+[[nodiscard]] std::vector<TrajectoryPoint> annotate_trajectory(
+    const Girg& girg, Vertex target, const std::vector<Vertex>& path,
+    double eps1 = kDefaultEps1);
+
+/// Summary of the Figure-1 shape checks on one trajectory.
+struct TrajectoryShape {
+    std::size_t hops = 0;
+    std::size_t first_phase_hops = 0;   // prefix in V1
+    std::size_t second_phase_hops = 0;  // suffix in V2
+    double peak_weight = 0.0;
+    bool weight_unimodal = false;       // weights rise to the core, then fall
+    bool objective_monotone = false;    // phi strictly increases along the path
+    bool phase_ordered = false;         // no V1 vertex after a V2 vertex
+};
+
+[[nodiscard]] TrajectoryShape analyze_trajectory(const std::vector<TrajectoryPoint>& points);
+
+}  // namespace smallworld

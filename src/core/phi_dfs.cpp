@@ -1,0 +1,201 @@
+#include "core/phi_dfs.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace smallworld {
+
+namespace {
+
+constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Constant per-vertex memory of Algorithm 2 (lines 30-42).
+struct VertexState {
+    double phi = kUnset;           // v.Phi: which Phi-DFS last visited v
+    double previous_phi = kUnset;  // v.previous_Phi: paused DFS to resume
+    Vertex parent = kNoVertex;     // v.parent: backtracking pointer
+    bool started_new_dfs = false;  // v.started_new_dfs
+};
+
+class Run {
+public:
+    Run(const Graph& graph, const Objective& objective, Vertex source,
+        const RoutingOptions& options)
+        : graph_(graph),
+          objective_(objective),
+          source_(source),
+          max_steps_(options.effective_max_steps(graph.num_vertices())) {}
+
+    RoutingResult execute() {
+        result_.path.push_back(source_);
+        if (source_ == objective_.target()) {
+            result_.status = RoutingStatus::kDelivered;
+            return result_;
+        }
+        // ROUTING(s, m), lines 1-6.
+        best_seen_ = kNegInf;
+        message_phi_ = kNegInf;
+        last_visited_ = source_;
+        state_[source_].phi = objective_.value(source_);
+
+        // The pseudocode's mutually tail-recursive EXPLORE/BACKTRACK_TO pair,
+        // flattened into an explicit state machine.
+        enum class Op { kExplore, kBacktrack };
+        Op op = Op::kExplore;
+        Vertex v = source_;
+
+        while (true) {
+            if (op == Op::kExplore) {
+                if (!move_to(v)) return result_;
+                if (v == objective_.target()) {
+                    result_.status = RoutingStatus::kDelivered;
+                    return result_;
+                }
+                VertexState& st = state_[v];
+                if (st.phi == message_phi_) {
+                    // Line 8-9: already visited in the current Phi-DFS:
+                    // bounce straight back to where we came from, which then
+                    // continues its child scan below this vertex's objective.
+                    const Vertex back = last_visited_;
+                    last_visited_ = v;
+                    backtrack_upper_ = objective_.value(v);
+                    op = Op::kBacktrack;
+                    v = back;
+                    continue;
+                }
+                // Lines 10-13.
+                const double phi_v = objective_.value(v);
+                if (phi_v > best_seen_) set_new_phi(v, phi_v);
+                // INIT_VERTEX(v): mark as visited in the current Phi-DFS.
+                st.phi = message_phi_;
+                st.parent = last_visited_;
+                // Lines 14-17: descend to the best neighbor if any neighbor
+                // reaches the current Phi; otherwise backtrack.
+                const Vertex best = best_any_neighbor(v);
+                if (best != kNoVertex && objective_.value(best) >= message_phi_) {
+                    last_visited_ = v;
+                    v = best;
+                    continue;  // EXPLORE(best)
+                }
+                const Vertex back = last_visited_;
+                last_visited_ = v;
+                backtrack_upper_ = objective_.value(v);
+                op = Op::kBacktrack;
+                v = back;
+                continue;
+            }
+
+            // BACKTRACK_TO(v, m), lines 18-29. backtrack_upper_ is the
+            // objective of the child we returned from; it bounds the
+            // remaining children so the scan proceeds in decreasing order.
+            if (!move_to(v)) return result_;
+            VertexState& st = state_[v];
+            const Vertex child = best_unexplored_child(v, st.parent);
+            if (child != kNoVertex) {
+                // Lines 20-22: continue the DFS into the next-best child.
+                last_visited_ = v;
+                op = Op::kExplore;
+                v = child;
+                continue;
+            }
+            if (st.started_new_dfs) {
+                // Lines 24-27: the phi(v)-DFS rooted at v failed; resume the
+                // paused DFS. The paper says the resumed DFS must "treat all
+                // vertices visited during the phi(v)-DFS as unvisited"; for
+                // that to cover v's own children (including the ones only
+                // reachable through v whose objective lies below phi(v) but
+                // at or above the resumed Phi), the resumed DFS rescans v's
+                // full child list instead of bouncing straight back to v's
+                // parent — the one place where we deviate from a literal
+                // reading of lines 26-27, which would otherwise strand those
+                // children and can terminate the search prematurely (e.g.
+                // when v is the source and its only neighbor beats phi(s)).
+                st.started_new_dfs = false;
+                message_phi_ = st.previous_phi;
+                st.phi = st.previous_phi;
+                backtrack_upper_ = std::numeric_limits<double>::infinity();
+                continue;  // re-enter kBacktrack at v with the old Phi
+            }
+            if (st.parent == v || st.parent == kNoVertex) {
+                // Back at the source with nothing left anywhere: the whole
+                // component has been explored without meeting the target.
+                result_.status = RoutingStatus::kExhausted;
+                return result_;
+            }
+            // Line 29: backtrack further.
+            const Vertex up = st.parent;
+            last_visited_ = v;
+            backtrack_upper_ = objective_.value(v);
+            v = up;
+        }
+    }
+
+private:
+    /// SET_NEW_PHI(v, m), lines 30-35.
+    void set_new_phi(Vertex v, double phi_v) {
+        best_seen_ = phi_v;
+        const Vertex best = best_any_neighbor(v);
+        if (best != kNoVertex && objective_.value(best) >= phi_v) {
+            VertexState& st = state_[v];
+            st.started_new_dfs = true;
+            st.previous_phi = message_phi_;
+            message_phi_ = phi_v;
+        }
+    }
+
+    /// argmax over all neighbors (line 15); ties toward smaller id.
+    [[nodiscard]] Vertex best_any_neighbor(Vertex v) const {
+        return best_neighbor(graph_, objective_, v);
+    }
+
+    /// Line 19: best u in Gamma(v) with u != v.parent and
+    /// m.Phi <= phi(u) < (objective of the child we returned from).
+    [[nodiscard]] Vertex best_unexplored_child(Vertex v, Vertex parent) const {
+        const double upper = backtrack_upper_;
+        Vertex best = kNoVertex;
+        double best_value = kNegInf;
+        for (const Vertex u : graph_.neighbors(v)) {
+            if (u == parent) continue;
+            const double value = objective_.value(u);
+            if (value >= message_phi_ && value < upper && value > best_value) {
+                best = u;
+                best_value = value;
+            }
+        }
+        return best;
+    }
+
+    /// Appends a message move; false when the step budget is exhausted.
+    bool move_to(Vertex v) {
+        if (result_.path.back() == v) return true;  // reprocessing in place
+        if (result_.steps() >= max_steps_) {
+            result_.status = RoutingStatus::kStepLimit;
+            return false;
+        }
+        result_.path.push_back(v);
+        return true;
+    }
+
+    const Graph& graph_;
+    const Objective& objective_;
+    Vertex source_;
+    std::size_t max_steps_;
+
+    std::unordered_map<Vertex, VertexState> state_;
+    double best_seen_ = kNegInf;
+    double message_phi_ = kNegInf;
+    double backtrack_upper_ = kNegInf;
+    Vertex last_visited_ = kNoVertex;
+    RoutingResult result_;
+};
+
+}  // namespace
+
+RoutingResult PhiDfsRouter::route(const Graph& graph, const Objective& objective,
+                                  Vertex source, const RoutingOptions& options) const {
+    return Run(graph, objective, source, options).execute();
+}
+
+}  // namespace smallworld

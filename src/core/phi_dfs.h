@@ -1,0 +1,31 @@
+#pragma once
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// Algorithm 2 — the paper's distributed exploration protocol satisfying
+/// (P1)-(P3) with only a constant number of pointers and objective values
+/// stored in the message and in each visited vertex.
+///
+/// The protocol runs greedy depth-first searches on the subgraph of vertices
+/// with objective >= Phi. Whenever a vertex v with a strictly larger
+/// objective than everything seen so far is reached (and v has a neighbor at
+/// least as good), the current Phi-DFS is paused and a phi(v)-DFS starts at
+/// v; if that inner DFS exhausts without finding the target it is discarded
+/// and the outer DFS resumes exactly where it left off. Per-vertex state is
+/// {Phi, parent, started_new_dfs, previous_Phi}; the message carries
+/// {best_seen_objective, Phi, last_visited_vertex}.
+///
+/// Guarantees (Theorem 3.4): always delivers when source and target are in
+/// the same component, and a.a.s. within (2+o(1))/|log(beta-2)| loglog n
+/// steps on GIRGs.
+class PhiDfsRouter final : public Router {
+public:
+    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+                                      Vertex source,
+                                      const RoutingOptions& options = {}) const override;
+    [[nodiscard]] std::string name() const override { return "phi-dfs"; }
+};
+
+}  // namespace smallworld

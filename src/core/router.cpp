@@ -1,0 +1,25 @@
+#include "core/router.h"
+
+#include <unordered_set>
+
+namespace smallworld {
+
+std::size_t RoutingResult::distinct_vertices() const {
+    std::unordered_set<Vertex> seen(path.begin(), path.end());
+    return seen.size();
+}
+
+Vertex best_neighbor(const Graph& graph, const Objective& objective, Vertex v) {
+    Vertex best = kNoVertex;
+    double best_value = 0.0;
+    for (const Vertex u : graph.neighbors(v)) {
+        const double value = objective.value(u);
+        if (best == kNoVertex || value > best_value) {
+            best = u;
+            best_value = value;
+        }
+    }
+    return best;
+}
+
+}  // namespace smallworld

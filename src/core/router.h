@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/objective.h"
+#include "graph/graph.h"
+
+namespace smallworld {
+
+/// Outcome of one routing attempt.
+enum class RoutingStatus {
+    kDelivered,  ///< message reached the target
+    kDeadEnd,    ///< pure greedy hit a local optimum and dropped the packet
+    kExhausted,  ///< a patching protocol explored s's whole component: t unreachable
+    kStepLimit,  ///< safety cap hit (indicates a protocol bug in our setting)
+};
+
+struct RoutingResult {
+    RoutingStatus status = RoutingStatus::kDeadEnd;
+    /// Vertices in visit order, starting at the source; consecutive entries
+    /// are adjacent in the graph. For patching protocols this includes
+    /// backtracking moves, so steps() is the true message-forwarding cost.
+    std::vector<Vertex> path;
+
+    [[nodiscard]] bool success() const noexcept { return status == RoutingStatus::kDelivered; }
+    [[nodiscard]] std::size_t steps() const noexcept {
+        return path.empty() ? 0 : path.size() - 1;
+    }
+    /// Number of distinct vertices visited (the exploration footprint).
+    [[nodiscard]] std::size_t distinct_vertices() const;
+};
+
+struct RoutingOptions {
+    /// Hard cap on message moves; 0 means "pick a generous default"
+    /// (8n + 64, enough for any (P2)/(P3)-conforming exploration of a
+    /// component while still catching infinite loops).
+    std::size_t max_steps = 0;
+
+    [[nodiscard]] std::size_t effective_max_steps(std::size_t num_vertices) const noexcept {
+        return max_steps != 0 ? max_steps : 8 * num_vertices + 64;
+    }
+};
+
+/// A decentralized routing protocol: given local neighbor knowledge (the
+/// graph adjacency) and the objective (bound to the target), forward a
+/// message from `source` until the objective's target is reached or the
+/// protocol gives up.
+class Router {
+public:
+    virtual ~Router() = default;
+
+    [[nodiscard]] virtual RoutingResult route(const Graph& graph, const Objective& objective,
+                                              Vertex source,
+                                              const RoutingOptions& options = {}) const = 0;
+
+    /// Short identifier for tables ("greedy", "phi-dfs", ...).
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Selects the neighbor of `v` maximizing the objective; ties broken toward
+/// the smaller vertex id so every protocol is deterministic given the graph.
+/// Returns kNoVertex when v has no neighbors.
+[[nodiscard]] Vertex best_neighbor(const Graph& graph, const Objective& objective, Vertex v);
+
+}  // namespace smallworld

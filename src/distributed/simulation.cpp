@@ -1,0 +1,93 @@
+#include "distributed/simulation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace smallworld {
+
+double LocalView::phi(Vertex u) const {
+    if (u != self_) {
+        const auto nbrs = graph_->neighbors(self_);
+        if (!std::binary_search(nbrs.begin(), nbrs.end(), u)) ++*violations_;
+    }
+    return objective_->value(u);
+}
+
+Vertex LocalView::best_neighbor() const {
+    Vertex best = kNoVertex;
+    double best_value = 0.0;
+    for (const Vertex u : neighbors()) {
+        const double value = objective_->value(u);
+        if (best == kNoVertex || value > best_value) {
+            best = u;
+            best_value = value;
+        }
+    }
+    return best;
+}
+
+void DistributedProtocol::on_start(const LocalView& view, ProtocolMessage& message,
+                                   NodeSlot& slot) const {
+    message.last_visited = view.self();
+    (void)slot;
+}
+
+DistributedResult simulate_routing(const Graph& graph, const Objective& objective,
+                                   const DistributedProtocol& protocol, Vertex source,
+                                   const RoutingOptions& options) {
+    DistributedResult result;
+    result.routing.path.push_back(source);
+    const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
+
+    std::unordered_map<Vertex, NodeSlot> slots;
+    ProtocolMessage message;
+    message.target = objective.target();
+
+    Vertex current = source;
+    {
+        const LocalView view(graph, objective, source,
+                             &result.telemetry.locality_violations);
+        protocol.on_start(view, message, slots[source]);
+    }
+
+    while (true) {
+        ++result.telemetry.wakes;
+        const LocalView view(graph, objective, current,
+                             &result.telemetry.locality_violations);
+        const Action action = protocol.on_wake(view, message, slots[current]);
+        switch (action.kind) {
+            case ActionKind::kDeliver:
+                result.routing.status = RoutingStatus::kDelivered;
+                result.telemetry.slots_touched = slots.size();
+                return result;
+            case ActionKind::kDrop:
+                result.routing.status = RoutingStatus::kDeadEnd;
+                result.telemetry.slots_touched = slots.size();
+                return result;
+            case ActionKind::kExhaust:
+                result.routing.status = RoutingStatus::kExhausted;
+                result.telemetry.slots_touched = slots.size();
+                return result;
+            case ActionKind::kForward: {
+                const auto nbrs = graph.neighbors(current);
+                if (!std::binary_search(nbrs.begin(), nbrs.end(), action.next)) {
+                    ++result.telemetry.illegal_forwards;
+                    result.routing.status = RoutingStatus::kDeadEnd;
+                    result.telemetry.slots_touched = slots.size();
+                    return result;
+                }
+                ++result.telemetry.messages_sent;
+                result.routing.path.push_back(action.next);
+                current = action.next;
+                if (result.routing.steps() >= max_steps) {
+                    result.routing.status = RoutingStatus::kStepLimit;
+                    result.telemetry.slots_touched = slots.size();
+                    return result;
+                }
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace smallworld

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "core/router.h"
+
+namespace smallworld {
+
+/// The distributed execution model of the paper (Sections 1, 2.2, 5):
+/// exactly one node is awake at a time — the current message holder — and
+/// it can see only its own address, the addresses of its direct neighbors,
+/// and the target's address written on the packet. Each node stores a
+/// constant number of pointers and objective values; so does the message.
+///
+/// This layer runs routing protocols under that model *enforced*: the
+/// objective can only be evaluated for the awake node and its neighbors
+/// (anything else is recorded as a locality violation), per-node state is a
+/// fixed-size slot, and the message payload is a fixed-size struct. The
+/// simulator reports telemetry so tests can assert the paper's
+/// memory/energy claims, and the protocols are required (by tests) to
+/// reproduce the centralized routers' paths move for move.
+
+/// Fixed-size per-node storage: exactly the fields Algorithm 2 needs
+/// ("for each value of Phi, the Phi-DFS requires a constant memory in each
+/// vertex" — and never more than one Phi at a time).
+struct NodeSlot {
+    double phi = std::numeric_limits<double>::quiet_NaN();           // v.Phi
+    double previous_phi = std::numeric_limits<double>::quiet_NaN();  // paused DFS
+    Vertex parent = kNoVertex;
+    bool started_new_dfs = false;
+};
+
+/// Fixed-size message payload ("the address of the target is written on the
+/// packet", plus Algorithm 2's m.* fields and the explore/backtrack mode).
+struct ProtocolMessage {
+    Vertex target = kNoVertex;
+    double best_seen = -std::numeric_limits<double>::infinity();
+    double phi = -std::numeric_limits<double>::infinity();  // m.Phi
+    Vertex last_visited = kNoVertex;
+    double backtrack_upper = -std::numeric_limits<double>::infinity();
+    bool backtracking = false;
+};
+
+/// What the awake node is allowed to see. phi() enforces locality.
+class LocalView {
+public:
+    LocalView(const Graph& graph, const Objective& objective, Vertex self,
+              std::size_t* violations) noexcept
+        : graph_(&graph), objective_(&objective), self_(self), violations_(violations) {}
+
+    [[nodiscard]] Vertex self() const noexcept { return self_; }
+    [[nodiscard]] std::span<const Vertex> neighbors() const noexcept {
+        return graph_->neighbors(self_);
+    }
+
+    /// Objective of this node or one of its neighbors. Evaluating any other
+    /// vertex is possible (the value is returned so the protocol keeps
+    /// running) but counted as a locality violation.
+    [[nodiscard]] double phi(Vertex u) const;
+
+    /// Best neighbor by objective, ties toward smaller id (kNoVertex if
+    /// isolated) — the argmax every protocol of the paper uses.
+    [[nodiscard]] Vertex best_neighbor() const;
+
+private:
+    const Graph* graph_;
+    const Objective* objective_;
+    Vertex self_;
+    std::size_t* violations_;
+};
+
+enum class ActionKind {
+    kForward,  ///< send the message to `next` (must be a neighbor)
+    kDeliver,  ///< self is the target
+    kDrop,     ///< give up: dead end (pure greedy)
+    kExhaust,  ///< give up: whole component explored (patching protocols)
+};
+
+struct Action {
+    ActionKind kind = ActionKind::kDrop;
+    Vertex next = kNoVertex;
+
+    static Action forward(Vertex next) noexcept { return {ActionKind::kForward, next}; }
+    static Action deliver() noexcept { return {ActionKind::kDeliver, kNoVertex}; }
+    static Action drop() noexcept { return {ActionKind::kDrop, kNoVertex}; }
+    static Action exhaust() noexcept { return {ActionKind::kExhaust, kNoVertex}; }
+};
+
+/// Node-local protocol logic. on_wake is invoked with the awake node's view,
+/// the message, and the node's slot, and decides a single move.
+class DistributedProtocol {
+public:
+    virtual ~DistributedProtocol() = default;
+
+    /// Initializes message/source-slot state before the first wake.
+    virtual void on_start(const LocalView& view, ProtocolMessage& message,
+                          NodeSlot& slot) const;
+
+    [[nodiscard]] virtual Action on_wake(const LocalView& view, ProtocolMessage& message,
+                                         NodeSlot& slot) const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct SimulationTelemetry {
+    std::size_t wakes = 0;               ///< node activations (energy)
+    std::size_t messages_sent = 0;       ///< forwards (== path steps)
+    std::size_t slots_touched = 0;       ///< nodes holding any state
+    std::size_t locality_violations = 0; ///< non-local phi evaluations
+    std::size_t illegal_forwards = 0;    ///< forwards to non-neighbors
+};
+
+struct DistributedResult {
+    RoutingResult routing;
+    SimulationTelemetry telemetry;
+};
+
+/// Runs a protocol under the distributed model. Forwards to non-neighbors
+/// are refused (counted, message dropped) so a buggy protocol cannot
+/// teleport.
+[[nodiscard]] DistributedResult simulate_routing(const Graph& graph,
+                                                 const Objective& objective,
+                                                 const DistributedProtocol& protocol,
+                                                 Vertex source,
+                                                 const RoutingOptions& options = {});
+
+}  // namespace smallworld

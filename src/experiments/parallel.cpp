@@ -1,0 +1,50 @@
+#include "experiments/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smallworld {
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+    if (count == 0) return;
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace smallworld

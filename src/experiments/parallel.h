@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace smallworld {
+
+/// Runs fn(i) for i in [0, count) on up to `threads` worker threads
+/// (hardware concurrency when threads == 0). Work items are claimed from an
+/// atomic counter, so the assignment of items to threads is nondeterministic
+/// but — because every experiment derives an independent RNG per item — the
+/// *results* are bit-identical across thread counts.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace smallworld

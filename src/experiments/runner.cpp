@@ -1,0 +1,159 @@
+#include "experiments/runner.h"
+
+#include <stdexcept>
+
+#include "experiments/parallel.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "random/splitmix64.h"
+
+namespace smallworld {
+
+ObjectiveFactory girg_objective_factory() {
+    return [](const Girg& girg, Vertex target) -> std::unique_ptr<Objective> {
+        return std::make_unique<GirgObjective>(girg, target);
+    };
+}
+
+ObjectiveFactory geometric_objective_factory() {
+    return [](const Girg& girg, Vertex target) -> std::unique_ptr<Objective> {
+        return std::make_unique<GeometricObjective>(girg, target);
+    };
+}
+
+ObjectiveFactory relaxed_objective_factory(RelaxationKind kind, double magnitude,
+                                           std::uint64_t seed) {
+    return [kind, magnitude, seed](const Girg& girg,
+                                   Vertex target) -> std::unique_ptr<Objective> {
+        return std::make_unique<RelaxedObjective>(girg, target, kind, magnitude, seed);
+    };
+}
+
+void TrialStats::merge(const TrialStats& other) {
+    attempts += other.attempts;
+    delivered += other.delivered;
+    dead_end += other.dead_end;
+    exhausted += other.exhausted;
+    step_limit += other.step_limit;
+    same_component += other.same_component;
+    delivered_in_component += other.delivered_in_component;
+    hops.merge(other.hops);
+    stretch.merge(other.stretch);
+    bfs_distance.merge(other.bfs_distance);
+    steps_all.merge(other.steps_all);
+    distinct_visited.merge(other.distinct_visited);
+    step_samples.insert(step_samples.end(), other.step_samples.begin(),
+                        other.step_samples.end());
+}
+
+namespace {
+
+/// Vertex universe a trial may draw from.
+std::vector<Vertex> eligible_vertices(const Graph& graph, const Components& components,
+                                      bool restrict_to_giant) {
+    if (restrict_to_giant) return giant_component_vertices(components);
+    std::vector<Vertex> all(graph.num_vertices());
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) all[v] = v;
+    return all;
+}
+
+TrialStats run_trials_impl(const Graph& graph, const Router& router,
+                           const GraphObjectiveFactory& factory, const TrialConfig& config,
+                           std::uint64_t seed) {
+    if (graph.num_vertices() < 2) {
+        throw std::invalid_argument("run_trials: graph too small");
+    }
+    const Components components = connected_components(graph);
+    const std::vector<Vertex> pool =
+        eligible_vertices(graph, components, config.restrict_to_giant);
+    if (pool.size() < 2) throw std::invalid_argument("run_trials: vertex pool too small");
+
+    std::vector<TrialStats> per_target(config.targets);
+    parallel_for(
+        config.targets,
+        [&](std::size_t target_index) {
+            Rng rng(hash_combine(seed, target_index));
+            TrialStats& stats = per_target[target_index];
+
+            const Vertex target = pool[rng.uniform_index(pool.size())];
+            const auto objective = factory(target);
+            const auto dist = bfs_distances(graph, target);
+
+            for (std::size_t k = 0; k < config.sources_per_target; ++k) {
+                // Rejection-sample a source: distinct from the target and
+                // satisfying the distance constraint when one is set.
+                Vertex source = target;
+                for (int tries = 0; tries < 1000; ++tries) {
+                    const Vertex candidate = pool[rng.uniform_index(pool.size())];
+                    if (candidate == target) continue;
+                    if (config.min_graph_distance > 0 &&
+                        (dist[candidate] == kUnreachable ||
+                         dist[candidate] < config.min_graph_distance)) {
+                        continue;
+                    }
+                    source = candidate;
+                    break;
+                }
+                if (source == target) continue;  // no eligible source found
+
+                ++stats.attempts;
+                const bool reachable = dist[source] != kUnreachable;
+                if (reachable) ++stats.same_component;
+
+                const RoutingResult result = router.route(graph, *objective, source);
+                stats.steps_all.add(static_cast<double>(result.steps()));
+                stats.distinct_visited.add(static_cast<double>(result.distinct_vertices()));
+                if (config.collect_step_samples) {
+                    stats.step_samples.push_back(static_cast<double>(result.steps()));
+                }
+                switch (result.status) {
+                    case RoutingStatus::kDelivered: {
+                        ++stats.delivered;
+                        if (reachable) {
+                            ++stats.delivered_in_component;
+                            stats.hops.add(static_cast<double>(result.steps()));
+                            stats.bfs_distance.add(static_cast<double>(dist[source]));
+                            if (dist[source] > 0) {
+                                stats.stretch.add(static_cast<double>(result.steps()) /
+                                                  static_cast<double>(dist[source]));
+                            }
+                        }
+                        break;
+                    }
+                    case RoutingStatus::kDeadEnd:
+                        ++stats.dead_end;
+                        break;
+                    case RoutingStatus::kExhausted:
+                        ++stats.exhausted;
+                        break;
+                    case RoutingStatus::kStepLimit:
+                        ++stats.step_limit;
+                        break;
+                }
+            }
+        },
+        config.threads);
+
+    TrialStats total;
+    for (const TrialStats& stats : per_target) total.merge(stats);
+    return total;
+}
+
+}  // namespace
+
+TrialStats run_girg_trials(const Girg& girg, const Router& router,
+                           const ObjectiveFactory& factory, const TrialConfig& config,
+                           std::uint64_t seed) {
+    const GraphObjectiveFactory graph_factory = [&](Vertex target) {
+        return factory(girg, target);
+    };
+    return run_trials_impl(girg.graph, router, graph_factory, config, seed);
+}
+
+TrialStats run_graph_trials(const Graph& graph, const Router& router,
+                            const GraphObjectiveFactory& factory, const TrialConfig& config,
+                            std::uint64_t seed) {
+    return run_trials_impl(graph, router, factory, config, seed);
+}
+
+}  // namespace smallworld

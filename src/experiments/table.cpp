@@ -1,0 +1,77 @@
+#include "experiments/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smallworld {
+
+std::string format_double(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row() {
+    rows_.emplace_back();
+    return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+    if (rows_.empty()) add_row();
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table& Table::cell(double value, int precision) { return cell(format_double(value, precision)); }
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+    if (row >= rows_.size() || col >= rows_[row].size()) {
+        throw std::out_of_range("Table::at");
+    }
+    return rows_[row][col];
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    if (!title.empty()) os << title << '\n';
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& value = c < row.size() ? row[c] : std::string{};
+            os << "  " << std::setw(static_cast<int>(widths[c])) << value;
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (const std::size_t w : widths) rule.emplace_back(w, '-');
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+    const auto write_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    write_row(headers_);
+    for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace smallworld {
+
+/// Aligned text table used by the benches and examples to print the
+/// paper-style result series; also serializes to CSV for plotting.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    Table& add_row();
+    Table& cell(const std::string& value);
+    Table& cell(double value, int precision = 4);
+    Table& cell(std::size_t value);
+
+    /// Prints with aligned columns; `title` goes on its own line above.
+    void print(std::ostream& os, const std::string& title = "") const;
+    void write_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] const std::string& at(std::size_t row, std::size_t col) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace smallworld

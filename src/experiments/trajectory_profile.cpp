@@ -1,0 +1,76 @@
+#include "experiments/trajectory_profile.h"
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "graph/components.h"
+
+namespace smallworld {
+
+namespace {
+
+void accumulate(std::vector<TrajectoryProfile::HopStats>& slots, std::size_t index,
+                const TrajectoryPoint& point) {
+    if (index >= slots.size()) return;
+    auto& slot = slots[index];
+    slot.log_weight.add(std::log(point.weight));
+    if (point.objective > 0.0) slot.log_objective.add(std::log(point.objective));
+    if (point.distance > 0.0) slot.log_distance.add(std::log(point.distance));
+    slot.first_phase_fraction.add(point.phase == RoutingPhase::kFirst ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+TrajectoryProfile collect_trajectory_profile(const Girg& girg,
+                                             const TrajectoryProfileConfig& config,
+                                             std::uint64_t seed) {
+    TrajectoryProfile profile;
+    profile.from_source.resize(config.max_aligned_hops);
+    profile.from_target.resize(config.max_aligned_hops);
+
+    const auto components = connected_components(girg.graph);
+    const auto giant = giant_component_vertices(components);
+    if (giant.size() < 2) return profile;
+
+    Rng rng(seed);
+    const GreedyRouter router;
+    for (std::size_t trial = 0; trial < config.pairs * 4 && profile.paths < config.pairs;
+         ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t || girg.distance(s, t) < config.min_torus_distance) continue;
+        const GirgObjective objective(girg, t);
+        const auto result = router.route(girg.graph, objective, s);
+        if (!result.success() || result.steps() < config.min_hops) continue;
+        auto points = annotate_trajectory(girg, t, result.path);
+        points.pop_back();  // the target's synthetic point
+        ++profile.paths;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            accumulate(profile.from_source, i, points[i]);
+            accumulate(profile.from_target, points.size() - 1 - i, points[i]);
+        }
+    }
+    return profile;
+}
+
+Table TrajectoryProfile::to_table(bool from_target_view) const {
+    const auto& slots = from_target_view ? from_target : from_source;
+    Table table({from_target_view ? std::string("hops before t") : std::string("hop"),
+                 "paths", "geo-mean weight", "geo-mean phi", "geo-mean dist",
+                 "frac in V1"});
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const auto& slot = slots[i];
+        if (slot.log_weight.count() == 0) continue;
+        table.add_row()
+            .cell(std::to_string(i))
+            .cell(slot.log_weight.count())
+            .cell(std::exp(slot.log_weight.mean()), 2)
+            .cell(std::exp(slot.log_objective.mean()), 6)
+            .cell(std::exp(slot.log_distance.mean()), 4)
+            .cell(slot.first_phase_fraction.mean(), 2);
+    }
+    return table;
+}
+
+}  // namespace smallworld

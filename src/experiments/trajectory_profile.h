@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/phases.h"
+#include "experiments/table.h"
+#include "girg/girg.h"
+#include "random/stats.h"
+
+namespace smallworld {
+
+/// Aggregated greedy-path trajectories — the data behind Figure 1. Hops are
+/// aligned twice: from the source (the weight-climbing first phase reads
+/// naturally in this frame) and from the target (the objective-climbing
+/// second phase reads naturally backwards). Weights/objectives/distances
+/// span orders of magnitude, so geometric means (log-space averages) are
+/// aggregated.
+struct TrajectoryProfile {
+    struct HopStats {
+        RunningStats log_weight;
+        RunningStats log_objective;
+        RunningStats log_distance;
+        RunningStats first_phase_fraction;  // fraction of paths still in V1
+    };
+    std::vector<HopStats> from_source;  // index = hops after s
+    std::vector<HopStats> from_target;  // index = hops before t
+    std::size_t paths = 0;
+
+    [[nodiscard]] Table to_table(bool from_target_view) const;
+};
+
+struct TrajectoryProfileConfig {
+    std::size_t pairs = 400;          ///< (s,t) samples in the giant
+    double min_torus_distance = 0.1;  ///< far-apart pairs (the typical case)
+    std::size_t min_hops = 3;         ///< ignore trivial routes
+    std::size_t max_aligned_hops = 12;
+};
+
+/// Routes many giant-component pairs greedily and aggregates successful
+/// trajectories. Deterministic for a fixed seed.
+[[nodiscard]] TrajectoryProfile collect_trajectory_profile(
+    const Girg& girg, const TrajectoryProfileConfig& config, std::uint64_t seed);
+
+}  // namespace smallworld

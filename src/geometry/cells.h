@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/morton.h"
+
+namespace smallworld {
+
+/// A dyadic cell of the torus partition: level plus integer coordinates.
+struct Cell {
+    int level = 0;
+    std::uint32_t coords[4] = {0, 0, 0, 0};
+
+    [[nodiscard]] std::uint64_t morton(int dim) const noexcept {
+        return morton_encode(coords, dim, level);
+    }
+};
+
+/// Side length 2^{-level} of cells at a level.
+inline double cell_side(int level) noexcept {
+    return 1.0 / static_cast<double>(std::uint64_t{1} << level);
+}
+
+/// Per-axis integer torus distance between cell coordinates at a level:
+/// min{|a-b|, 2^level - |a-b|}.
+[[nodiscard]] std::uint32_t cell_axis_distance(std::uint32_t a, std::uint32_t b,
+                                               int level) noexcept;
+
+/// Two cells at the same level "touch" if their integer torus distance is
+/// <= 1 in every axis (they share at least a corner, possibly across the
+/// wrap-around). Touching cell pairs are the type-I pairs of the sampler.
+[[nodiscard]] bool cells_touch(const Cell& a, const Cell& b, int dim) noexcept;
+
+/// Lower bound on the L-infinity torus distance between any point of cell a
+/// and any point of cell b: max over axes of (axis_dist - 1) * 2^{-level},
+/// clamped at 0. Exact for the L-infinity metric on aligned dyadic cells.
+[[nodiscard]] double cell_min_distance(const Cell& a, const Cell& b, int dim) noexcept;
+
+/// The k-th child (k in [0, 2^dim)) of a cell, one level deeper; the bits of
+/// k select the halves per axis, matching Morton order (child codes of a cell
+/// are contiguous: parent_code * 2^dim + k).
+[[nodiscard]] Cell cell_child(const Cell& parent, int dim, unsigned k) noexcept;
+
+/// Cell at `level` containing the given point.
+[[nodiscard]] Cell cell_of_point(const double* point, int dim, int level) noexcept;
+
+}  // namespace smallworld

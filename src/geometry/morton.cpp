@@ -1,0 +1,46 @@
+#include "geometry/morton.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace smallworld {
+
+std::uint64_t morton_encode(const std::uint32_t* coords, int dim, int level) noexcept {
+    assert(dim >= 1 && dim <= 4 && level >= 0 && level <= kMaxLevel);
+    std::uint64_t code = 0;
+    for (int bit = level - 1; bit >= 0; --bit) {
+        for (int axis = 0; axis < dim; ++axis) {
+            code = (code << 1) | ((coords[axis] >> bit) & 1U);
+        }
+    }
+    return code;
+}
+
+void morton_decode(std::uint64_t code, int dim, int level, std::uint32_t* coords) noexcept {
+    assert(dim >= 1 && dim <= 4 && level >= 0 && level <= kMaxLevel);
+    for (int axis = 0; axis < dim; ++axis) coords[axis] = 0;
+    for (int bit = 0; bit < level; ++bit) {
+        for (int axis = dim - 1; axis >= 0; --axis) {
+            coords[axis] |= static_cast<std::uint32_t>(code & 1U) << bit;
+            code >>= 1;
+        }
+    }
+}
+
+void cell_coords_of_point(const double* point, int dim, int level, std::uint32_t* coords) noexcept {
+    const double cells_per_axis = static_cast<double>(std::uint64_t{1} << level);
+    for (int axis = 0; axis < dim; ++axis) {
+        auto c = static_cast<std::uint32_t>(point[axis] * cells_per_axis);
+        const auto last = static_cast<std::uint32_t>(cells_per_axis) - 1U;
+        if (c > last) c = last;  // guard point[axis] == 1.0 after FP rounding
+        coords[axis] = c;
+    }
+}
+
+std::uint64_t morton_of_point(const double* point, int dim, int level) noexcept {
+    std::uint32_t coords[4];
+    cell_coords_of_point(point, dim, level, coords);
+    return morton_encode(coords, dim, level);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace smallworld {
+
+/// Morton (z-order) codes over the dyadic partition of the torus.
+///
+/// At level l every axis is split into 2^l intervals, giving 2^{dl} cells of
+/// side 2^{-l}. A cell is identified by integer coordinates in [0, 2^l)^d or
+/// equivalently by the Morton code interleaving those coordinates'
+/// bits. Morton order is *hierarchical*: the codes of all descendants of a
+/// level-l cell form one contiguous range at any deeper level, which lets the
+/// fast GIRG sampler store each weight layer as a single Morton-sorted array
+/// and extract any cell's vertices as a subrange.
+inline constexpr int kMaxLevel = 15;  // d * kMaxLevel bits must fit in 63
+
+/// Interleaves `dim` coordinates of `level` bits each into a Morton code.
+[[nodiscard]] std::uint64_t morton_encode(const std::uint32_t* coords, int dim, int level) noexcept;
+
+/// Inverse of morton_encode.
+void morton_decode(std::uint64_t code, int dim, int level, std::uint32_t* coords) noexcept;
+
+/// Integer cell coordinates of a point (in [0,1)^d) at a level.
+void cell_coords_of_point(const double* point, int dim, int level, std::uint32_t* coords) noexcept;
+
+/// Morton code of the cell containing a point at a level.
+[[nodiscard]] std::uint64_t morton_of_point(const double* point, int dim, int level) noexcept;
+
+}  // namespace smallworld

@@ -1,0 +1,35 @@
+#include "geometry/torus.h"
+
+#include <algorithm>
+
+namespace smallworld {
+
+double unit_ball_volume(int dim, Norm norm) noexcept {
+    assert(dim >= 1 && dim <= kMaxDim);
+    if (norm == Norm::kMax) return std::pow(2.0, dim);
+    // V_d = pi^{d/2} / Gamma(d/2 + 1) for d = 1..4: 2, pi, 4pi/3, pi^2/2.
+    switch (dim) {
+        case 1: return 2.0;
+        case 2: return 3.14159265358979323846;
+        case 3: return 4.18879020478639098462;
+        default: return 4.93480220054467930942;
+    }
+}
+
+double torus_ball_volume(double radius, int dim) noexcept {
+    assert(dim >= 1 && dim <= kMaxDim);
+    if (radius <= 0.0) return 0.0;
+    double vol = 1.0;
+    const double side = std::min(1.0, 2.0 * radius);
+    for (int i = 0; i < dim; ++i) vol *= side;
+    return vol;
+}
+
+double torus_ball_radius(double volume, int dim) noexcept {
+    assert(dim >= 1 && dim <= kMaxDim);
+    if (volume <= 0.0) return 0.0;
+    const double side = std::min(1.0, std::pow(volume, 1.0 / dim));
+    return side / 2.0;
+}
+
+}  // namespace smallworld

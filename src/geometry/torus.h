@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+namespace smallworld {
+
+/// Maximum supported geometric dimension. The paper treats d as a constant;
+/// d in {1,2,3,4} covers every experiment and keeps points in registers.
+inline constexpr int kMaxDim = 4;
+
+/// One-dimensional distance on the unit circle R/Z.
+inline double torus_coord_distance(double a, double b) noexcept {
+    const double diff = std::fabs(a - b);
+    return diff <= 0.5 ? diff : 1.0 - diff;
+}
+
+/// L-infinity distance on the torus T^d = R^d/Z^d (Section 2.1):
+/// ||x - y|| = max_i min{|x_i - y_i|, 1 - |x_i - y_i|}.
+inline double torus_distance(const double* x, const double* y, int dim) noexcept {
+    assert(dim >= 1 && dim <= kMaxDim);
+    double dist = 0.0;
+    for (int i = 0; i < dim; ++i) {
+        const double di = torus_coord_distance(x[i], y[i]);
+        if (di > dist) dist = di;
+    }
+    return dist;
+}
+
+/// ||x - y||^d, the quantity entering the connection probability and the
+/// objective function.
+inline double torus_distance_pow_d(const double* x, const double* y, int dim) noexcept {
+    const double dist = torus_distance(x, y, dim);
+    double p = dist;
+    for (int i = 1; i < dim; ++i) p *= dist;
+    return p;
+}
+
+/// Norm used for distances on the torus. The paper fixes the maximum norm
+/// "for technical simplicity" and notes any norm yields the same model up
+/// to the Theta-constants; we support both.
+enum class Norm {
+    kMax,        ///< L-infinity (the paper's default)
+    kEuclidean,  ///< L2
+};
+
+/// Euclidean distance on the torus (coordinate-wise shortest wrap).
+inline double torus_distance_l2(const double* x, const double* y, int dim) noexcept {
+    assert(dim >= 1 && dim <= kMaxDim);
+    double sum = 0.0;
+    for (int i = 0; i < dim; ++i) {
+        const double di = torus_coord_distance(x[i], y[i]);
+        sum += di * di;
+    }
+    return std::sqrt(sum);
+}
+
+/// Distance in the chosen norm.
+inline double torus_distance(const double* x, const double* y, int dim,
+                             Norm norm) noexcept {
+    return norm == Norm::kMax ? torus_distance(x, y, dim)
+                              : torus_distance_l2(x, y, dim);
+}
+
+/// Volume of the unit ball of the norm in R^d (the Theta-constant entering
+/// the exact marginal probability): 2^d for L-infinity, pi^{d/2}/Gamma(d/2+1)
+/// for L2.
+[[nodiscard]] double unit_ball_volume(int dim, Norm norm) noexcept;
+
+/// Volume of the L-infinity ball of radius r on the torus: min{1, (2r)^d}.
+[[nodiscard]] double torus_ball_volume(double radius, int dim) noexcept;
+
+/// Radius of the L-infinity ball of given volume: (vol^{1/d})/2, capped at 1/2.
+[[nodiscard]] double torus_ball_radius(double volume, int dim) noexcept;
+
+/// Wraps a coordinate into [0, 1).
+inline double torus_wrap(double a) noexcept {
+    a -= std::floor(a);
+    // floor of a tiny negative can still yield exactly 1.0 after subtraction.
+    return a >= 1.0 ? 0.0 : a;
+}
+
+}  // namespace smallworld

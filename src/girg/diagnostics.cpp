@@ -1,0 +1,36 @@
+#include "girg/diagnostics.h"
+
+#include "graph/components.h"
+#include "graph/graph_stats.h"
+
+namespace smallworld {
+
+GirgDiagnostics diagnose(const Girg& girg, std::uint64_t seed) {
+    GirgDiagnostics out;
+    const Vertex n = girg.num_vertices();
+    if (n == 0) return out;
+    out.mean_degree = girg.graph.average_degree();
+    double ratio_sum = 0.0;
+    for (Vertex v = 0; v < n; ++v) {
+        ratio_sum += static_cast<double>(girg.graph.degree(v)) / girg.weight(v);
+    }
+    out.degree_to_weight_ratio = ratio_sum / static_cast<double>(n);
+    out.degree_exponent = power_law_exponent_mle(girg.graph, 5);
+    const auto components = connected_components(girg.graph);
+    out.giant_fraction =
+        static_cast<double>(components.giant_size()) / static_cast<double>(n);
+    Rng rng(seed);
+    out.clustering = mean_clustering(girg.graph, 2000, rng);
+    return out;
+}
+
+std::size_t count_objective_at_least(const Girg& girg, const double* target_position,
+                                     double phi0) {
+    std::size_t count = 0;
+    for (Vertex v = 0; v < girg.num_vertices(); ++v) {
+        if (girg.objective(v, target_position) >= phi0) ++count;
+    }
+    return count;
+}
+
+}  // namespace smallworld

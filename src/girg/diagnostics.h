@@ -1,0 +1,28 @@
+#pragma once
+
+#include "girg/girg.h"
+
+namespace smallworld {
+
+/// Model-validation measurements used by the statistical tests and the
+/// generator ablation bench.
+struct GirgDiagnostics {
+    double mean_degree = 0.0;
+    /// Mean of deg(v)/wv over all vertices: ~1 for the calibrated
+    /// edge_scale, Theta(1) in general (Lemma 7.2: E[deg v] = Theta(wv)).
+    double degree_to_weight_ratio = 0.0;
+    /// MLE of the degree power-law exponent (should approach beta).
+    double degree_exponent = 0.0;
+    double giant_fraction = 0.0;
+    double clustering = 0.0;
+};
+
+[[nodiscard]] GirgDiagnostics diagnose(const Girg& girg, std::uint64_t seed);
+
+/// |V_{>= phi0}|: the number of vertices with objective at least phi0 toward
+/// a target position; Lemma 7.5 predicts Theta(1/phi0).
+[[nodiscard]] std::size_t count_objective_at_least(const Girg& girg,
+                                                   const double* target_position,
+                                                   double phi0);
+
+}  // namespace smallworld

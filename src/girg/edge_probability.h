@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/torus.h"
+#include "girg/params.h"
+
+namespace smallworld {
+
+/// Connection probability of the GIRG kernel given the weight product and
+/// the torus distance (see GirgParams for the exact formula).
+inline double girg_edge_probability(const GirgParams& params, double weight_product,
+                                    double distance) noexcept {
+    const double threshold_volume =
+        params.edge_scale * weight_product / (params.wmin * params.n);
+    double dist_pow_d = distance;
+    for (int i = 1; i < params.dim; ++i) dist_pow_d *= distance;
+    if (params.threshold()) {
+        return dist_pow_d <= threshold_volume ? 1.0 : 0.0;
+    }
+    if (dist_pow_d <= threshold_volume) return 1.0;  // (EP3)
+    const double ratio = threshold_volume / dist_pow_d;
+    // pow() dominates the samplers' inner loop; special-case the common
+    // small integer decay exponents.
+    if (params.alpha == 2.0) return ratio * ratio;
+    if (params.alpha == 3.0) return ratio * ratio * ratio;
+    if (params.alpha == 4.0) {
+        const double r2 = ratio * ratio;
+        return r2 * r2;
+    }
+    return std::pow(ratio, params.alpha);
+}
+
+/// Same, computed directly from positions (in the model's norm).
+inline double girg_edge_probability(const GirgParams& params, double wu, double wv,
+                                    const double* xu, const double* xv) noexcept {
+    return girg_edge_probability(params, wu * wv,
+                                 torus_distance(xu, xv, params.dim, params.norm));
+}
+
+}  // namespace smallworld

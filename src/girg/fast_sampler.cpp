@@ -1,0 +1,278 @@
+#include "girg/fast_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "geometry/cells.h"
+#include "geometry/morton.h"
+#include "girg/edge_probability.h"
+
+namespace smallworld {
+
+namespace {
+
+/// One weight layer: its vertices sorted by Morton code at the deepest
+/// level, with the codes kept alongside for range extraction.
+struct Layer {
+    std::vector<std::uint64_t> codes;
+    std::vector<Vertex> vertices;
+    double weight_upper = 0.0;  // exclusive upper bound of the layer's weights
+
+    [[nodiscard]] bool empty() const noexcept { return vertices.empty(); }
+};
+
+/// A contiguous slice of one layer's Morton-sorted vertex array — the
+/// vertices of that layer inside one dyadic cell. Children slices are
+/// found by binary search *within* the parent slice, so range extraction
+/// gets cheaper as the recursion descends.
+struct Slice {
+    const std::uint64_t* codes = nullptr;
+    const Vertex* vertices = nullptr;
+    std::size_t count = 0;
+
+    [[nodiscard]] Slice subrange(std::uint64_t lo, std::uint64_t hi) const noexcept {
+        const std::uint64_t* begin = std::lower_bound(codes, codes + count, lo);
+        const std::uint64_t* end = std::lower_bound(begin, codes + count, hi);
+        return {begin, vertices + (begin - codes), static_cast<std::size_t>(end - begin)};
+    }
+};
+
+class FastSampler {
+public:
+    FastSampler(const GirgParams& params, const std::vector<double>& weights,
+                const PointCloud& positions, Rng& rng)
+        : params_(params), weights_(weights), positions_(positions), rng_(rng) {}
+
+    std::vector<Edge> run() {
+        if (weights_.empty()) return {};
+        build_layers();
+        // One pruned cell-pair recursion per (unordered) layer pair; the
+        // slices narrow with depth, so the walk only visits cell pairs that
+        // still hold candidate vertices on both sides.
+        Cell root;
+        for (int i = 0; i < num_layers_; ++i) {
+            if (layers_[static_cast<std::size_t>(i)].empty()) continue;
+            for (int j = i; j < num_layers_; ++j) {
+                if (layers_[static_cast<std::size_t>(j)].empty()) continue;
+                const int target = target_level(i, j);
+                process(i, j, target, root, 0, root, 0, full_slice(i), full_slice(j),
+                        full_slice(i), full_slice(j));
+            }
+        }
+        return std::move(edges_);
+    }
+
+private:
+    // ---- setup ---------------------------------------------------------
+
+    void build_layers() {
+        const double wmin = params_.wmin;
+        double wmax = wmin;
+        for (const double w : weights_) wmax = std::max(wmax, w);
+        num_layers_ = 1 + static_cast<int>(std::floor(std::log2(wmax / wmin)));
+
+        // Deepest partition level: the target level of the lightest layer
+        // pair; deeper cells would never be inspected. Also bounded so the
+        // Morton codes fit and the expected cell occupancy stays Theta(1).
+        deepest_ = std::min({target_level_unclamped(0, 0), kMaxLevel, max_level_for_count()});
+        deepest_ = std::max(deepest_, 0);
+
+        layers_.assign(static_cast<std::size_t>(num_layers_), Layer{});
+        for (int i = 0; i < num_layers_; ++i) {
+            layers_[static_cast<std::size_t>(i)].weight_upper =
+                wmin * std::pow(2.0, static_cast<double>(i + 1));
+        }
+        const auto n = static_cast<Vertex>(weights_.size());
+        for (Vertex v = 0; v < n; ++v) {
+            auto& layer = layers_[static_cast<std::size_t>(layer_of(weights_[v]))];
+            layer.codes.push_back(morton_of_point(positions_.point(v), params_.dim, deepest_));
+            layer.vertices.push_back(v);
+        }
+        for (auto& layer : layers_) {
+            std::vector<std::size_t> order(layer.vertices.size());
+            for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+            std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+                return layer.codes[a] < layer.codes[b];
+            });
+            std::vector<std::uint64_t> codes(order.size());
+            std::vector<Vertex> vertices(order.size());
+            for (std::size_t k = 0; k < order.size(); ++k) {
+                codes[k] = layer.codes[order[k]];
+                vertices[k] = layer.vertices[order[k]];
+            }
+            layer.codes = std::move(codes);
+            layer.vertices = std::move(vertices);
+        }
+    }
+
+    [[nodiscard]] Slice full_slice(int i) const noexcept {
+        const Layer& layer = layers_[static_cast<std::size_t>(i)];
+        return {layer.codes.data(), layer.vertices.data(), layer.codes.size()};
+    }
+
+    [[nodiscard]] int layer_of(double w) const noexcept {
+        const int i = static_cast<int>(std::floor(std::log2(w / params_.wmin)));
+        return std::clamp(i, 0, num_layers_ - 1);
+    }
+
+    /// Threshold volume of a layer pair using the layers' upper weights.
+    [[nodiscard]] double pair_volume(int i, int j) const noexcept {
+        const double wi = params_.wmin * std::pow(2.0, static_cast<double>(i + 1));
+        const double wj = params_.wmin * std::pow(2.0, static_cast<double>(j + 1));
+        return std::min(1.0, params_.edge_scale * wi * wj / (params_.wmin * params_.n));
+    }
+
+    /// Largest level l with cell volume 2^{-dl} >= pair threshold volume.
+    [[nodiscard]] int target_level_unclamped(int i, int j) const noexcept {
+        const double v = pair_volume(i, j);
+        if (v >= 1.0) return 0;
+        return static_cast<int>(std::floor(std::log2(1.0 / v) / params_.dim));
+    }
+
+    [[nodiscard]] int target_level(int i, int j) const noexcept {
+        return std::clamp(target_level_unclamped(i, j), 0, deepest_);
+    }
+
+    /// Cap so the implicit cell tree has O(n) leaves even for tiny wmin.
+    [[nodiscard]] int max_level_for_count() const noexcept {
+        const double cells = std::max(1.0, static_cast<double>(weights_.size()));
+        return static_cast<int>(std::floor(std::log2(cells) / params_.dim));
+    }
+
+    // ---- edge checks ---------------------------------------------------
+
+    [[nodiscard]] double exact_probability(Vertex u, Vertex v) const noexcept {
+        return girg_edge_probability(params_, weights_[u], weights_[v], positions_.point(u),
+                                     positions_.point(v));
+    }
+
+    void check_pair(Vertex u, Vertex v) {
+        if (rng_.bernoulli(exact_probability(u, v))) edges_.emplace_back(u, v);
+    }
+
+    // ---- recursion per layer pair ---------------------------------------
+
+    /// Handles the layer pair (i, j) restricted to cells a and b (with their
+    /// Morton codes threaded through to avoid re-encoding), where a_i/a_j
+    /// are layer i/j's vertices in a and b_i/b_j in b. Invariant on entry:
+    /// the chain of ancestors of (a, b) all touch.
+    void process(int i, int j, int target, const Cell& a, std::uint64_t code_a,  // NOLINT
+                 const Cell& b, std::uint64_t code_b, const Slice& a_i, const Slice& a_j,
+                 const Slice& b_i, const Slice& b_j) {
+        const bool same_cell = code_a == code_b;
+        // A candidate pair needs a layer-i vertex on one side and a layer-j
+        // vertex on the other (for same_cell both live in a).
+        const bool dir1 = a_i.count > 0 && b_j.count > 0;
+        const bool dir2 = i != j && !same_cell && a_j.count > 0 && b_i.count > 0;
+        if (!dir1 && !dir2) return;
+
+        if (cells_touch(a, b, params_.dim)) {
+            if (a.level == target) {
+                sample_type1(same_cell, i, j, a_i, a_j, b_i, b_j);
+                return;
+            }
+            // Descend into all child cell pairs (unordered when a == b).
+            const unsigned fanout = 1U << params_.dim;
+            const int shift = params_.dim * (deepest_ - a.level - 1);
+            const std::uint64_t base_a = code_a << params_.dim;
+            const std::uint64_t base_b = code_b << params_.dim;
+            for (unsigned ka = 0; ka < fanout; ++ka) {
+                const std::uint64_t lo_a = (base_a + ka) << shift;
+                const std::uint64_t hi_a = lo_a + (std::uint64_t{1} << shift);
+                const Slice ca_i = a_i.subrange(lo_a, hi_a);
+                const Slice ca_j =
+                    i == j ? ca_i : a_j.subrange(lo_a, hi_a);
+                if (ca_i.count == 0 && ca_j.count == 0) continue;
+                const Cell ca = cell_child(a, params_.dim, ka);
+                for (unsigned kb = same_cell ? ka : 0U; kb < fanout; ++kb) {
+                    const std::uint64_t lo_b = (base_b + kb) << shift;
+                    const std::uint64_t hi_b = lo_b + (std::uint64_t{1} << shift);
+                    const Slice cb_i = b_i.subrange(lo_b, hi_b);
+                    const Slice cb_j = i == j ? cb_i : b_j.subrange(lo_b, hi_b);
+                    if (cb_i.count == 0 && cb_j.count == 0) continue;
+                    const Cell cb = cell_child(b, params_.dim, kb);
+                    process(i, j, target, ca, base_a + ka, cb, base_b + kb, ca_i, ca_j,
+                            cb_i, cb_j);
+                }
+            }
+            return;
+        }
+
+        // Type II: the cells separated at this level (<= target); bound the
+        // kernel by the layers' max weights and the cells' min distance and
+        // enumerate candidate pairs with geometric jumps.
+        const double min_distance = cell_min_distance(a, b, params_.dim);
+        const double wi = layers_[static_cast<std::size_t>(i)].weight_upper;
+        const double wj = layers_[static_cast<std::size_t>(j)].weight_upper;
+        const double pbar = girg_edge_probability(params_, wi * wj, min_distance);
+        if (pbar <= 0.0) return;
+        if (dir1) sample_type2_direction(a_i, b_j, pbar);
+        if (dir2) sample_type2_direction(a_j, b_i, pbar);
+    }
+
+    // ---- type I: exhaustive at the target level -------------------------
+
+    void cross_check(const Slice& ra, const Slice& rb) {
+        for (std::size_t p = 0; p < ra.count; ++p) {
+            for (std::size_t q = 0; q < rb.count; ++q) {
+                check_pair(ra.vertices[p], rb.vertices[q]);
+            }
+        }
+    }
+
+    void sample_type1(bool same_cell, int i, int j, const Slice& a_i, const Slice& a_j,
+                      const Slice& b_i, const Slice& b_j) {
+        if (same_cell && i == j) {
+            for (std::size_t p = 0; p < a_i.count; ++p) {
+                for (std::size_t q = p + 1; q < a_i.count; ++q) {
+                    check_pair(a_i.vertices[p], a_i.vertices[q]);
+                }
+            }
+            return;
+        }
+        cross_check(a_i, b_j);
+        // Mirror direction: layer j in a against layer i in b.
+        if (!same_cell && i != j) cross_check(a_j, b_i);
+    }
+
+    // ---- type II: geometric jumps over distant cell pairs ---------------
+
+    void sample_type2_direction(const Slice& ra, const Slice& rb, double pbar) {
+        const std::uint64_t total =
+            static_cast<std::uint64_t>(ra.count) * static_cast<std::uint64_t>(rb.count);
+        std::uint64_t k = rng_.geometric_skip(pbar);
+        while (k < total) {
+            const Vertex u = ra.vertices[k / rb.count];
+            const Vertex v = rb.vertices[k % rb.count];
+            const double p = exact_probability(u, v);
+            // p <= pbar by construction (weights below the layer bound,
+            // distance above the cell bound).
+            if (rng_.bernoulli(p / pbar)) edges_.emplace_back(u, v);
+            k += 1 + rng_.geometric_skip(pbar);
+        }
+    }
+
+    const GirgParams& params_;
+    const std::vector<double>& weights_;
+    const PointCloud& positions_;
+    Rng& rng_;
+
+    int num_layers_ = 0;
+    int deepest_ = 0;
+    std::vector<Layer> layers_;
+    std::vector<Edge> edges_;
+};
+
+}  // namespace
+
+std::vector<Edge> sample_edges_fast(const GirgParams& params,
+                                    const std::vector<double>& weights,
+                                    const PointCloud& positions, Rng& rng) {
+    assert(weights.size() == positions.count());
+    assert(positions.dim == params.dim);
+    return FastSampler(params, weights, positions, rng).run();
+}
+
+}  // namespace smallworld

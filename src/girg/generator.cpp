@@ -1,0 +1,73 @@
+#include "girg/generator.h"
+
+#include <stdexcept>
+
+#include "geometry/torus.h"
+#include "girg/fast_sampler.h"
+#include "girg/naive_sampler.h"
+#include "random/power_law.h"
+
+namespace smallworld {
+
+namespace {
+
+std::vector<Edge> sample_edges(const GirgParams& params, const std::vector<double>& weights,
+                               const PointCloud& positions, Rng& rng, SamplerKind kind) {
+    switch (kind) {
+        case SamplerKind::kFast:
+            return sample_edges_fast(params, weights, positions, rng);
+        case SamplerKind::kNaive:
+            return sample_edges_naive(params, weights, positions, rng);
+    }
+    throw std::logic_error("sample_edges: unknown sampler kind");
+}
+
+}  // namespace
+
+Girg generate_girg(const GirgParams& params, std::uint64_t seed,
+                   const GenerateOptions& options) {
+    params.validate();
+    Rng rng(seed);
+
+    Girg girg;
+    girg.params = params;
+    if (!options.weights.empty()) {
+        for (const double w : options.weights) {
+            if (w < params.wmin) {
+                throw std::invalid_argument("generate_girg: supplied weight below wmin");
+            }
+        }
+        girg.weights = options.weights;
+        girg.positions = sample_uniform_points(girg.weights.size(), params.dim, rng);
+    } else {
+        girg.positions = options.fixed_vertex_count
+                             ? sample_uniform_points(static_cast<std::size_t>(params.n),
+                                                     params.dim, rng)
+                             : sample_poisson_point_process(params.n, params.dim, rng);
+        const PowerLaw weight_law(params.beta, params.wmin);
+        girg.weights = weight_law.sample_many(girg.positions.count(), rng);
+    }
+
+    for (const PlantedVertex& planted : options.planted) {
+        if (planted.weight < params.wmin) {
+            throw std::invalid_argument("generate_girg: planted weight below wmin");
+        }
+        girg.weights.push_back(planted.weight);
+        for (int axis = 0; axis < params.dim; ++axis) {
+            girg.positions.coords.push_back(torus_wrap(planted.position[axis]));
+        }
+    }
+
+    const auto edges =
+        sample_edges(params, girg.weights, girg.positions, rng, options.sampler);
+    girg.graph = Graph(girg.num_vertices(), edges);
+    return girg;
+}
+
+Graph resample_edges(const Girg& girg, std::uint64_t seed, SamplerKind sampler) {
+    Rng rng(seed);
+    const auto edges = sample_edges(girg.params, girg.weights, girg.positions, rng, sampler);
+    return Graph(girg.num_vertices(), edges);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "girg/girg.h"
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// Which edge sampler to use; both draw from the identical distribution.
+enum class SamplerKind {
+    kFast,   ///< expected-linear layered cell sampler (default)
+    kNaive,  ///< O(n^2) reference sampler
+};
+
+/// Options for planting specific vertices. The paper's theorems allow an
+/// adversary to fix weights and positions of the source s and target t while
+/// everything else stays random (Section 3); planted vertices are appended
+/// after the Poisson process, so their indices are the last ones.
+struct PlantedVertex {
+    double weight = 1.0;
+    double position[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+struct GenerateOptions {
+    SamplerKind sampler = SamplerKind::kFast;
+    /// Use exactly n vertices instead of Poisson(n) many (the binomial
+    /// model of [16]; the paper notes both models agree conditionally).
+    bool fixed_vertex_count = false;
+    /// Non-empty: use exactly these weights (one per vertex, all >= wmin)
+    /// instead of drawing from the power law — e.g. to match an observed
+    /// degree sequence. Implies fixed_vertex_count with n = weights.size();
+    /// positions are still random and edges follow the kernel.
+    std::vector<double> weights;
+    std::vector<PlantedVertex> planted;
+};
+
+/// Samples a complete GIRG: vertex set (Poisson point process of intensity
+/// params.n), weights (power law), and edges (chosen sampler).
+[[nodiscard]] Girg generate_girg(const GirgParams& params, std::uint64_t seed,
+                                 const GenerateOptions& options = {});
+
+/// Resamples only the edges over existing weights/positions (used by tests
+/// that compare samplers on identical vertex sets).
+[[nodiscard]] Graph resample_edges(const Girg& girg, std::uint64_t seed, SamplerKind sampler);
+
+}  // namespace smallworld

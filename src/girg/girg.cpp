@@ -1,0 +1,22 @@
+#include "girg/girg.h"
+
+#include <limits>
+
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+double Girg::objective(Vertex v, const double* target_position) const noexcept {
+    const double dist =
+        torus_distance(position(v), target_position, params.dim, params.norm);
+    double dist_pow_d = dist;
+    for (int i = 1; i < params.dim; ++i) dist_pow_d *= dist;
+    if (dist_pow_d == 0.0) return std::numeric_limits<double>::infinity();
+    return weights[v] / (params.wmin * params.n * dist_pow_d);
+}
+
+double Girg::distance(Vertex u, Vertex v) const noexcept {
+    return torus_distance(position(u), position(v), params.dim, params.norm);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "girg/params.h"
+#include "random/point_process.h"
+
+namespace smallworld {
+
+/// A sampled geometric inhomogeneous random graph: the parameters, the
+/// vertex attributes (weights, torus positions), and the resulting graph.
+/// Vertex v's address in the routing protocol is the pair
+/// (positions.point(v), weights[v]) — exactly the model of Section 2.2.
+struct Girg {
+    GirgParams params;
+    std::vector<double> weights;  // one per vertex
+    PointCloud positions;         // dim = params.dim
+    Graph graph;
+
+    [[nodiscard]] Vertex num_vertices() const noexcept {
+        return static_cast<Vertex>(weights.size());
+    }
+    [[nodiscard]] double weight(Vertex v) const noexcept { return weights[v]; }
+    [[nodiscard]] const double* position(Vertex v) const noexcept {
+        return positions.point(v);
+    }
+
+    /// The routing objective phi(v) = wv / (wmin * n * ||xv - xt||^d)
+    /// (Section 2.2) toward an arbitrary target *position*.
+    [[nodiscard]] double objective(Vertex v, const double* target_position) const noexcept;
+
+    /// Torus distance between two vertices.
+    [[nodiscard]] double distance(Vertex u, Vertex v) const noexcept;
+};
+
+}  // namespace smallworld

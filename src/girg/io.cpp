@@ -1,0 +1,133 @@
+#include "girg/io.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smallworld {
+
+namespace {
+
+constexpr int kFormatVersion = 2;  // v2 adds the norm token; v1 still reads
+
+void fail(const std::string& what) { throw std::runtime_error("read_girg: " + what); }
+
+void expect_token(std::istream& is, const std::string& expected) {
+    std::string token;
+    if (!(is >> token) || token != expected) fail("expected '" + expected + "'");
+}
+
+}  // namespace
+
+void write_girg(std::ostream& os, const Girg& girg) {
+    const auto precision = os.precision();
+    os.precision(std::numeric_limits<double>::max_digits10);
+
+    os << "girg " << kFormatVersion << '\n';
+    os << "params " << girg.params.n << ' ' << girg.params.dim << ' ';
+    if (girg.params.threshold()) {
+        os << "inf";
+    } else {
+        os << girg.params.alpha;
+    }
+    os << ' ' << girg.params.beta << ' ' << girg.params.wmin << ' '
+       << girg.params.edge_scale << ' '
+       << (girg.params.norm == Norm::kMax ? "max" : "l2") << '\n';
+
+    os << "vertices " << girg.num_vertices() << '\n';
+    for (Vertex v = 0; v < girg.num_vertices(); ++v) {
+        os << girg.weight(v);
+        for (int axis = 0; axis < girg.params.dim; ++axis) {
+            os << ' ' << girg.position(v)[axis];
+        }
+        os << '\n';
+    }
+
+    os << "edges " << girg.graph.num_edges() << '\n';
+    for (Vertex v = 0; v < girg.num_vertices(); ++v) {
+        for (const Vertex u : girg.graph.neighbors(v)) {
+            if (v < u) os << v << ' ' << u << '\n';
+        }
+    }
+    os.precision(precision);
+}
+
+Girg read_girg(std::istream& is) {
+    expect_token(is, "girg");
+    int version = 0;
+    if (!(is >> version) || version < 1 || version > kFormatVersion) {
+        fail("unsupported version");
+    }
+
+    Girg girg;
+    expect_token(is, "params");
+    std::string alpha_token;
+    if (!(is >> girg.params.n >> girg.params.dim >> alpha_token >> girg.params.beta >>
+          girg.params.wmin >> girg.params.edge_scale)) {
+        fail("malformed params line");
+    }
+    if (alpha_token == "inf") {
+        girg.params.alpha = kAlphaInfinity;
+    } else {
+        girg.params.alpha = std::stod(alpha_token);
+    }
+    if (version >= 2) {
+        std::string norm_token;
+        if (!(is >> norm_token)) fail("missing norm token");
+        if (norm_token == "max") {
+            girg.params.norm = Norm::kMax;
+        } else if (norm_token == "l2") {
+            girg.params.norm = Norm::kEuclidean;
+        } else {
+            fail("unknown norm '" + norm_token + "'");
+        }
+    }
+    girg.params.validate();
+
+    expect_token(is, "vertices");
+    std::size_t vertex_count = 0;
+    if (!(is >> vertex_count)) fail("malformed vertex count");
+    girg.positions.dim = girg.params.dim;
+    girg.weights.reserve(vertex_count);
+    girg.positions.coords.reserve(vertex_count * static_cast<std::size_t>(girg.params.dim));
+    for (std::size_t i = 0; i < vertex_count; ++i) {
+        double weight = 0.0;
+        if (!(is >> weight)) fail("malformed vertex line");
+        girg.weights.push_back(weight);
+        for (int axis = 0; axis < girg.params.dim; ++axis) {
+            double coord = 0.0;
+            if (!(is >> coord)) fail("malformed vertex coordinate");
+            if (coord < 0.0 || coord >= 1.0) fail("coordinate outside the torus");
+            girg.positions.coords.push_back(coord);
+        }
+    }
+
+    expect_token(is, "edges");
+    std::size_t edge_count = 0;
+    if (!(is >> edge_count)) fail("malformed edge count");
+    std::vector<Edge> edges;
+    edges.reserve(edge_count);
+    for (std::size_t i = 0; i < edge_count; ++i) {
+        Vertex u = 0;
+        Vertex v = 0;
+        if (!(is >> u >> v)) fail("malformed edge line");
+        if (u >= vertex_count || v >= vertex_count) fail("edge endpoint out of range");
+        edges.emplace_back(u, v);
+    }
+    girg.graph = Graph(static_cast<Vertex>(vertex_count), edges);
+    return girg;
+}
+
+void write_edge_list(std::ostream& os, const Graph& graph) {
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+        for (const Vertex u : graph.neighbors(v)) {
+            if (v < u) os << v << '\t' << u << '\n';
+        }
+    }
+}
+
+}  // namespace smallworld

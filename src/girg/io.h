@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "girg/girg.h"
+
+namespace smallworld {
+
+/// Plain-text serialization of a sampled GIRG. Line-oriented, versioned,
+/// locale-independent (max-precision doubles round-trip exactly):
+///
+///   girg 2
+///   params <n> <dim> <alpha|inf> <beta> <wmin> <edge_scale> <max|l2>
+///   vertices <count>
+///   <weight> <x_1> ... <x_dim>        (one line per vertex)
+///   edges <count>
+///   <u> <v>                           (one line per undirected edge)
+///
+/// Intended for handing instances to external tools and for regression
+/// fixtures; not a high-performance format.
+void write_girg(std::ostream& os, const Girg& girg);
+
+/// Parses the format above. Throws std::runtime_error on malformed input.
+[[nodiscard]] Girg read_girg(std::istream& is);
+
+/// Writes a bare tab-separated edge list ("u\tv" per line), the lingua
+/// franca of graph tools.
+void write_edge_list(std::ostream& os, const Graph& graph);
+
+}  // namespace smallworld

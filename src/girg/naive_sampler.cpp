@@ -1,0 +1,26 @@
+#include "girg/naive_sampler.h"
+
+#include <cassert>
+
+#include "girg/edge_probability.h"
+
+namespace smallworld {
+
+std::vector<Edge> sample_edges_naive(const GirgParams& params,
+                                     const std::vector<double>& weights,
+                                     const PointCloud& positions, Rng& rng) {
+    assert(weights.size() == positions.count());
+    assert(positions.dim == params.dim);
+    const auto n = static_cast<Vertex>(weights.size());
+    std::vector<Edge> edges;
+    for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = u + 1; v < n; ++v) {
+            const double p = girg_edge_probability(params, weights[u], weights[v],
+                                                   positions.point(u), positions.point(v));
+            if (rng.bernoulli(p)) edges.emplace_back(u, v);
+        }
+    }
+    return edges;
+}
+
+}  // namespace smallworld

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+#include "girg/girg.h"
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// Reference edge sampler: flips an independent coin for every vertex pair
+/// with the exact kernel probability. O(n^2) — used as ground truth for the
+/// fast sampler's distributional tests and for small experiments.
+[[nodiscard]] std::vector<Edge> sample_edges_naive(const GirgParams& params,
+                                                   const std::vector<double>& weights,
+                                                   const PointCloud& positions, Rng& rng);
+
+}  // namespace smallworld

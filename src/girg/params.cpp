@@ -1,0 +1,103 @@
+#include "girg/params.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+void GirgParams::validate() const {
+    if (!(n > 0)) throw std::invalid_argument("GirgParams: n must be > 0");
+    if (dim < 1 || dim > kMaxDim) throw std::invalid_argument("GirgParams: dim out of range");
+    if (!(alpha > 1.0)) throw std::invalid_argument("GirgParams: alpha must be > 1");
+    if (!(beta > 2.0 && beta < 3.0)) {
+        throw std::invalid_argument("GirgParams: beta must be in (2,3)");
+    }
+    if (!(wmin > 0.0)) throw std::invalid_argument("GirgParams: wmin must be > 0");
+    if (!(edge_scale > 0.0)) throw std::invalid_argument("GirgParams: edge_scale must be > 0");
+}
+
+double GirgParams::predicted_hops(double at_n) const noexcept {
+    if (at_n <= std::exp(1.0)) return 0.0;
+    return 2.0 / std::fabs(std::log(beta - 2.0)) * std::log(std::log(at_n));
+}
+
+double calibrated_edge_scale(const GirgParams& params) noexcept {
+    const double degree_factor = (params.beta - 2.0) / (params.beta - 1.0);
+    const double alpha_factor =
+        params.threshold() ? 1.0 : (params.alpha - 1.0) / params.alpha;
+    return degree_factor * alpha_factor / unit_ball_volume(params.dim, params.norm);
+}
+
+double exact_marginal_probability(const GirgParams& params,
+                                  double weight_product) noexcept {
+    const double q = unit_ball_volume(params.dim, params.norm) * params.edge_scale *
+                     weight_product / (params.wmin * params.n);
+    if (q >= 1.0) return 1.0;
+    if (params.threshold()) return q;
+    // integral_0^1 min(1, (q/u)^alpha) du in the volume coordinate u = (2r)^d.
+    const double a = params.alpha;
+    return q * (a - std::pow(q, a - 1.0)) / (a - 1.0);
+}
+
+double expected_average_degree(const GirgParams& params, int quadrature_points) {
+    if (quadrature_points < 2) {
+        throw std::invalid_argument("expected_average_degree: need >= 2 points");
+    }
+    // Quadrature in the CDF coordinate: w(s) = wmin (1-s)^{-1/(beta-1)} turns
+    // E_{wu,wv}[f(wu*wv)] into a uniform double integral over (0,1)^2. Each
+    // cell is represented by its *conditional mean* weight
+    //   E[W | s in (a,b)] = wmin ((1-a)^c - (1-b)^c) / (c (b-a)),
+    // with c = (beta-2)/(beta-1), which is exact for the (dominant) linear
+    // small-Q regime and — crucially — captures the heavy tail's full mass
+    // in the last cell (a midpoint rule drops a constant fraction of E[W]).
+    const int k = quadrature_points;
+    const double c = (params.beta - 2.0) / (params.beta - 1.0);
+    std::vector<double> weights(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+        const double a = static_cast<double>(i) / static_cast<double>(k);
+        const double b = static_cast<double>(i + 1) / static_cast<double>(k);
+        weights[static_cast<std::size_t>(i)] =
+            params.wmin * (std::pow(1.0 - a, c) - std::pow(1.0 - b, c)) /
+            (c * (b - a));
+    }
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j) {
+            sum += exact_marginal_probability(
+                params, weights[static_cast<std::size_t>(i)] *
+                            weights[static_cast<std::size_t>(j)]);
+        }
+    }
+    return params.n * sum / (static_cast<double>(k) * static_cast<double>(k));
+}
+
+double edge_scale_for_average_degree(GirgParams params, double target_degree) {
+    if (!(target_degree > 0.0)) {
+        throw std::invalid_argument("edge_scale_for_average_degree: target must be > 0");
+    }
+    // The degree saturates at ~n when every pair connects; refuse silly asks.
+    if (target_degree >= 0.9 * params.n) {
+        throw std::invalid_argument("edge_scale_for_average_degree: target unreachable");
+    }
+    double lo = 1e-9;
+    double hi = 1e6;
+    params.edge_scale = hi;
+    if (expected_average_degree(params, 256) < target_degree) {
+        throw std::invalid_argument("edge_scale_for_average_degree: target unreachable");
+    }
+    for (int iteration = 0; iteration < 80; ++iteration) {
+        const double mid = std::sqrt(lo * hi);  // bisect in log space
+        params.edge_scale = mid;
+        if (expected_average_degree(params, 256) < target_degree) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return std::sqrt(lo * hi);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <limits>
+
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+/// Decay parameter value meaning the threshold model (EP2), alpha = infinity.
+inline constexpr double kAlphaInfinity = std::numeric_limits<double>::infinity();
+
+/// Parameters of the GIRG model, Section 2.1 of the paper.
+///
+/// Vertices are a Poisson point process of intensity n on the torus T^d with
+/// i.i.d. Pareto(beta, wmin) weights; vertices u != v connect independently
+/// with probability
+///
+///   puv = min{ 1, ( edge_scale * wu*wv / (wmin * n * ||xu-xv||^d) )^alpha }
+///
+/// for alpha < infinity, which satisfies (EP1) with hidden constants
+/// edge_scale^alpha, and additionally (EP3): puv = 1 exactly when
+/// ||xu-xv||^d <= edge_scale * wu*wv/(wmin*n) (so c1 = edge_scale). In the
+/// threshold case alpha = infinity we use (EP2) with c1 = c2 = edge_scale:
+/// the edge is present iff ||xu-xv||^d <= edge_scale * wu*wv/(wmin*n).
+struct GirgParams {
+    double n = 1000;        ///< intensity = expected number of vertices
+    int dim = 2;            ///< dimension d of the torus
+    double alpha = 2.0;     ///< decay parameter (> 1), or kAlphaInfinity
+    double beta = 2.5;      ///< power-law exponent (2 < beta < 3)
+    double wmin = 1.0;      ///< minimum weight (> 0)
+    double edge_scale = 1.0;  ///< the Theta-constant c in puv (> 0)
+    Norm norm = Norm::kMax;   ///< distance norm (the paper allows any norm)
+
+    [[nodiscard]] bool threshold() const noexcept { return alpha == kAlphaInfinity; }
+
+    /// Throws std::invalid_argument when any parameter is outside the
+    /// model's admissible range.
+    void validate() const;
+
+    /// gamma(eps) = (1-eps)/(beta-2), the phase-1 weight-growth exponent
+    /// (Section 7.3).
+    [[nodiscard]] double gamma(double eps) const noexcept { return (1.0 - eps) / (beta - 2.0); }
+
+    /// Predicted greedy path length (2+o(1))/|log(beta-2)| * log log n,
+    /// Theorem 3.3 / Lemma 7.3, ignoring the o(1).
+    [[nodiscard]] double predicted_hops(double at_n) const noexcept;
+};
+
+/// The edge_scale that makes E[deg v] = wv exactly under this kernel:
+///
+///   E_x[puv | wu,wv] = 2^d * c * q * alpha/(alpha-1)   with q = wu*wv/(wmin n)
+///   (and 2^d * c * q in the threshold case), hence summing over the Poisson
+///   process with E[W] = wmin(beta-1)/(beta-2):
+///
+///   E[deg v] = wv * c * 2^d * (beta-1)/(beta-2) * alpha/(alpha-1)
+///
+/// so c = 2^{-d} (beta-2)/(beta-1) * (alpha-1)/alpha. Valid for small q
+/// (the regime of almost all pairs); measured degrees match within a few
+/// percent (tested in tests/girg_calibration_test.cpp).
+[[nodiscard]] double calibrated_edge_scale(const GirgParams& params) noexcept;
+
+/// Exact marginal connection probability E_x[puv] for a weight product,
+/// integrating the kernel over uniform positions. With
+/// Q = V_norm(d) * edge_scale * wu*wv/(wmin*n) (the threshold ball volume,
+/// V_norm the unit-ball volume of the chosen norm):
+///
+///   alpha < inf : E_x[puv] = 1 for Q >= 1, else Q*(alpha - Q^{alpha-1})/(alpha-1)
+///   alpha = inf : E_x[puv] = min(1, Q)
+///
+/// This is Lemma 7.1 with the constants made explicit, including the
+/// saturation regime min{.,1} that the small-Q formula behind
+/// calibrated_edge_scale ignores. Exact for the max norm; for the Euclidean
+/// norm the formula ignores ball wrap-around past radius 1/2, so it is
+/// exact in the (dominant) small-Q regime and slightly off near saturation.
+[[nodiscard]] double exact_marginal_probability(const GirgParams& params,
+                                                double weight_product) noexcept;
+
+/// Expected average degree of the model, by quadrature of
+/// n * E_{wu,wv}[exact_marginal_probability] over the weight law. Accurate
+/// to ~0.1% with the default resolution.
+[[nodiscard]] double expected_average_degree(const GirgParams& params,
+                                             int quadrature_points = 512);
+
+/// Finds the edge_scale that achieves a desired expected average degree
+/// (bisection on the monotone map edge_scale -> expected_average_degree).
+/// Throws if the target is unreachable (e.g. above the complete graph).
+[[nodiscard]] double edge_scale_for_average_degree(GirgParams params, double target_degree);
+
+}  // namespace smallworld

@@ -1,0 +1,115 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace smallworld {
+
+std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source) {
+    return bfs_distances_bounded(graph, source, std::numeric_limits<std::int32_t>::max());
+}
+
+std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
+                                                std::int32_t max_depth) {
+    assert(source < graph.num_vertices());
+    std::vector<std::int32_t> dist(graph.num_vertices(), kUnreachable);
+    std::vector<Vertex> frontier{source};
+    std::vector<Vertex> next;
+    dist[source] = 0;
+    std::int32_t depth = 0;
+    while (!frontier.empty() && depth < max_depth) {
+        ++depth;
+        next.clear();
+        for (const Vertex u : frontier) {
+            for (const Vertex v : graph.neighbors(u)) {
+                if (dist[v] == kUnreachable) {
+                    dist[v] = depth;
+                    next.push_back(v);
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    return dist;
+}
+
+namespace {
+
+/// One BFS frontier expansion for the bidirectional search; returns the
+/// meeting distance if the opposite side has already labeled a vertex.
+struct Side {
+    std::vector<std::int32_t> dist;
+    std::vector<Vertex> frontier;
+    std::int32_t depth = 0;
+};
+
+std::int32_t expand(const Graph& graph, Side& self, const Side& other,
+                    std::int32_t best_so_far) {
+    std::vector<Vertex> next;
+    ++self.depth;
+    for (const Vertex u : self.frontier) {
+        for (const Vertex v : graph.neighbors(u)) {
+            if (self.dist[v] != kUnreachable) continue;
+            self.dist[v] = self.depth;
+            if (other.dist[v] != kUnreachable) {
+                const std::int32_t through = self.depth + other.dist[v];
+                if (best_so_far == kUnreachable || through < best_so_far) best_so_far = through;
+            }
+            next.push_back(v);
+        }
+    }
+    self.frontier.swap(next);
+    return best_so_far;
+}
+
+}  // namespace
+
+std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t) {
+    assert(s < graph.num_vertices() && t < graph.num_vertices());
+    if (s == t) return 0;
+    Side fwd{std::vector<std::int32_t>(graph.num_vertices(), kUnreachable), {s}, 0};
+    Side bwd{std::vector<std::int32_t>(graph.num_vertices(), kUnreachable), {t}, 0};
+    fwd.dist[s] = 0;
+    bwd.dist[t] = 0;
+    std::int32_t best = kUnreachable;
+    while (!fwd.frontier.empty() && !bwd.frontier.empty()) {
+        // Once a meeting point exists, one more expansion of each side cannot
+        // improve below (sum of current depths); stop when that bound is met.
+        if (best != kUnreachable && best <= fwd.depth + bwd.depth) return best;
+        if (fwd.frontier.size() <= bwd.frontier.size()) {
+            best = expand(graph, fwd, bwd, best);
+        } else {
+            best = expand(graph, bwd, fwd, best);
+        }
+    }
+    return best;
+}
+
+std::vector<Vertex> shortest_path(const Graph& graph, Vertex s, Vertex t) {
+    assert(s < graph.num_vertices() && t < graph.num_vertices());
+    if (s == t) return {s};
+    std::vector<Vertex> parent(graph.num_vertices(), kNoVertex);
+    std::vector<std::int32_t> dist(graph.num_vertices(), kUnreachable);
+    std::deque<Vertex> queue{s};
+    dist[s] = 0;
+    while (!queue.empty()) {
+        const Vertex u = queue.front();
+        queue.pop_front();
+        for (const Vertex v : graph.neighbors(u)) {
+            if (dist[v] != kUnreachable) continue;
+            dist[v] = dist[u] + 1;
+            parent[v] = u;
+            if (v == t) {
+                std::vector<Vertex> path;
+                for (Vertex w = t; w != kNoVertex; w = parent[w]) path.push_back(w);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            queue.push_back(v);
+        }
+    }
+    return {};
+}
+
+}  // namespace smallworld

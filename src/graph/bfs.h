@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smallworld {
+
+/// Distance value for unreachable vertices.
+inline constexpr std::int32_t kUnreachable = -1;
+
+/// Single-source BFS: hop distance from `source` to every vertex
+/// (kUnreachable where there is no path). O(n + m).
+[[nodiscard]] std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source);
+
+/// BFS truncated at `max_depth` hops; vertices further away stay
+/// kUnreachable. Useful when only a neighborhood matters.
+[[nodiscard]] std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
+                                                              std::int32_t max_depth);
+
+/// Exact s-t hop distance by bidirectional BFS; kUnreachable if disconnected.
+/// Typically explores O(sqrt) of what a full BFS would on small-world graphs.
+[[nodiscard]] std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t);
+
+/// A shortest s-t path (empty if disconnected); includes both endpoints.
+[[nodiscard]] std::vector<Vertex> shortest_path(const Graph& graph, Vertex s, Vertex t);
+
+}  // namespace smallworld

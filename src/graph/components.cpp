@@ -1,0 +1,47 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace smallworld {
+
+Components connected_components(const Graph& graph) {
+    Components out;
+    const Vertex n = graph.num_vertices();
+    out.label.assign(n, static_cast<std::uint32_t>(-1));
+    std::vector<Vertex> stack;
+    for (Vertex root = 0; root < n; ++root) {
+        if (out.label[root] != static_cast<std::uint32_t>(-1)) continue;
+        const auto id = static_cast<std::uint32_t>(out.sizes.size());
+        std::size_t size = 0;
+        stack.push_back(root);
+        out.label[root] = id;
+        while (!stack.empty()) {
+            const Vertex u = stack.back();
+            stack.pop_back();
+            ++size;
+            for (const Vertex v : graph.neighbors(u)) {
+                if (out.label[v] == static_cast<std::uint32_t>(-1)) {
+                    out.label[v] = id;
+                    stack.push_back(v);
+                }
+            }
+        }
+        out.sizes.push_back(size);
+    }
+    if (!out.sizes.empty()) {
+        out.giant = static_cast<std::uint32_t>(
+            std::max_element(out.sizes.begin(), out.sizes.end()) - out.sizes.begin());
+    }
+    return out;
+}
+
+std::vector<Vertex> giant_component_vertices(const Components& components) {
+    std::vector<Vertex> vertices;
+    vertices.reserve(components.giant_size());
+    for (Vertex v = 0; v < components.label.size(); ++v) {
+        if (components.in_giant(v)) vertices.push_back(v);
+    }
+    return vertices;
+}
+
+}  // namespace smallworld

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smallworld {
+
+/// Result of a connected-components decomposition.
+struct Components {
+    std::vector<std::uint32_t> label;   // component id per vertex (dense, 0-based)
+    std::vector<std::size_t> sizes;     // size per component id
+    std::uint32_t giant = 0;            // id of a largest component
+
+    [[nodiscard]] std::size_t count() const noexcept { return sizes.size(); }
+    [[nodiscard]] std::size_t giant_size() const noexcept {
+        return sizes.empty() ? 0 : sizes[giant];
+    }
+    [[nodiscard]] bool same_component(Vertex u, Vertex v) const noexcept {
+        return label[u] == label[v];
+    }
+    [[nodiscard]] bool in_giant(Vertex v) const noexcept { return label[v] == giant; }
+};
+
+/// Connected components by repeated BFS; O(n + m).
+[[nodiscard]] Components connected_components(const Graph& graph);
+
+/// All vertices of the giant (largest) component.
+[[nodiscard]] std::vector<Vertex> giant_component_vertices(const Components& components);
+
+}  // namespace smallworld

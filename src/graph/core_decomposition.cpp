@@ -1,0 +1,63 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+namespace smallworld {
+
+std::vector<std::uint32_t> core_decomposition(const Graph& graph) {
+    const Vertex n = graph.num_vertices();
+    std::vector<std::uint32_t> degree(n);
+    std::uint32_t max_degree = 0;
+    for (Vertex v = 0; v < n; ++v) {
+        degree[v] = static_cast<std::uint32_t>(graph.degree(v));
+        max_degree = std::max(max_degree, degree[v]);
+    }
+
+    // Bucket sort vertices by degree (Batagelj–Zaversnik peeling).
+    std::vector<std::uint32_t> bucket_start(max_degree + 2, 0);
+    for (Vertex v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+    for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+        bucket_start[d] += bucket_start[d - 1];
+    }
+    std::vector<Vertex> order(n);          // vertices sorted by current degree
+    std::vector<std::uint32_t> position(n);  // index of v in `order`
+    {
+        std::vector<std::uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+        for (Vertex v = 0; v < n; ++v) {
+            position[v] = cursor[degree[v]];
+            order[position[v]] = v;
+            ++cursor[degree[v]];
+        }
+    }
+
+    std::vector<std::uint32_t> coreness(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Vertex v = order[i];
+        coreness[v] = degree[v];
+        // "Remove" v: decrement the degree of unpeeled neighbors, moving
+        // each one bucket down by swapping it to the front of its bucket.
+        for (const Vertex u : graph.neighbors(v)) {
+            if (degree[u] <= degree[v]) continue;  // already peeled or lower
+            const std::uint32_t du = degree[u];
+            const std::uint32_t pu = position[u];
+            const std::uint32_t pw = bucket_start[du];
+            const Vertex w = order[pw];
+            if (u != w) {
+                std::swap(order[pu], order[pw]);
+                position[u] = pw;
+                position[w] = pu;
+            }
+            ++bucket_start[du];
+            --degree[u];
+        }
+    }
+    return coreness;
+}
+
+std::uint32_t degeneracy(const Graph& graph) {
+    std::uint32_t best = 0;
+    for (const std::uint32_t c : core_decomposition(graph)) best = std::max(best, c);
+    return best;
+}
+
+}  // namespace smallworld

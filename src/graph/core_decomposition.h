@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smallworld {
+
+/// k-core decomposition: coreness[v] is the largest k such that v belongs
+/// to a subgraph in which every vertex has degree >= k. Computed with the
+/// classic bucket/peeling algorithm in O(n + m).
+///
+/// In the routing experiments this quantifies "the core of the network"
+/// that the experimental literature [11, 52, 53, 61] describes greedy paths
+/// climbing into (Section 4, "Trajectory of a Greedy Path"): the peak-weight
+/// vertex of a typical trajectory sits in the topmost cores.
+[[nodiscard]] std::vector<std::uint32_t> core_decomposition(const Graph& graph);
+
+/// Largest coreness value (0 for an empty/edgeless graph).
+[[nodiscard]] std::uint32_t degeneracy(const Graph& graph);
+
+}  // namespace smallworld

@@ -1,0 +1,61 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smallworld {
+
+Graph::Graph(Vertex num_vertices, std::span<const Edge> edges) {
+    offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+    // Count half-edges per vertex (skipping self-loops), prefix-sum into
+    // offsets, then scatter; classic two-pass CSR construction.
+    for (const auto& [u, v] : edges) {
+        assert(u < num_vertices && v < num_vertices);
+        if (u == v) continue;
+        ++offsets_[u + 1];
+        ++offsets_[v + 1];
+    }
+    for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+    adjacency_.resize(offsets_.back());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [u, v] : edges) {
+        if (u == v) continue;
+        adjacency_[cursor[u]++] = v;
+        adjacency_[cursor[v]++] = u;
+    }
+
+    // Sort each adjacency list and drop duplicates (parallel edges).
+    bool had_duplicates = false;
+    for (Vertex v = 0; v < num_vertices; ++v) {
+        auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+        auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+        std::sort(begin, end);
+        if (std::adjacent_find(begin, end) != end) had_duplicates = true;
+    }
+    if (had_duplicates) {
+        std::vector<std::size_t> new_offsets(offsets_.size(), 0);
+        std::vector<Vertex> compact;
+        compact.reserve(adjacency_.size());
+        for (Vertex v = 0; v < num_vertices; ++v) {
+            const auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+            const auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+            Vertex last = kNoVertex;
+            for (auto it = begin; it != end; ++it) {
+                if (*it != last) compact.push_back(*it);
+                last = *it;
+            }
+            new_offsets[v + 1] = compact.size();
+        }
+        offsets_ = std::move(new_offsets);
+        adjacency_ = std::move(compact);
+    }
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+    const auto nbrs = neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace smallworld

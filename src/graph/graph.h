@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace smallworld {
+
+using Vertex = std::uint32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+/// Immutable undirected graph in compressed sparse row form. Each undirected
+/// edge {u,v} is stored twice (as u->v and v->u); neighbor lists are sorted,
+/// enabling O(log deg) adjacency queries and deterministic iteration order,
+/// which in turn makes every routing run reproducible.
+class Graph {
+public:
+    Graph() = default;
+
+    /// Builds from an undirected edge list. Self-loops are dropped and
+    /// parallel edges are collapsed (the model never produces either, but
+    /// test inputs might).
+    Graph(Vertex num_vertices, std::span<const Edge> edges);
+
+    [[nodiscard]] Vertex num_vertices() const noexcept {
+        return static_cast<Vertex>(offsets_.empty() ? 0 : offsets_.size() - 1);
+    }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+    [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+        return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+    }
+    [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+        return offsets_[v + 1] - offsets_[v];
+    }
+    [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
+
+    [[nodiscard]] double average_degree() const noexcept {
+        return num_vertices() == 0
+                   ? 0.0
+                   : 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_vertices());
+    }
+
+private:
+    std::vector<std::size_t> offsets_;  // size num_vertices + 1
+    std::vector<Vertex> adjacency_;     // size 2 * num_edges
+};
+
+}  // namespace smallworld

@@ -1,0 +1,103 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.h"
+#include "graph/components.h"
+
+namespace smallworld {
+
+std::vector<std::size_t> degree_histogram(const Graph& graph) {
+    std::size_t max_degree = 0;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+        max_degree = std::max(max_degree, graph.degree(v));
+    }
+    std::vector<std::size_t> hist(max_degree + 1, 0);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) ++hist[graph.degree(v)];
+    return hist;
+}
+
+double power_law_exponent_mle(const Graph& graph, std::size_t dmin) {
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    const double shift = static_cast<double>(dmin) - 0.5;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+        const std::size_t d = graph.degree(v);
+        if (d < dmin) continue;
+        log_sum += std::log(static_cast<double>(d) / shift);
+        ++count;
+    }
+    if (count == 0 || log_sum == 0.0) return 0.0;
+    return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double local_clustering(const Graph& graph, Vertex v) {
+    const auto nbrs = graph.neighbors(v);
+    const std::size_t deg = nbrs.size();
+    if (deg < 2) return 0.0;
+    std::size_t triangles = 0;
+    for (std::size_t i = 0; i < deg; ++i) {
+        for (std::size_t j = i + 1; j < deg; ++j) {
+            if (graph.has_edge(nbrs[i], nbrs[j])) ++triangles;
+        }
+    }
+    return 2.0 * static_cast<double>(triangles) / static_cast<double>(deg * (deg - 1));
+}
+
+double mean_clustering(const Graph& graph, std::size_t samples, Rng& rng) {
+    std::vector<Vertex> eligible;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+        if (graph.degree(v) >= 2) eligible.push_back(v);
+    }
+    if (eligible.empty()) return 0.0;
+    double sum = 0.0;
+    std::size_t count = 0;
+    if (samples == 0 || samples >= eligible.size()) {
+        for (const Vertex v : eligible) sum += local_clustering(graph, v);
+        count = eligible.size();
+    } else {
+        for (std::size_t i = 0; i < samples; ++i) {
+            const Vertex v = eligible[rng.uniform_index(eligible.size())];
+            sum += local_clustering(graph, v);
+        }
+        count = samples;
+    }
+    return sum / static_cast<double>(count);
+}
+
+std::int32_t double_sweep_diameter_lower_bound(const Graph& graph, Vertex start) {
+    auto dist = bfs_distances(graph, start);
+    Vertex far = start;
+    std::int32_t best = 0;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+        if (dist[v] > best) {
+            best = dist[v];
+            far = v;
+        }
+    }
+    dist = bfs_distances(graph, far);
+    best = 0;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) best = std::max(best, dist[v]);
+    return best;
+}
+
+double estimate_average_distance(const Graph& graph, std::size_t sources, Rng& rng) {
+    const auto components = connected_components(graph);
+    const auto giant = giant_component_vertices(components);
+    if (giant.size() < 2 || sources == 0) return 0.0;
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < sources; ++i) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const auto dist = bfs_distances(graph, s);
+        for (const Vertex v : giant) {
+            if (v == s) continue;
+            sum += static_cast<double>(dist[v]);
+            ++pairs;
+        }
+    }
+    return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// Degree histogram: index k holds the number of vertices of degree k.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(const Graph& graph);
+
+/// Maximum-likelihood estimate of the power-law exponent of the degree tail
+/// over vertices with degree >= dmin (Clauset–Shalizi–Newman discrete
+/// approximation: beta = 1 + m / sum log(d_i / (dmin - 1/2))).
+[[nodiscard]] double power_law_exponent_mle(const Graph& graph, std::size_t dmin);
+
+/// Local clustering coefficient of one vertex: triangles / (deg choose 2).
+[[nodiscard]] double local_clustering(const Graph& graph, Vertex v);
+
+/// Mean local clustering over `samples` random vertices of degree >= 2
+/// (exact over all such vertices when samples == 0).
+[[nodiscard]] double mean_clustering(const Graph& graph, std::size_t samples, Rng& rng);
+
+/// Lower bound on the diameter by a double BFS sweep from `start`.
+[[nodiscard]] std::int32_t double_sweep_diameter_lower_bound(const Graph& graph, Vertex start);
+
+/// Mean hop distance between random same-component vertex pairs, estimated
+/// from `sources` full BFS runs restricted to the giant component.
+[[nodiscard]] double estimate_average_distance(const Graph& graph, std::size_t sources, Rng& rng);
+
+}  // namespace smallworld

@@ -1,0 +1,166 @@
+#include "hyperbolic/embedder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numbers>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace smallworld {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// BFS tree from `root`: parents and children lists plus subtree sizes.
+struct BfsTree {
+    std::vector<Vertex> parent;
+    std::vector<std::vector<Vertex>> children;
+    std::vector<std::size_t> subtree_size;
+    std::vector<Vertex> order;  // BFS visit order (root first)
+};
+
+BfsTree build_bfs_tree(const Graph& graph, Vertex root) {
+    const Vertex n = graph.num_vertices();
+    BfsTree tree;
+    tree.parent.assign(n, kNoVertex);
+    tree.children.assign(n, {});
+    tree.subtree_size.assign(n, 1);
+    std::deque<Vertex> queue{root};
+    tree.parent[root] = root;
+    tree.order.push_back(root);
+    while (!queue.empty()) {
+        const Vertex v = queue.front();
+        queue.pop_front();
+        for (const Vertex u : graph.neighbors(v)) {
+            if (tree.parent[u] != kNoVertex) continue;
+            tree.parent[u] = v;
+            tree.children[v].push_back(u);
+            tree.order.push_back(u);
+            queue.push_back(u);
+        }
+    }
+    // Subtree sizes bottom-up (reverse BFS order).
+    for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+        const Vertex v = *it;
+        if (tree.parent[v] != v) tree.subtree_size[tree.parent[v]] += tree.subtree_size[v];
+    }
+    return tree;
+}
+
+double circular_mean(double sum_sin, double sum_cos, double fallback) {
+    if (sum_sin * sum_sin + sum_cos * sum_cos < 1e-12) return fallback;
+    double angle = std::atan2(sum_sin, sum_cos);
+    if (angle < 0.0) angle += kTwoPi;
+    return angle;
+}
+
+/// Signed shortest angular difference a-b in (-pi, pi].
+double angle_delta(double a, double b) {
+    double d = std::fmod(a - b, kTwoPi);
+    if (d > std::numbers::pi) d -= kTwoPi;
+    if (d <= -std::numbers::pi) d += kTwoPi;
+    return d;
+}
+
+}  // namespace
+
+HyperbolicGraph embed_graph(const Graph& graph, const EmbedderConfig& config) {
+    const Vertex n = graph.num_vertices();
+    HyperbolicGraph embedded;
+    embedded.params.n = std::max<std::size_t>(n, 2);
+    embedded.params.alpha_h = 0.75;  // nominal; only R matters downstream
+    embedded.params.c_h = config.c_h;
+    embedded.params.t_h = 0.0;
+    embedded.graph = graph;
+    embedded.radii.assign(n, 0.0);
+    embedded.angles.assign(n, 0.0);
+    if (n == 0) return embedded;
+
+    const double big_r = embedded.params.radius();
+    Rng rng(config.seed);
+
+    // ---- radii from degrees --------------------------------------------
+    // Invert the HRG relation between weight/degree and radius (Section 11:
+    // w = n e^{-r/2}, and the calibrated model has E[deg] = w), so
+    // r_v = 2 ln(n / deg_v), clamped into the disk.
+    Vertex hub = 0;
+    for (Vertex v = 0; v < n; ++v) {
+        if (graph.degree(v) > graph.degree(hub)) hub = v;
+        const double deg = std::max<double>(1.0, static_cast<double>(graph.degree(v)));
+        const double r = 2.0 * std::log(static_cast<double>(n) / deg);
+        embedded.radii[v] = std::clamp(r, 0.0, big_r);
+    }
+
+    // ---- angles: nested-interval layout of the BFS tree -----------------
+    const BfsTree tree = build_bfs_tree(graph, hub);
+    std::vector<double> arc_lo(n, 0.0);
+    std::vector<double> arc_hi(n, kTwoPi);
+    for (const Vertex v : tree.order) {
+        embedded.angles[v] = 0.5 * (arc_lo[v] + arc_hi[v]);
+        // Children partition the parent's arc proportionally to subtree size.
+        const double span = arc_hi[v] - arc_lo[v];
+        std::size_t total = 0;
+        for (const Vertex c : tree.children[v]) total += tree.subtree_size[c];
+        double cursor = arc_lo[v];
+        for (const Vertex c : tree.children[v]) {
+            const double share =
+                span * static_cast<double>(tree.subtree_size[c]) /
+                static_cast<double>(std::max<std::size_t>(total, 1));
+            arc_lo[c] = cursor;
+            arc_hi[c] = cursor + share;
+            cursor += share;
+        }
+    }
+    // Unreached vertices (other components): random angles, boundary radii.
+    for (Vertex v = 0; v < n; ++v) {
+        if (tree.parent[v] == kNoVertex) {
+            embedded.angles[v] = rng.uniform(0.0, kTwoPi);
+            embedded.radii[v] = big_r;
+        }
+    }
+
+    // ---- bounded circular-mean refinement over the real edges -----------
+    for (int pass = 0; pass < config.refinement_passes; ++pass) {
+        for (const Vertex v : tree.order) {
+            if (v == hub) continue;  // anchor the hub against global rotation
+            double sum_sin = 0.0;
+            double sum_cos = 0.0;
+            for (const Vertex u : graph.neighbors(v)) {
+                sum_sin += std::sin(embedded.angles[u]);
+                sum_cos += std::cos(embedded.angles[u]);
+            }
+            const double mean = circular_mean(sum_sin, sum_cos, embedded.angles[v]);
+            const double delta =
+                std::clamp(angle_delta(mean, embedded.angles[v]), -config.max_move,
+                           config.max_move);
+            double next = embedded.angles[v] + delta;
+            if (next < 0.0) next += kTwoPi;
+            if (next >= kTwoPi) next -= kTwoPi;
+            embedded.angles[v] = next;
+        }
+    }
+    return embedded;
+}
+
+double embedding_edge_fit(const HyperbolicGraph& embedded) {
+    const double big_r = embedded.params.radius();
+    const double cosh_r = std::cosh(big_r);
+    std::size_t within = 0;
+    std::size_t total = 0;
+    for (Vertex v = 0; v < embedded.num_vertices(); ++v) {
+        for (const Vertex u : embedded.graph.neighbors(v)) {
+            if (u <= v) continue;
+            ++total;
+            const double cosh_d = cosh_hyperbolic_distance(
+                embedded.radii[v], embedded.angles[v], embedded.radii[u],
+                embedded.angles[u]);
+            if (cosh_d <= cosh_r) ++within;
+        }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(within) / static_cast<double>(total);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hyperbolic/hrg.h"
+
+namespace smallworld {
+
+/// Heuristic embedding of an arbitrary graph into the hyperbolic disk — a
+/// laptop-scale miniature of the maximum-likelihood internet embeddings of
+/// Boguna-Papadopoulos-Krioukov [11] and Kleinberg [48] that the paper's
+/// Corollary 3.6 is the theory for: once a network is (approximately) laid
+/// out in the disk, geometric greedy forwarding routes with only local
+/// knowledge.
+///
+/// The heuristic has two stages:
+///  * radii from degrees, inverting the HRG relation E[deg] ~ n e^{-r/2}:
+///    r_v = 2 ln(n / deg_v), clamped into [0, R];
+///  * angles from community structure: a BFS tree from the highest-degree
+///    hub is laid out as nested circular intervals, each child subtree
+///    receiving an arc proportional to its size (so graph-close vertices
+///    get angularly close positions), followed by a few bounded
+///    circular-mean refinement sweeps over the full edge set.
+struct EmbedderConfig {
+    double c_h = 0.0;            ///< additive radius constant of the target disk
+    int refinement_passes = 40;  ///< circular-mean sweeps after the tree layout
+    double max_move = 0.35;      ///< per-sweep cap on angular movement (radians)
+    std::uint64_t seed = 1;      ///< jitter/tie-breaking
+};
+
+/// Embeds the graph; the result's coordinates are the inferred positions
+/// and its `graph` is the input graph (so routing runs on the real edges
+/// with the inferred geometry — exactly the [11] experiment).
+[[nodiscard]] HyperbolicGraph embed_graph(const Graph& graph, const EmbedderConfig& config);
+
+/// Quality proxy: the fraction of edges whose endpoints lie within
+/// hyperbolic distance R of each other under the embedding (1.0 for a
+/// perfect threshold-model fit).
+[[nodiscard]] double embedding_edge_fit(const HyperbolicGraph& embedded);
+
+}  // namespace smallworld

@@ -1,0 +1,309 @@
+#include "hyperbolic/hrg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace smallworld {
+
+double HrgParams::radius() const noexcept {
+    return 2.0 * std::log(static_cast<double>(n)) + c_h;
+}
+
+void HrgParams::validate() const {
+    if (n == 0) throw std::invalid_argument("HrgParams: n must be > 0");
+    if (!(alpha_h > 0.5)) {
+        throw std::invalid_argument("HrgParams: alpha_h must be > 1/2 (beta > 2)");
+    }
+    if (!(t_h >= 0.0)) throw std::invalid_argument("HrgParams: t_h must be >= 0");
+    if (t_h >= 1.0) {
+        // t_h < 1 corresponds to GIRG decay alpha = 1/t_h > 1 (Section 11).
+        throw std::invalid_argument("HrgParams: t_h must be < 1");
+    }
+    if (radius() <= 0.0) throw std::invalid_argument("HrgParams: radius must be > 0");
+}
+
+double cosh_hyperbolic_distance(double r1, double nu1, double r2, double nu2) noexcept {
+    const double value = std::cosh(r1) * std::cosh(r2) -
+                         std::sinh(r1) * std::sinh(r2) * std::cos(nu1 - nu2);
+    // Rounding can push cosh(dH) a hair below 1 for near-coincident points.
+    return value < 1.0 ? 1.0 : value;
+}
+
+double hyperbolic_distance(double r1, double nu1, double r2, double nu2) noexcept {
+    return std::acosh(cosh_hyperbolic_distance(r1, nu1, r2, nu2));
+}
+
+double hrg_edge_probability(const HrgParams& params, double distance) noexcept {
+    if (params.threshold()) return distance <= params.radius() ? 1.0 : 0.0;
+    return 1.0 / (1.0 + std::exp((distance - params.radius()) / (2.0 * params.t_h)));
+}
+
+double sample_radius(const HrgParams& params, Rng& rng) noexcept {
+    const double scale = std::cosh(params.alpha_h * params.radius()) - 1.0;
+    const double u = rng.uniform();
+    return std::acosh(1.0 + u * scale) / params.alpha_h;
+}
+
+double max_adjacent_angle(double r1, double r2, double big_r) noexcept {
+    if (r1 + r2 <= big_r) return std::numbers::pi;
+    // cos(theta) = (cosh r1 cosh r2 - cosh R) / (sinh r1 sinh r2).
+    const double denom = std::sinh(r1) * std::sinh(r2);
+    if (denom <= 0.0) return std::numbers::pi;  // a point at the origin
+    const double cos_theta = (std::cosh(r1) * std::cosh(r2) - std::cosh(big_r)) / denom;
+    if (cos_theta >= 1.0) return 0.0;
+    if (cos_theta <= -1.0) return std::numbers::pi;
+    return std::acos(cos_theta);
+}
+
+double min_band_distance(double r1, double theta, double r_lo, double r_hi) noexcept {
+    const double c = std::cos(theta);
+    double r_star = r_lo;
+    if (c > 0.0) {
+        // cosh(d) = cosh(r1) cosh(r2) - sinh(r1) sinh(r2) cos(theta) is
+        // minimized over r2 at tanh(r2) = tanh(r1) cos(theta).
+        const double t = std::tanh(r1) * c;
+        r_star = std::clamp(std::atanh(t), r_lo, r_hi);
+    }
+    return hyperbolic_distance(r1, 0.0, r_star, theta);
+}
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::vector<Edge> hrg_edges_naive(const HrgParams& params, const HyperbolicGraph& hrg,
+                                  Rng& rng) {
+    const auto n = static_cast<Vertex>(params.n);
+    std::vector<Edge> edges;
+    for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = u + 1; v < n; ++v) {
+            const double p = hrg_edge_probability(params, hrg.distance(u, v));
+            if (rng.bernoulli(p)) edges.emplace_back(u, v);
+        }
+    }
+    return edges;
+}
+
+/// Edges via radial bands. Per band the vertices are kept in angular order.
+/// A vertex u scans each band in two regimes:
+///
+///  * hard window |dnu| <= max_adjacent_angle(ru, band_inner, R): distances
+///    can be below R, so every candidate is tested with the exact rule
+///    (deterministic in the threshold model, a Bernoulli(p) otherwise);
+///  * beyond the window (temperature model only): p < 1/2 and decays with
+///    the angle, so the remaining angles are covered by dyadic windows
+///    [hi/2, hi) with rejection envelope pbar = p(min distance achievable
+///    at the window's inner angle over the band's radial range), enumerated
+///    with geometric jumps of expected length 1/pbar.
+///
+/// Each unordered pair is generated from its smaller-id endpoint.
+class BandSampler {
+public:
+    BandSampler(const HrgParams& params, const HyperbolicGraph& hrg, Rng& rng)
+        : params_(params), hrg_(hrg), rng_(rng), big_r_(params.radius()) {}
+
+    std::vector<Edge> run() {
+        build_bands();
+        const auto n = static_cast<Vertex>(params_.n);
+        for (Vertex u = 0; u < n; ++u) {
+            for (const Band& band : bands_) {
+                if (band.vertices.empty()) continue;
+                const double hard =
+                    max_adjacent_angle(hrg_.radii[u], band.inner_radius, big_r_);
+                if (hard > 0.0) scan_exhaustive(u, band, hard);
+                if (!params_.threshold() && hard < std::numbers::pi) {
+                    scan_tail(u, band, hard);
+                }
+            }
+        }
+        return std::move(edges_);
+    }
+
+private:
+    struct Band {
+        std::vector<double> angles;    // sorted
+        std::vector<Vertex> vertices;  // aligned with angles
+        double inner_radius = 0.0;
+        double outer_radius = 0.0;
+    };
+
+    void build_bands() {
+        const int num_bands = std::max(1, static_cast<int>(std::ceil(big_r_)));
+        const double width = big_r_ / num_bands;
+        bands_.assign(static_cast<std::size_t>(num_bands), Band{});
+        for (int b = 0; b < num_bands; ++b) {
+            bands_[static_cast<std::size_t>(b)].inner_radius = b * width;
+            bands_[static_cast<std::size_t>(b)].outer_radius = (b + 1) * width;
+        }
+        for (Vertex v = 0; v < static_cast<Vertex>(params_.n); ++v) {
+            const int b = std::clamp(static_cast<int>(hrg_.radii[v] / width), 0,
+                                     num_bands - 1);
+            bands_[static_cast<std::size_t>(b)].vertices.push_back(v);
+        }
+        for (Band& band : bands_) {
+            std::sort(band.vertices.begin(), band.vertices.end(),
+                      [&](Vertex a, Vertex b) { return hrg_.angles[a] < hrg_.angles[b]; });
+            band.angles.reserve(band.vertices.size());
+            for (const Vertex v : band.vertices) band.angles.push_back(hrg_.angles[v]);
+        }
+    }
+
+    void test_exact(Vertex u, Vertex v) {
+        if (v <= u) return;
+        const double p = hrg_edge_probability(
+            params_, hyperbolic_distance(hrg_.radii[u], hrg_.angles[u], hrg_.radii[v],
+                                         hrg_.angles[v]));
+        if (rng_.bernoulli(p)) edges_.emplace_back(u, v);
+    }
+
+    /// All candidates of `band` within +-window of u's angle, tested exactly.
+    void scan_exhaustive(Vertex u, const Band& band, double window) {
+        if (window >= std::numbers::pi) {
+            for (const Vertex v : band.vertices) test_exact(u, v);
+            return;
+        }
+        const double center = hrg_.angles[u];
+        const auto scan_interval = [&](double lo, double hi) {
+            const auto begin = std::lower_bound(band.angles.begin(), band.angles.end(), lo);
+            const auto end = std::upper_bound(begin, band.angles.end(), hi);
+            for (auto it = begin; it != end; ++it) {
+                test_exact(u, band.vertices[static_cast<std::size_t>(
+                                  it - band.angles.begin())]);
+            }
+        };
+        double lo = center - window;
+        double hi = center + window;
+        if (lo < 0.0) {
+            scan_interval(lo + kTwoPi, kTwoPi);
+            lo = 0.0;
+        }
+        if (hi > kTwoPi) {
+            scan_interval(0.0, hi - kTwoPi);
+            hi = kTwoPi;
+        }
+        scan_interval(lo, hi);
+    }
+
+    struct IndexRange {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+    };
+
+    /// Index ranges of band vertices with angle in [lo, hi) mod 2pi.
+    void collect_ranges(const Band& band, double lo, double hi,
+                        std::vector<IndexRange>& out) const {
+        const auto add = [&](double a, double b) {
+            const auto begin = std::lower_bound(band.angles.begin(), band.angles.end(), a);
+            const auto end = std::lower_bound(begin, band.angles.end(), b);
+            if (begin != end) {
+                out.push_back({static_cast<std::size_t>(begin - band.angles.begin()),
+                               static_cast<std::size_t>(end - band.angles.begin())});
+            }
+        };
+        lo = std::fmod(lo, kTwoPi);
+        hi = std::fmod(hi, kTwoPi);
+        if (lo < 0.0) lo += kTwoPi;
+        if (hi < 0.0) hi += kTwoPi;
+        if (lo <= hi) {
+            add(lo, hi);
+        } else {  // wraps past 2pi
+            add(lo, kTwoPi);
+            add(0.0, hi);
+        }
+    }
+
+    /// Temperature tail: dyadic windows over angular distances (hard, pi].
+    void scan_tail(Vertex u, const Band& band, double hard) {
+        const double center = hrg_.angles[u];
+        double hi = std::numbers::pi;
+        std::vector<IndexRange> ranges;
+        for (int iteration = 0; hi > hard; ++iteration) {
+            const double lo = iteration >= 50 ? hard : std::max(hi / 2.0, hard);
+            const double pbar = hrg_edge_probability(
+                params_,
+                min_band_distance(hrg_.radii[u], lo, band.inner_radius,
+                                  band.outer_radius));
+            if (pbar > 0.0) {
+                ranges.clear();
+                // Both sides of u: angles at distance [lo, hi).
+                collect_ranges(band, center + lo, center + hi, ranges);
+                collect_ranges(band, center - hi, center - lo, ranges);
+                sample_ranges(u, band, ranges, pbar);
+            }
+            hi = lo;
+        }
+    }
+
+    /// Geometric-jump enumeration over the concatenated index ranges.
+    void sample_ranges(Vertex u, const Band& band, const std::vector<IndexRange>& ranges,
+                       double pbar) {
+        std::size_t total = 0;
+        for (const IndexRange& r : ranges) total += r.size();
+        if (total == 0) return;
+        std::uint64_t k = rng_.geometric_skip(pbar);
+        while (k < total) {
+            // Locate candidate k within the ranges.
+            std::size_t offset = static_cast<std::size_t>(k);
+            const Vertex v = [&] {
+                for (const IndexRange& r : ranges) {
+                    if (offset < r.size()) return band.vertices[r.begin + offset];
+                    offset -= r.size();
+                }
+                return kNoVertex;  // unreachable
+            }();
+            if (v > u && v != kNoVertex) {
+                const double p = hrg_edge_probability(
+                    params_, hyperbolic_distance(hrg_.radii[u], hrg_.angles[u],
+                                                 hrg_.radii[v], hrg_.angles[v]));
+                // p <= pbar: the candidate's angle distance is >= the
+                // window's inner angle and its radius is inside the band.
+                if (rng_.bernoulli(p / pbar)) edges_.emplace_back(u, v);
+            }
+            k += 1 + rng_.geometric_skip(pbar);
+        }
+    }
+
+    const HrgParams& params_;
+    const HyperbolicGraph& hrg_;
+    Rng& rng_;
+    double big_r_;
+    std::vector<Band> bands_;
+    std::vector<Edge> edges_;
+};
+
+std::vector<Edge> sample_hrg_edges(const HrgParams& params, const HyperbolicGraph& hrg,
+                                   Rng& rng, HrgSampler sampler) {
+    const bool use_bands = sampler != HrgSampler::kNaive;
+    if (use_bands) return BandSampler(params, hrg, rng).run();
+    return hrg_edges_naive(params, hrg, rng);
+}
+
+}  // namespace
+
+HyperbolicGraph generate_hrg(const HrgParams& params, std::uint64_t seed,
+                             HrgSampler sampler) {
+    params.validate();
+    Rng rng(seed);
+    HyperbolicGraph hrg;
+    hrg.params = params;
+    hrg.radii.reserve(params.n);
+    hrg.angles.reserve(params.n);
+    for (std::size_t i = 0; i < params.n; ++i) {
+        hrg.radii.push_back(sample_radius(params, rng));
+        hrg.angles.push_back(rng.uniform(0.0, kTwoPi));
+    }
+    hrg.graph =
+        Graph(static_cast<Vertex>(params.n), sample_hrg_edges(params, hrg, rng, sampler));
+    return hrg;
+}
+
+Graph resample_hrg_edges(const HyperbolicGraph& hrg, std::uint64_t seed,
+                         HrgSampler sampler) {
+    Rng rng(seed);
+    return Graph(hrg.num_vertices(), sample_hrg_edges(hrg.params, hrg, rng, sampler));
+}
+
+}  // namespace smallworld

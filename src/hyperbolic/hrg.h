@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// Parameters of hyperbolic random graphs G_{alphaH, CH, TH}(n)
+/// (Definition 11.1, following Krioukov et al. [53] / Gugelmann et al. [40]).
+/// The disk radius is R = 2 log n + CH; n vertices draw angles uniformly and
+/// radii with density alphaH sinh(alphaH r)/(cosh(alphaH R) - 1); an edge
+/// {u,v} is present with probability 1/(1 + e^{(dH(u,v)-R)/(2 TH)}), and in
+/// the limit TH -> 0 (threshold graph) iff dH(u,v) <= R.
+///
+/// The induced degree power law is beta = 2 alphaH + 1, so alphaH in
+/// (1/2, 1) matches the paper's beta in (2, 3).
+struct HrgParams {
+    std::size_t n = 1000;
+    double alpha_h = 0.75;  ///< radial dispersion; beta = 2*alpha_h + 1
+    double c_h = 0.0;       ///< additive radius constant; controls avg degree
+    double t_h = 0.0;       ///< temperature; 0 = threshold model (alpha = inf)
+
+    [[nodiscard]] double radius() const noexcept;  ///< R = 2 log n + c_h
+    [[nodiscard]] bool threshold() const noexcept { return t_h == 0.0; }
+    void validate() const;
+};
+
+/// Hyperbolic distance between polar points (r1, nu1), (r2, nu2):
+/// cosh dH = cosh r1 cosh r2 - sinh r1 sinh r2 cos(nu1 - nu2).
+[[nodiscard]] double hyperbolic_distance(double r1, double nu1, double r2, double nu2) noexcept;
+
+/// cosh(dH) directly — cheaper and numerically safer for comparisons,
+/// since cosh is increasing on [0, inf).
+[[nodiscard]] double cosh_hyperbolic_distance(double r1, double nu1, double r2,
+                                              double nu2) noexcept;
+
+/// A sampled hyperbolic random graph.
+struct HyperbolicGraph {
+    HrgParams params;
+    std::vector<double> radii;
+    std::vector<double> angles;  // in [0, 2*pi)
+    Graph graph;
+
+    [[nodiscard]] Vertex num_vertices() const noexcept {
+        return static_cast<Vertex>(radii.size());
+    }
+    [[nodiscard]] double distance(Vertex u, Vertex v) const noexcept {
+        return hyperbolic_distance(radii[u], angles[u], radii[v], angles[v]);
+    }
+};
+
+/// Edge probability of the model given a hyperbolic distance.
+[[nodiscard]] double hrg_edge_probability(const HrgParams& params, double distance) noexcept;
+
+/// Samples the radial coordinate by inverse CDF:
+/// F(r) = (cosh(alphaH r) - 1)/(cosh(alphaH R) - 1).
+[[nodiscard]] double sample_radius(const HrgParams& params, Rng& rng) noexcept;
+
+enum class HrgSampler {
+    kAuto,   ///< bands (threshold and temperature variants both supported)
+    kNaive,  ///< O(n^2) pair sweep (any temperature)
+    kBands,  ///< radial-band + angle-window sweep; for TH > 0 the tail
+             ///< beyond the hard window is covered by dyadic angular
+             ///< windows with geometric-jump rejection sampling
+};
+
+/// Samples a complete HRG. In the threshold model the edge set is a
+/// deterministic function of the coordinates, so every sampler produces the
+/// identical graph for a given seed; for TH > 0 the samplers draw from the
+/// identical distribution (tested) but consume randomness differently.
+/// kBands runs in roughly O((n + m) log n) instead of O(n^2).
+[[nodiscard]] HyperbolicGraph generate_hrg(const HrgParams& params, std::uint64_t seed,
+                                           HrgSampler sampler = HrgSampler::kAuto);
+
+/// Redraws only the edges over an existing coordinate set (used by the
+/// sampler-equivalence tests; a no-op change for the threshold model).
+[[nodiscard]] Graph resample_hrg_edges(const HyperbolicGraph& hrg, std::uint64_t seed,
+                                       HrgSampler sampler);
+
+/// Largest angular difference at which points at radii r1, r2 can still be
+/// within hyperbolic distance R (pi when r1 + r2 <= R, 0 when even aligned
+/// points are too far).
+[[nodiscard]] double max_adjacent_angle(double r1, double r2, double big_r) noexcept;
+
+/// Minimum hyperbolic distance from a point at radius r1 to any point at
+/// angular difference theta with radius in [r_lo, r_hi] — the bound behind
+/// the temperature sampler's rejection envelope. The minimizing radius is
+/// r* with tanh r* = tanh(r1) cos(theta), clamped into the band.
+[[nodiscard]] double min_band_distance(double r1, double theta, double r_lo,
+                                       double r_hi) noexcept;
+
+}  // namespace smallworld

@@ -1,0 +1,24 @@
+#include "hyperbolic/hyperbolic_objective.h"
+
+#include <cmath>
+#include <limits>
+
+#include "hyperbolic/mapping.h"
+
+namespace smallworld {
+
+HyperbolicObjective::HyperbolicObjective(const HyperbolicGraph& hrg, Vertex target)
+    : hrg_(&hrg), target_(target) {
+    const double wt = HrgGirgMapping::weight_of_radius(hrg.params, hrg.radii[target]);
+    const double wmin = std::exp(-hrg.params.c_h / 2.0);
+    scale_ = static_cast<double>(hrg.params.n) / (wt * wmin);
+}
+
+double HyperbolicObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    const double cosh_d = cosh_hyperbolic_distance(hrg_->radii[v], hrg_->angles[v],
+                                                   hrg_->radii[target_], hrg_->angles[target_]);
+    return scale_ / std::sqrt(cosh_d);
+}
+
+}  // namespace smallworld

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/objective.h"
+#include "hyperbolic/hrg.h"
+
+namespace smallworld {
+
+/// Geometric routing on hyperbolic random graphs (Corollary 3.6): forward to
+/// the neighbor of minimal hyperbolic distance to the target. We expose it
+/// through the objective
+///
+///   phiH(v) = n / (wt * wmin * sqrt(cosh dH(v, t)))
+///
+/// from Section 11, which is a monotone-decreasing function of dH (so greedy
+/// w.r.t. phiH == geometric routing) and which Lemma 11.2 proves falls into
+/// Theorem 3.5's relaxation class of the canonical GIRG objective.
+class HyperbolicObjective final : public Objective {
+public:
+    HyperbolicObjective(const HyperbolicGraph& hrg, Vertex target);
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+private:
+    const HyperbolicGraph* hrg_;
+    Vertex target_;
+    double scale_ = 1.0;  // n / (wt * wmin)
+};
+
+}  // namespace smallworld

@@ -1,0 +1,69 @@
+#include "hyperbolic/mapping.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+GirgParams HrgGirgMapping::girg_params(const HrgParams& params) noexcept {
+    GirgParams girg;
+    girg.n = static_cast<double>(params.n);
+    girg.dim = 1;
+    girg.beta = 2.0 * params.alpha_h + 1.0;
+    girg.alpha = params.threshold() ? kAlphaInfinity : 1.0 / params.t_h;
+    girg.wmin = std::exp(-params.c_h / 2.0);
+    girg.edge_scale = 1.0;  // the kernel is pH itself, not the parametric form
+    return girg;
+}
+
+double HrgGirgMapping::weight_of_radius(const HrgParams& params, double r) noexcept {
+    return static_cast<double>(params.n) * std::exp(-r / 2.0);
+}
+
+double HrgGirgMapping::radius_of_weight(const HrgParams& params, double w) noexcept {
+    return 2.0 * std::log(static_cast<double>(params.n) / w);
+}
+
+double HrgGirgMapping::position_of_angle(double nu) noexcept {
+    return torus_wrap(nu / (2.0 * std::numbers::pi));
+}
+
+double HrgGirgMapping::angle_of_position(double x) noexcept {
+    return torus_wrap(x) * 2.0 * std::numbers::pi;
+}
+
+Girg hrg_to_girg(const HyperbolicGraph& hrg) {
+    Girg girg;
+    girg.params = HrgGirgMapping::girg_params(hrg.params);
+    girg.positions.dim = 1;
+    girg.weights.reserve(hrg.num_vertices());
+    girg.positions.coords.reserve(hrg.num_vertices());
+    for (Vertex v = 0; v < hrg.num_vertices(); ++v) {
+        girg.weights.push_back(HrgGirgMapping::weight_of_radius(hrg.params, hrg.radii[v]));
+        girg.positions.coords.push_back(HrgGirgMapping::position_of_angle(hrg.angles[v]));
+    }
+    girg.graph = hrg.graph;
+    return girg;
+}
+
+HyperbolicGraph girg_to_hrg(const Girg& girg, const HrgParams& params) {
+    if (girg.params.dim != 1) {
+        throw std::invalid_argument("girg_to_hrg: only 1-dimensional GIRGs map to the disk");
+    }
+    HyperbolicGraph hrg;
+    hrg.params = params;
+    hrg.radii.reserve(girg.num_vertices());
+    hrg.angles.reserve(girg.num_vertices());
+    for (Vertex v = 0; v < girg.num_vertices(); ++v) {
+        const double w = std::min(girg.weight(v), static_cast<double>(params.n));
+        hrg.radii.push_back(HrgGirgMapping::radius_of_weight(params, w));
+        hrg.angles.push_back(HrgGirgMapping::angle_of_position(girg.positions.coords[v]));
+    }
+    hrg.graph = girg.graph;
+    return hrg;
+}
+
+}  // namespace smallworld

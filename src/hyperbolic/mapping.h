@@ -1,0 +1,33 @@
+#pragma once
+
+#include "girg/girg.h"
+#include "hyperbolic/hrg.h"
+
+namespace smallworld {
+
+/// The exact HRG -> GIRG correspondence of Section 11: a hyperbolic random
+/// graph on the 2-dimensional disk is a *one*-dimensional GIRG (the weight
+/// supplies the extra dimension) under
+///
+///   d = 1,  beta = 2*alphaH + 1,  alpha = 1/TH (inf for TH = 0),
+///   wmin = e^{-CH/2},  wv = n e^{-rv/2},  xv = nu_v / (2*pi).
+struct HrgGirgMapping {
+    [[nodiscard]] static GirgParams girg_params(const HrgParams& params) noexcept;
+
+    [[nodiscard]] static double weight_of_radius(const HrgParams& params, double r) noexcept;
+    [[nodiscard]] static double radius_of_weight(const HrgParams& params, double w) noexcept;
+    [[nodiscard]] static double position_of_angle(double nu) noexcept;
+    [[nodiscard]] static double angle_of_position(double x) noexcept;
+};
+
+/// Re-expresses a sampled HRG in GIRG coordinates (same vertices, same
+/// edges; only the attribute representation changes). The result's edges
+/// follow the hyperbolic kernel puv = pH(dH(g(u), g(v))), which satisfies
+/// (EP1)/(EP2) for the mapped parameters — Corollary 3.6's setting.
+[[nodiscard]] Girg hrg_to_girg(const HyperbolicGraph& hrg);
+
+/// The inverse coordinate map applied to a 1-dimensional GIRG (weights must
+/// be within the disk: wv <= n). Used by round-trip tests.
+[[nodiscard]] HyperbolicGraph girg_to_hrg(const Girg& girg, const HrgParams& params);
+
+}  // namespace smallworld

@@ -1,0 +1,170 @@
+#include "kleinberg/lattice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace smallworld {
+
+void KleinbergParams::validate() const {
+    if (side < 2) throw std::invalid_argument("KleinbergParams: side must be >= 2");
+    if (!(exponent >= 0.0)) {
+        throw std::invalid_argument("KleinbergParams: exponent must be >= 0");
+    }
+}
+
+std::uint32_t KleinbergGrid::manhattan(Vertex u, Vertex v) const noexcept {
+    const auto axis = [this](std::uint32_t a, std::uint32_t b) {
+        const std::uint32_t diff = a > b ? a - b : b - a;
+        return params.torus ? std::min(diff, params.side - diff) : diff;
+    };
+    return axis(row(u), row(v)) + axis(col(u), col(v));
+}
+
+namespace {
+
+/// Cumulative distribution over all nonzero torus displacements (dr, dc),
+/// each weighted dM^{-exponent}. Exact inverse-CDF sampling of the
+/// long-range contact in O(log side^2) per draw.
+class DisplacementTable {
+public:
+    DisplacementTable(std::uint32_t side, double exponent) : side_(side) {
+        cumulative_.reserve(static_cast<std::size_t>(side) * side);
+        double total = 0.0;
+        const auto axis_dist = [side](std::uint32_t d) {
+            return std::min(d, side - d);
+        };
+        for (std::uint32_t dr = 0; dr < side; ++dr) {
+            for (std::uint32_t dc = 0; dc < side; ++dc) {
+                const std::uint32_t dist = axis_dist(dr) + axis_dist(dc);
+                if (dist > 0) total += std::pow(static_cast<double>(dist), -exponent);
+                cumulative_.push_back(total);
+            }
+        }
+    }
+
+    /// Draws (dr, dc) != (0, 0) with probability proportional to
+    /// dM^{-exponent}.
+    [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> sample(Rng& rng) const {
+        const double u = rng.uniform() * cumulative_.back();
+        const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+        auto index = static_cast<std::size_t>(it - cumulative_.begin());
+        if (index >= cumulative_.size()) index = cumulative_.size() - 1;
+        return {static_cast<std::uint32_t>(index / side_),
+                static_cast<std::uint32_t>(index % side_)};
+    }
+
+private:
+    std::uint32_t side_;
+    std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Bounded-grid long-range sampling: signed displacements (dr, dc) over
+/// [-(s-1), s-1]^2 weighted (|dr|+|dc|)^{-exponent}; landing outside the
+/// grid is rejected, which conditions the distribution on valid targets —
+/// exactly Kleinberg's per-node normalized distribution.
+class SignedDisplacementTable {
+public:
+    SignedDisplacementTable(std::uint32_t side, double exponent)
+        : span_(2 * side - 1), side_(side) {
+        cumulative_.reserve(static_cast<std::size_t>(span_) * span_);
+        double total = 0.0;
+        for (std::uint32_t i = 0; i < span_; ++i) {
+            for (std::uint32_t j = 0; j < span_; ++j) {
+                const auto dr = static_cast<std::int64_t>(i) - (side - 1);
+                const auto dc = static_cast<std::int64_t>(j) - (side - 1);
+                const auto dist = std::llabs(dr) + std::llabs(dc);
+                if (dist > 0) total += std::pow(static_cast<double>(dist), -exponent);
+                cumulative_.push_back(total);
+            }
+        }
+    }
+
+    [[nodiscard]] std::pair<std::int64_t, std::int64_t> sample(Rng& rng) const {
+        const double u = rng.uniform() * cumulative_.back();
+        const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+        auto index = static_cast<std::size_t>(it - cumulative_.begin());
+        if (index >= cumulative_.size()) index = cumulative_.size() - 1;
+        return {static_cast<std::int64_t>(index / span_) - (side_ - 1),
+                static_cast<std::int64_t>(index % span_) - (side_ - 1)};
+    }
+
+private:
+    std::uint32_t span_;
+    std::uint32_t side_;
+    std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+KleinbergGrid generate_kleinberg(const KleinbergParams& params, std::uint64_t seed) {
+    params.validate();
+    Rng rng(seed);
+    KleinbergGrid grid;
+    grid.params = params;
+
+    const std::uint32_t side = params.side;
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(side) * side * (2 + params.q));
+
+    // Lattice edges: right and down per node covers every undirected edge
+    // once (wrapping only on the torus).
+    for (std::uint32_t r = 0; r < side; ++r) {
+        for (std::uint32_t c = 0; c < side; ++c) {
+            const Vertex v = grid.vertex_at(r, c);
+            if (params.torus || c + 1 < side) {
+                edges.emplace_back(v, grid.vertex_at(r, (c + 1) % side));
+            }
+            if (params.torus || r + 1 < side) {
+                edges.emplace_back(v, grid.vertex_at((r + 1) % side, c));
+            }
+        }
+    }
+
+    // Long-range contacts.
+    if (params.torus) {
+        const DisplacementTable table(side, params.exponent);
+        for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+            for (std::uint32_t k = 0; k < params.q; ++k) {
+                const auto [dr, dc] = table.sample(rng);
+                const Vertex u = grid.vertex_at((grid.row(v) + dr) % side,
+                                                (grid.col(v) + dc) % side);
+                if (u != v) edges.emplace_back(v, u);
+            }
+        }
+    } else {
+        const SignedDisplacementTable table(side, params.exponent);
+        for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+            for (std::uint32_t k = 0; k < params.q; ++k) {
+                // Rejection over out-of-grid targets; acceptance probability
+                // is Omega(1/4) (one quadrant always fits), so this is fast.
+                for (int attempt = 0; attempt < 256; ++attempt) {
+                    const auto [dr, dc] = table.sample(rng);
+                    const auto r2 = static_cast<std::int64_t>(grid.row(v)) + dr;
+                    const auto c2 = static_cast<std::int64_t>(grid.col(v)) + dc;
+                    if (r2 < 0 || c2 < 0 || r2 >= side || c2 >= side) continue;
+                    const Vertex u = grid.vertex_at(static_cast<std::uint32_t>(r2),
+                                                    static_cast<std::uint32_t>(c2));
+                    if (u != v) edges.emplace_back(v, u);
+                    break;
+                }
+            }
+        }
+    }
+
+    grid.graph = Graph(grid.num_vertices(), edges);
+    return grid;
+}
+
+double KleinbergObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    return 1.0 / (1.0 + static_cast<double>(grid_->manhattan(v, target_)));
+}
+
+}  // namespace smallworld

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/objective.h"
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// Kleinberg's 2-dimensional small-world model [46] (Section 1.1 of the
+/// paper): an s x s lattice with edges between Manhattan-distance-1
+/// neighbors, plus q independent long-range contacts per node, the contact
+/// of u chosen with probability proportional to dM(u, v)^{-exponent}.
+/// exponent = 2 is Kleinberg's navigable case (greedy in Theta(log^2 n)
+/// expected steps); any other exponent degrades to n^{Omega(1)} — the
+/// "fragile exponent" shortcoming the GIRG model removes.
+///
+/// Both of Kleinberg's geometries are supported: the original *bounded*
+/// grid (his paper's setting, with boundary effects) and the torus variant
+/// (wrapping distances, no boundary); the asymptotic bounds coincide.
+struct KleinbergParams {
+    std::uint32_t side = 32;   ///< lattice is side x side; n = side^2
+    std::uint32_t q = 1;       ///< long-range contacts per node
+    double exponent = 2.0;     ///< decay r of the long-range distribution
+    bool torus = true;         ///< false = Kleinberg's bounded grid
+    void validate() const;
+};
+
+struct KleinbergGrid {
+    KleinbergParams params;
+    Graph graph;
+
+    [[nodiscard]] Vertex num_vertices() const noexcept {
+        return params.side * params.side;
+    }
+    [[nodiscard]] Vertex vertex_at(std::uint32_t row, std::uint32_t col) const noexcept {
+        return row * params.side + col;
+    }
+    [[nodiscard]] std::uint32_t row(Vertex v) const noexcept { return v / params.side; }
+    [[nodiscard]] std::uint32_t col(Vertex v) const noexcept { return v % params.side; }
+
+    /// Manhattan distance (wrapping when params.torus).
+    [[nodiscard]] std::uint32_t manhattan(Vertex u, Vertex v) const noexcept;
+};
+
+[[nodiscard]] KleinbergGrid generate_kleinberg(const KleinbergParams& params,
+                                               std::uint64_t seed);
+
+/// Greedy-routing objective for the lattice: 1/(1 + Manhattan distance).
+/// The lattice guarantees an improving neighbor in every step, so
+/// GreedyRouter always delivers — matching Kleinberg's decentralized
+/// algorithm exactly.
+class KleinbergObjective final : public Objective {
+public:
+    KleinbergObjective(const KleinbergGrid& grid, Vertex target)
+        : grid_(&grid), target_(target) {}
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+private:
+    const KleinbergGrid* grid_;
+    Vertex target_;
+};
+
+}  // namespace smallworld

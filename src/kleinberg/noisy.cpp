@@ -1,0 +1,97 @@
+#include "kleinberg/noisy.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+void NoisyKleinbergParams::validate() const {
+    if (n < 2) throw std::invalid_argument("NoisyKleinbergParams: n must be >= 2");
+    if (!(local_degree > 0.0)) {
+        throw std::invalid_argument("NoisyKleinbergParams: local_degree must be > 0");
+    }
+    if (!(exponent >= 0.0)) {
+        throw std::invalid_argument("NoisyKleinbergParams: exponent must be >= 0");
+    }
+}
+
+double NoisyKleinbergParams::local_radius() const noexcept {
+    return std::sqrt(local_degree / (2.0 * static_cast<double>(n - 1)));
+}
+
+namespace {
+
+double l1_torus_distance(const double* a, const double* b) noexcept {
+    return torus_coord_distance(a[0], b[0]) + torus_coord_distance(a[1], b[1]);
+}
+
+}  // namespace
+
+double NoisyKleinbergGraph::distance(Vertex u, Vertex v) const noexcept {
+    return l1_torus_distance(positions.point(u), positions.point(v));
+}
+
+NoisyKleinbergGraph generate_noisy_kleinberg(const NoisyKleinbergParams& params,
+                                             std::uint64_t seed) {
+    params.validate();
+    Rng rng(seed);
+    NoisyKleinbergGraph out;
+    out.params = params;
+    out.positions = sample_uniform_points(params.n, 2, rng);
+
+    const auto n = static_cast<Vertex>(params.n);
+    const double radius = params.local_radius();
+    std::vector<Edge> edges;
+
+    // Local edges: all pairs within L1 distance `radius`. O(n^2) is fine at
+    // the sizes this counter-example needs (n <= ~10^5).
+    for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = u + 1; v < n; ++v) {
+            if (out.distance(u, v) <= radius) edges.emplace_back(u, v);
+        }
+    }
+
+    // Long-range contacts: per node, inverse-CDF over all other nodes with
+    // weight dist^{-exponent}.
+    std::vector<double> cumulative(params.n);
+    for (Vertex u = 0; u < n; ++u) {
+        double total = 0.0;
+        for (Vertex v = 0; v < n; ++v) {
+            if (v != u) {
+                const double dist = std::max(out.distance(u, v), 1e-12);
+                total += std::pow(dist, -params.exponent);
+            }
+            cumulative[v] = total;
+        }
+        for (std::uint32_t k = 0; k < params.q; ++k) {
+            const double draw = rng.uniform() * total;
+            Vertex lo = 0;
+            Vertex hi = n - 1;
+            while (lo < hi) {
+                const Vertex mid = lo + (hi - lo) / 2;
+                if (cumulative[mid] > draw) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if (lo != u) edges.emplace_back(u, lo);
+        }
+    }
+
+    out.graph = Graph(n, edges);
+    return out;
+}
+
+double NoisyKleinbergObjective::value(Vertex v) const {
+    if (v == target_) return std::numeric_limits<double>::infinity();
+    const double dist = graph_->distance(v, target_);
+    if (dist == 0.0) return std::numeric_limits<double>::max();
+    return 1.0 / dist;
+}
+
+}  // namespace smallworld

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/objective.h"
+#include "graph/graph.h"
+#include "random/point_process.h"
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// The "perfect lattice" counter-example of Section 1.1: keep Kleinberg's
+/// edge-sampling recipe but drop the lattice — every node instead takes an
+/// independent uniform position on the unit torus. Local edges connect all
+/// pairs within L1 distance `local_radius` (chosen so the expected local
+/// degree matches the lattice's 4); each node also draws q long-range
+/// contacts with probability proportional to ||xu - xv||_1^{-exponent}.
+///
+/// The paper states that with high probability greedy routing does NOT reach
+/// the target in this model — in each step the current vertex has constant
+/// probability of having no closer neighbor — demonstrating that Kleinberg's
+/// result hinges on the globally-known lattice. EXP-K measures exactly this.
+struct NoisyKleinbergParams {
+    std::size_t n = 1024;     ///< number of nodes
+    double local_degree = 4.0;  ///< expected number of local neighbors
+    std::uint32_t q = 1;      ///< long-range contacts per node
+    double exponent = 2.0;    ///< decay of the long-range distribution
+    void validate() const;
+
+    /// L1 ball of radius rho on the torus has area 2*rho^2; expected local
+    /// degree (n-1) * 2 * rho^2 = local_degree fixes rho.
+    [[nodiscard]] double local_radius() const noexcept;
+};
+
+struct NoisyKleinbergGraph {
+    NoisyKleinbergParams params;
+    PointCloud positions;  // dim = 2
+    Graph graph;
+
+    [[nodiscard]] Vertex num_vertices() const noexcept {
+        return static_cast<Vertex>(positions.count());
+    }
+    /// L1 (Manhattan) distance on the torus.
+    [[nodiscard]] double distance(Vertex u, Vertex v) const noexcept;
+};
+
+[[nodiscard]] NoisyKleinbergGraph generate_noisy_kleinberg(const NoisyKleinbergParams& params,
+                                                           std::uint64_t seed);
+
+/// Greedy objective: 1/||xv - xt||_1, mirroring the lattice rule.
+class NoisyKleinbergObjective final : public Objective {
+public:
+    NoisyKleinbergObjective(const NoisyKleinbergGraph& graph, Vertex target)
+        : graph_(&graph), target_(target) {}
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return target_; }
+
+private:
+    const NoisyKleinbergGraph* graph_;
+    Vertex target_;
+};
+
+}  // namespace smallworld

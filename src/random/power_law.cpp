@@ -1,0 +1,55 @@
+#include "random/power_law.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smallworld {
+
+PowerLaw::PowerLaw(double beta, double wmin) : beta_(beta), wmin_(wmin) {
+    if (!(beta > 1.0)) throw std::invalid_argument("PowerLaw: beta must be > 1");
+    if (!(wmin > 0.0)) throw std::invalid_argument("PowerLaw: wmin must be > 0");
+}
+
+double PowerLaw::pdf(double w) const noexcept {
+    if (w < wmin_) return 0.0;
+    return (beta_ - 1.0) * std::pow(wmin_, beta_ - 1.0) * std::pow(w, -beta_);
+}
+
+double PowerLaw::cdf(double w) const noexcept {
+    if (w <= wmin_) return 0.0;
+    return 1.0 - std::pow(wmin_ / w, beta_ - 1.0);
+}
+
+double PowerLaw::tail(double w) const noexcept {
+    if (w <= wmin_) return 1.0;
+    return std::pow(wmin_ / w, beta_ - 1.0);
+}
+
+double PowerLaw::quantile(double u) const noexcept {
+    // Solve 1 - (wmin/w)^{beta-1} = u  =>  w = wmin (1-u)^{-1/(beta-1)}.
+    if (u <= 0.0) return wmin_;
+    if (u >= 1.0) return std::numeric_limits<double>::infinity();
+    return wmin_ * std::pow(1.0 - u, -1.0 / (beta_ - 1.0));
+}
+
+double PowerLaw::mean() const noexcept {
+    if (beta_ <= 2.0) return std::numeric_limits<double>::infinity();
+    return wmin_ * (beta_ - 1.0) / (beta_ - 2.0);
+}
+
+double PowerLaw::second_moment() const noexcept {
+    if (beta_ <= 3.0) return std::numeric_limits<double>::infinity();
+    return wmin_ * wmin_ * (beta_ - 1.0) / (beta_ - 3.0);
+}
+
+double PowerLaw::sample(Rng& rng) const noexcept { return quantile(rng.uniform()); }
+
+std::vector<double> PowerLaw::sample_many(std::size_t count, Rng& rng) const {
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(sample(rng));
+    return out;
+}
+
+}  // namespace smallworld

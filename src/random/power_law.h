@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "random/rng.h"
+
+namespace smallworld {
+
+/// Pareto power-law distribution of vertex weights, Section 2.1 of the paper:
+/// density f(w) = (beta-1) * wmin^{beta-1} * w^{-beta} for w >= wmin,
+/// so P[W >= w] = (wmin/w)^{beta-1}. The paper only requires f up to
+/// constants; we fix the normalizing constant (beta-1) which makes f a
+/// proper density and keeps every downstream moment formula exact.
+class PowerLaw {
+public:
+    PowerLaw(double beta, double wmin);
+
+    [[nodiscard]] double beta() const noexcept { return beta_; }
+    [[nodiscard]] double wmin() const noexcept { return wmin_; }
+
+    /// Density f(w); zero below wmin.
+    [[nodiscard]] double pdf(double w) const noexcept;
+    /// P[W <= w].
+    [[nodiscard]] double cdf(double w) const noexcept;
+    /// P[W >= w] = min(1, (wmin/w)^{beta-1}).
+    [[nodiscard]] double tail(double w) const noexcept;
+    /// Inverse CDF; quantile(0) = wmin.
+    [[nodiscard]] double quantile(double u) const noexcept;
+
+    /// E[W] = wmin (beta-1)/(beta-2); finite because beta > 2.
+    [[nodiscard]] double mean() const noexcept;
+    /// E[W^2] diverges for beta <= 3 (returns +inf there).
+    [[nodiscard]] double second_moment() const noexcept;
+
+    [[nodiscard]] double sample(Rng& rng) const noexcept;
+    [[nodiscard]] std::vector<double> sample_many(std::size_t count, Rng& rng) const;
+
+private:
+    double beta_;
+    double wmin_;
+};
+
+}  // namespace smallworld

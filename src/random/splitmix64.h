@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace smallworld {
+
+/// splitmix64: tiny, fast 64-bit mixing PRNG step. Used for seeding the main
+/// generator and for stateless per-vertex hashing (e.g. relaxed objectives,
+/// per-trial sub-seeds). Reference: Vigna, http://prng.di.unimi.it/splitmix64.c
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value; suitable as a hash with good avalanche.
+inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    return splitmix64(x);
+}
+
+/// Combine two 64-bit values into one well-mixed value (order-sensitive).
+inline constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+    std::uint64_t s = a ^ 0x2545f4914f6cdd1dULL;
+    std::uint64_t h = splitmix64(s);
+    s ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return splitmix64(s);
+}
+
+}  // namespace smallworld

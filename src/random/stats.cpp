@@ -1,0 +1,195 @@
+#include "random/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace smallworld {
+
+void RunningStats::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> values, double q) {
+    if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+    Summary s;
+    if (values.empty()) return s;
+    RunningStats rs;
+    for (const double v : values) rs.add(v);
+    s.count = rs.count();
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.min();
+    s.max = rs.max();
+    s.q25 = quantile(values, 0.25);
+    s.median = quantile(values, 0.50);
+    s.q75 = quantile(values, 0.75);
+    s.q95 = quantile(values, 0.95);
+    return s;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("linear_fit: need >= 2 points with matching sizes");
+    }
+    const double n = static_cast<double>(x.size());
+    const double sx = std::accumulate(x.begin(), x.end(), 0.0);
+    const double sy = std::accumulate(y.begin(), y.end(), 0.0);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (denom == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r_squared = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    double ss_res = 0.0;
+    const double mean_y = sy / n;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = fit.slope * x[i] + fit.intercept;
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+    }
+    fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials) {
+    ProportionInterval out;
+    if (trials == 0) return out;
+    const double z = 1.959963984540054;  // 97.5th percentile of N(0,1)
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    out.estimate = p;
+    out.lower = std::max(0.0, center - half);
+    out.upper = std::min(1.0, center + half);
+    return out;
+}
+
+double chi_square_statistic(std::span<const std::size_t> observed,
+                            std::span<const double> expected) {
+    if (observed.size() != expected.size() || observed.empty()) {
+        throw std::invalid_argument("chi_square_statistic: size mismatch or empty");
+    }
+    double stat = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        if (expected[i] <= 0.0) throw std::invalid_argument("chi_square_statistic: expected <= 0");
+        const double diff = static_cast<double>(observed[i]) - expected[i];
+        stat += diff * diff / expected[i];
+    }
+    return stat;
+}
+
+double ks_statistic(std::span<const double> data, const std::function<double(double)>& cdf) {
+    if (data.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+    std::vector<double> sorted(data.begin(), data.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double f = cdf(sorted[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        d = std::max({d, std::abs(f - lo), std::abs(hi - f)});
+    }
+    return d;
+}
+
+double ks_critical_value(std::size_t n, double alpha) {
+    if (n == 0) return std::numeric_limits<double>::infinity();
+    // c(alpha) = sqrt(-ln(alpha/2)/2), exact for the asymptotic distribution.
+    const double c = std::sqrt(-0.5 * std::log(alpha / 2.0));
+    return c / std::sqrt(static_cast<double>(n));
+}
+
+std::size_t Histogram::total() const noexcept {
+    std::size_t t = underflow + overflow;
+    for (const std::size_t c : counts) t += c;
+    return t;
+}
+
+Histogram make_histogram(std::span<const double> values, double lo, double hi,
+                         std::size_t bins) {
+    if (!(hi > lo) || bins == 0) throw std::invalid_argument("make_histogram: bad range/bins");
+    Histogram h;
+    h.lo = lo;
+    h.hi = hi;
+    h.counts.assign(bins, 0);
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (const double v : values) {
+        if (v < lo) {
+            ++h.underflow;
+        } else if (v >= hi) {
+            ++h.overflow;
+        } else {
+            auto idx = static_cast<std::size_t>((v - lo) / width);
+            if (idx >= bins) idx = bins - 1;  // guard rounding at the upper edge
+            ++h.counts[idx];
+        }
+    }
+    return h;
+}
+
+}  // namespace smallworld

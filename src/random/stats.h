@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace smallworld {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable, O(1)
+/// memory; used by the experiment harness and the statistical tests.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    void merge(const RunningStats& other) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Summary of a sample: order statistics computed from a copy of the data.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double q25 = 0.0;
+    double median = 0.0;
+    double q75 = 0.0;
+    double q95 = 0.0;
+    double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated quantile of an unsorted sample, q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Ordinary least squares fit y = slope*x + intercept, plus R^2.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct ProportionInterval {
+    double estimate = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+};
+[[nodiscard]] ProportionInterval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Pearson chi-square statistic of observed counts against expected counts.
+/// Returns the statistic; degrees of freedom = bins - 1 (caller interprets).
+[[nodiscard]] double chi_square_statistic(std::span<const std::size_t> observed,
+                                          std::span<const double> expected);
+
+/// One-sample Kolmogorov–Smirnov statistic of data against a CDF.
+[[nodiscard]] double ks_statistic(std::span<const double> data,
+                                  const std::function<double(double)>& cdf);
+
+/// Critical value for the one-sample KS test at significance alpha
+/// (asymptotic: c(alpha)/sqrt(n) with c(0.01) ~ 1.63, c(0.05) ~ 1.36).
+[[nodiscard]] double ks_critical_value(std::size_t n, double alpha);
+
+/// Histogram with equal-width bins over [lo, hi).
+struct Histogram {
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::size_t> counts;
+    std::size_t underflow = 0;
+    std::size_t overflow = 0;
+
+    [[nodiscard]] std::size_t total() const noexcept;
+};
+[[nodiscard]] Histogram make_histogram(std::span<const double> values, double lo, double hi,
+                                       std::size_t bins);
+
+}  // namespace smallworld

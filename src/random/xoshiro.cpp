@@ -1,0 +1,29 @@
+#include "random/xoshiro.h"
+
+#include "random/splitmix64.h"
+
+namespace smallworld {
+
+void Xoshiro256pp::reseed(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+void Xoshiro256pp::jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+    std::array<std::uint64_t, 4> acc{};
+    for (const std::uint64_t word : kJump) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (std::uint64_t{1} << bit)) {
+                for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+            }
+            (*this)();
+        }
+    }
+    state_ = acc;
+}
+
+}  // namespace smallworld

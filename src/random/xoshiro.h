@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace smallworld {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). All-purpose generator with 256 bits
+/// of state, passes BigCrush, and supports log-jumps for parallel streams.
+/// Satisfies std::uniform_random_bit_generator, so it can drive the
+/// <random> distributions as well as our own.
+class Xoshiro256pp {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words from a single seed via splitmix64, as
+    /// recommended by the authors (avoids all-zero and low-entropy states).
+    explicit Xoshiro256pp(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Equivalent to 2^128 calls of operator(); used to split off
+    /// non-overlapping parallel sub-streams.
+    void jump() noexcept;
+
+    /// A generator 2^128 steps ahead; `this` is advanced past it.
+    Xoshiro256pp split() noexcept {
+        Xoshiro256pp child = *this;
+        jump();
+        return child;
+    }
+
+    friend bool operator==(const Xoshiro256pp& a, const Xoshiro256pp& b) noexcept {
+        return a.state_ == b.state_;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace smallworld

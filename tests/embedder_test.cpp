@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/greedy.h"
+#include "core/phi_dfs.h"
+#include "graph/components.h"
+#include "hyperbolic/embedder.h"
+#include "hyperbolic/hyperbolic_objective.h"
+
+namespace smallworld {
+namespace {
+
+TEST(Embedder, EmptyAndSingletonGraphs) {
+    const auto empty = embed_graph(Graph(0, {}), {});
+    EXPECT_EQ(empty.num_vertices(), 0u);
+    const auto one = embed_graph(Graph(1, {}), {});
+    ASSERT_EQ(one.num_vertices(), 1u);
+    EXPECT_GE(one.radii[0], 0.0);
+}
+
+TEST(Embedder, HubGetsSmallestRadius) {
+    // Star: the center must be embedded nearest to the disk center.
+    std::vector<Edge> edges;
+    for (Vertex v = 1; v < 20; ++v) edges.emplace_back(0, v);
+    const auto embedded = embed_graph(Graph(20, edges), {});
+    for (Vertex v = 1; v < 20; ++v) {
+        EXPECT_LT(embedded.radii[0], embedded.radii[v]);
+    }
+}
+
+TEST(Embedder, AnglesInRangeAndDeterministic) {
+    std::vector<Edge> edges;
+    for (Vertex v = 0; v < 30; ++v) edges.emplace_back(v, (v + 1) % 31);
+    const Graph g(31, edges);
+    const auto a = embed_graph(g, {});
+    const auto b = embed_graph(g, {});
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_GE(a.angles[v], 0.0);
+        EXPECT_LT(a.angles[v], 2.0 * std::numbers::pi);
+        EXPECT_DOUBLE_EQ(a.angles[v], b.angles[v]);
+        EXPECT_DOUBLE_EQ(a.radii[v], b.radii[v]);
+    }
+}
+
+TEST(Embedder, TreeLayoutSeparatesBranches) {
+    // Two long branches off a root: their vertices must occupy disjoint
+    // angular arcs under the interval layout (no refinement).
+    std::vector<Edge> edges;
+    const Vertex root = 0;
+    for (Vertex v = 1; v <= 10; ++v) edges.emplace_back(v == 1 ? root : v - 1, v);
+    for (Vertex v = 11; v <= 20; ++v) edges.emplace_back(v == 11 ? root : v - 1, v);
+    // Give the root the highest degree so it anchors the tree.
+    edges.emplace_back(root, 21);
+    edges.emplace_back(root, 22);
+    EmbedderConfig config;
+    config.refinement_passes = 0;
+    const auto embedded = embed_graph(Graph(23, edges), config);
+    // Min/max angle of each branch must not interleave.
+    double lo1 = 10.0;
+    double hi1 = -1.0;
+    double lo2 = 10.0;
+    double hi2 = -1.0;
+    for (Vertex v = 1; v <= 10; ++v) {
+        lo1 = std::min(lo1, embedded.angles[v]);
+        hi1 = std::max(hi1, embedded.angles[v]);
+    }
+    for (Vertex v = 11; v <= 20; ++v) {
+        lo2 = std::min(lo2, embedded.angles[v]);
+        hi2 = std::max(hi2, embedded.angles[v]);
+    }
+    EXPECT_TRUE(hi1 < lo2 || hi2 < lo1)
+        << "branch arcs overlap: [" << lo1 << "," << hi1 << "] vs [" << lo2 << "," << hi2
+        << "]";
+}
+
+TEST(Embedder, EdgeFitOnPerfectInstanceIsHighForTruth) {
+    HrgParams p;
+    p.n = 2000;
+    p.alpha_h = 0.75;
+    p.t_h = 0.0;
+    const auto truth = generate_hrg(p, 3);
+    EXPECT_DOUBLE_EQ(embedding_edge_fit(truth), 1.0);  // threshold model
+}
+
+/// The [11] miniature: re-embed an HRG from its topology alone; geometric
+/// greedy routing on the inferred coordinates must recover a large share of
+/// deliverability — far above the random-coordinates baseline.
+TEST(Embedder, ReembeddedHrgRemainsNavigable) {
+    HrgParams p;
+    p.n = 5000;
+    p.alpha_h = 0.75;
+    p.c_h = 0.0;
+    p.t_h = 0.0;
+    const auto truth = generate_hrg(p, 7);
+    const auto embedded = embed_graph(truth.graph, {});
+    EXPECT_GT(embedding_edge_fit(embedded), 0.6);
+
+    auto random_coords = embedded;
+    Rng rng(8);
+    for (auto& angle : random_coords.angles) {
+        angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    }
+
+    const auto comps = connected_components(truth.graph);
+    const auto giant = giant_component_vertices(comps);
+    int ok_truth = 0;
+    int ok_embedded = 0;
+    int ok_random = 0;
+    int tries = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        ++tries;
+        const HyperbolicObjective on_truth(truth, t);
+        const HyperbolicObjective on_embedded(embedded, t);
+        const HyperbolicObjective on_random(random_coords, t);
+        ok_truth += GreedyRouter{}.route(truth.graph, on_truth, s).success() ? 1 : 0;
+        ok_embedded +=
+            GreedyRouter{}.route(embedded.graph, on_embedded, s).success() ? 1 : 0;
+        ok_random +=
+            GreedyRouter{}.route(random_coords.graph, on_random, s).success() ? 1 : 0;
+    }
+    EXPECT_GT(ok_truth, tries * 8 / 10);
+    EXPECT_GT(ok_embedded, tries * 3 / 10);      // recovers a large share...
+    EXPECT_GT(ok_embedded, 5 * ok_random + 10);  // ...and crushes random
+}
+
+TEST(Embedder, PatchingRescuesImperfectEmbedding) {
+    // Theorem 3.4's practical punchline: even on *inferred* coordinates,
+    // a (P1)-(P3) patching protocol delivers every packet in the component.
+    HrgParams p;
+    p.n = 3000;
+    p.alpha_h = 0.75;
+    p.t_h = 0.0;
+    const auto truth = generate_hrg(p, 9);
+    const auto embedded = embed_graph(truth.graph, {});
+    const auto comps = connected_components(embedded.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(10);
+    RoutingOptions options;
+    options.max_steps = 300 * embedded.num_vertices();
+    for (int trial = 0; trial < 30; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        const HyperbolicObjective objective(embedded, t);
+        EXPECT_TRUE(PhiDfsRouter{}.route(embedded.graph, objective, s, options).success());
+    }
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "core/greedy.h"
+#include "core/phi_dfs.h"
+#include "experiments/parallel.h"
+#include "experiments/runner.h"
+#include "experiments/table.h"
+#include "experiments/trajectory_profile.h"
+#include "girg/generator.h"
+
+namespace smallworld {
+namespace {
+
+// ---------------------------------------------------------------- parallel
+
+TEST(ParallelFor, RunsEveryIndexOnce) {
+    std::vector<std::atomic<int>> counters(1000);
+    parallel_for(1000, [&](std::size_t i) { ++counters[i]; }, 8);
+    for (const auto& c : counters) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, ZeroItemsNoop) {
+    parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+    int count = 0;
+    parallel_for(10, [&](std::size_t) { ++count; }, 1);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+    EXPECT_THROW(
+        parallel_for(100, [](std::size_t i) {
+            if (i == 42) throw std::runtime_error("boom");
+        }, 4),
+        std::runtime_error);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, PrintAlignsColumns) {
+    Table table({"n", "rate"});
+    table.add_row().cell(std::size_t{1024}).cell(0.5, 2);
+    table.add_row().cell(std::size_t{64}).cell(0.25, 2);
+    std::ostringstream os;
+    table.print(os, "demo");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("1024"), std::string::npos);
+    EXPECT_NE(out.find("0.50"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+    EXPECT_EQ(table.at(1, 1), "0.25");
+}
+
+TEST(Table, CsvOutput) {
+    Table table({"a", "b"});
+    table.add_row().cell(std::string("x")).cell(1.5, 1);
+    std::ostringstream os;
+    table.write_csv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,1.5\n");
+}
+
+TEST(Table, AtOutOfRangeThrows) {
+    Table table({"a"});
+    EXPECT_THROW((void)table.at(0, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- runner
+
+class RunnerTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        GirgParams params{.n = 5000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                          .wmin = 2.0, .edge_scale = 1.0};
+        params.edge_scale = calibrated_edge_scale(params);
+        girg_ = new Girg(generate_girg(params, 55));
+    }
+    static void TearDownTestSuite() {
+        delete girg_;
+        girg_ = nullptr;
+    }
+    static Girg* girg_;
+};
+Girg* RunnerTest::girg_ = nullptr;
+
+TEST_F(RunnerTest, CountsAddUp) {
+    TrialConfig config;
+    config.targets = 4;
+    config.sources_per_target = 32;
+    const auto stats = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                       config, 1);
+    EXPECT_EQ(stats.attempts,
+              stats.delivered + stats.dead_end + stats.exhausted + stats.step_limit);
+    EXPECT_LE(stats.delivered_in_component, stats.delivered);
+    EXPECT_LE(stats.same_component, stats.attempts);
+    EXPECT_GT(stats.attempts, 100u);
+}
+
+TEST_F(RunnerTest, DeterministicAcrossThreadCounts) {
+    TrialConfig config;
+    config.targets = 6;
+    config.sources_per_target = 16;
+    config.threads = 1;
+    const auto seq = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                     config, 7);
+    config.threads = 8;
+    const auto par = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                     config, 7);
+    EXPECT_EQ(seq.attempts, par.attempts);
+    EXPECT_EQ(seq.delivered, par.delivered);
+    EXPECT_DOUBLE_EQ(seq.hops.mean(), par.hops.mean());
+    EXPECT_DOUBLE_EQ(seq.stretch.mean(), par.stretch.mean());
+}
+
+TEST_F(RunnerTest, GiantRestrictionRaisesSuccess) {
+    TrialConfig config;
+    config.targets = 8;
+    config.sources_per_target = 32;
+    const auto all = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                     config, 3);
+    config.restrict_to_giant = true;
+    const auto giant = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                       config, 3);
+    EXPECT_GE(giant.success_rate(), all.success_rate());
+    // Inside the giant every pair is same-component.
+    EXPECT_EQ(giant.same_component, giant.attempts);
+}
+
+TEST_F(RunnerTest, PatchingSucceedsAlwaysInComponent) {
+    TrialConfig config;
+    config.targets = 6;
+    config.sources_per_target = 16;
+    config.restrict_to_giant = true;
+    const auto stats = run_girg_trials(*girg_, PhiDfsRouter{}, girg_objective_factory(),
+                                       config, 5);
+    EXPECT_DOUBLE_EQ(stats.in_component_success_rate(), 1.0);
+}
+
+TEST_F(RunnerTest, MinDistanceFilterRespected) {
+    TrialConfig config;
+    config.targets = 4;
+    config.sources_per_target = 16;
+    config.restrict_to_giant = true;
+    config.min_graph_distance = 3;
+    const auto stats = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                       config, 9);
+    // Every successful route then has BFS distance >= 3.
+    EXPECT_GE(stats.bfs_distance.min(), 3.0);
+}
+
+TEST_F(RunnerTest, StretchAtLeastOne) {
+    TrialConfig config;
+    config.targets = 8;
+    config.sources_per_target = 32;
+    config.restrict_to_giant = true;
+    const auto stats = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                       config, 11);
+    ASSERT_GT(stats.stretch.count(), 0u);
+    EXPECT_GE(stats.stretch.min(), 1.0);
+    EXPECT_LT(stats.stretch.mean(), 1.5);
+}
+
+TEST_F(RunnerTest, GeometricObjectiveWeaker) {
+    // Section 4: degree-agnostic geometric routing underperforms the
+    // weight-aware objective.
+    TrialConfig config;
+    config.targets = 12;
+    config.sources_per_target = 32;
+    config.restrict_to_giant = true;
+    const auto phi = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                     config, 13);
+    const auto geo = run_girg_trials(*girg_, GreedyRouter{},
+                                     geometric_objective_factory(), config, 13);
+    EXPECT_GT(phi.success_rate(), geo.success_rate());
+}
+
+TEST_F(RunnerTest, RelaxedFactoryWorks) {
+    TrialConfig config;
+    config.targets = 4;
+    config.sources_per_target = 16;
+    config.restrict_to_giant = true;
+    const auto stats = run_girg_trials(
+        *girg_, GreedyRouter{},
+        relaxed_objective_factory(RelaxationKind::kConstantFactor, 1.0, 17), config, 15);
+    const auto base = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                      config, 15);
+    // Magnitude-1 constant factor relaxation is the identity.
+    EXPECT_EQ(stats.delivered, base.delivered);
+    EXPECT_DOUBLE_EQ(stats.hops.mean(), base.hops.mean());
+}
+
+// ------------------------------------------------------ trajectory profile
+
+TEST_F(RunnerTest, TrajectoryProfileAggregates) {
+    TrajectoryProfileConfig config;
+    config.pairs = 60;
+    config.min_torus_distance = 0.1;
+    config.min_hops = 2;
+    const auto profile = collect_trajectory_profile(*girg_, config, 21);
+    ASSERT_GT(profile.paths, 20u);
+    // Hop 0 from the source covers every aggregated path.
+    EXPECT_EQ(profile.from_source[0].log_weight.count(), profile.paths);
+    EXPECT_EQ(profile.from_target[0].log_weight.count(), profile.paths);
+    // Figure 1 shape: the first hop climbs in weight...
+    EXPECT_GT(profile.from_source[1].log_weight.mean(),
+              profile.from_source[0].log_weight.mean());
+    // ...and the final vertex is far closer to the target than the source.
+    EXPECT_LT(profile.from_target[0].log_distance.mean(),
+              profile.from_source[0].log_distance.mean());
+    // Early hops are predominantly first-phase, the last hop second-phase.
+    EXPECT_GT(profile.from_source[0].first_phase_fraction.mean(), 0.6);
+    EXPECT_LT(profile.from_target[0].first_phase_fraction.mean(), 0.4);
+}
+
+TEST_F(RunnerTest, TrajectoryProfileTableRenders) {
+    TrajectoryProfileConfig config;
+    config.pairs = 30;
+    config.min_hops = 2;
+    const auto profile = collect_trajectory_profile(*girg_, config, 22);
+    const Table table = profile.to_table(false);
+    EXPECT_GT(table.rows(), 1u);
+    std::ostringstream os;
+    table.print(os, "profile");
+    EXPECT_NE(os.str().find("geo-mean weight"), std::string::npos);
+}
+
+TEST(TrajectoryProfileEdge, EmptyGraphYieldsNoPaths) {
+    Girg g;
+    g.params = GirgParams{.n = 10, .dim = 1, .alpha = 2.0, .beta = 2.5, .wmin = 1.0,
+                          .edge_scale = 1.0};
+    g.positions.dim = 1;
+    g.graph = Graph(0, {});
+    const auto profile = collect_trajectory_profile(g, {}, 1);
+    EXPECT_EQ(profile.paths, 0u);
+}
+
+TEST(Runner, ThrowsOnTinyGraph) {
+    GirgParams params{.n = 4, .dim = 1, .alpha = 2.0, .beta = 2.5, .wmin = 1.0,
+                      .edge_scale = 1.0};
+    Girg g;
+    g.params = params;
+    TrialConfig config;
+    EXPECT_THROW(
+        (void)run_girg_trials(g, GreedyRouter{}, girg_objective_factory(), config, 1),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smallworld

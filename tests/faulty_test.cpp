@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/faulty.h"
+#include "core/greedy.h"
+#include "girg/generator.h"
+#include "graph/components.h"
+#include "test_scenarios.h"
+
+namespace smallworld {
+namespace {
+
+using testing::ScenarioBuilder;
+
+TEST(FaultyLinks, RejectsBadParameters) {
+    EXPECT_THROW(FaultyLinkGreedyRouter(-0.1, 1), std::invalid_argument);
+    EXPECT_THROW(FaultyLinkGreedyRouter(1.1, 1), std::invalid_argument);
+    EXPECT_THROW(FaultyLinkGreedyRouter(0.5, 1, -1), std::invalid_argument);
+}
+
+TEST(FaultyLinks, ZeroFailureMatchesGreedyExactly) {
+    GirgParams params{.n = 8000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 2.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 201);
+    Rng rng(202);
+    const FaultyLinkGreedyRouter faulty(0.0, 7);
+    const GreedyRouter greedy;
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto a = greedy.route(g.graph, obj, s);
+        const auto b = faulty.route(g.graph, obj, s);
+        EXPECT_EQ(a.status, b.status);
+        EXPECT_EQ(a.path, b.path);
+    }
+}
+
+TEST(FaultyLinks, TotalFailureDropsImmediately) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.3);
+    const Girg g = b.edge(s, t).build();
+    const GirgObjective obj(g, t);
+    const FaultyLinkGreedyRouter faulty(1.0, 7, /*max_retries=*/2);
+    const auto result = faulty.route(g.graph, obj, s);
+    EXPECT_EQ(result.status, RoutingStatus::kDeadEnd);
+    EXPECT_EQ(result.steps(), 0u);
+}
+
+TEST(FaultyLinks, SourceIsTargetStillDelivered) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Girg g = b.build();
+    const GirgObjective obj(g, s);
+    EXPECT_TRUE(FaultyLinkGreedyRouter(1.0, 7).route(g.graph, obj, s).success());
+}
+
+TEST(FaultyLinks, RetriesRideOutTransientFailure) {
+    // One improving link; with p = 0.5 and several retries the message
+    // should almost always get through eventually.
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.3);
+    const Girg g = b.edge(s, t).build();
+    const GirgObjective obj(g, t);
+    int delivered = 0;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const FaultyLinkGreedyRouter faulty(0.5, seed, /*max_retries=*/8);
+        delivered += faulty.route(g.graph, obj, s).success() ? 1 : 0;
+    }
+    EXPECT_GT(delivered, 95);  // P[9 consecutive failures] ~ 0.002
+}
+
+TEST(FaultyLinks, DeterministicForSeed) {
+    GirgParams params{.n = 4000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 2.0, .edge_scale = 1.0};
+    const Girg g = generate_girg(params, 203);
+    const GirgObjective obj(g, 100);
+    const FaultyLinkGreedyRouter faulty(0.3, 99);
+    const auto a = faulty.route(g.graph, obj, 5);
+    const auto b = faulty.route(g.graph, obj, 5);
+    EXPECT_EQ(a.path, b.path);
+}
+
+TEST(FaultyLinks, ModerateFailureDegradesGracefully) {
+    // Theorem 3.5's robustness: losing 20% of links per hop should leave
+    // routing success close to the reliable baseline, with similar hops.
+    GirgParams params{.n = 20000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 4.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 205);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(206);
+    const GreedyRouter greedy;
+    const FaultyLinkGreedyRouter faulty(0.2, 77);
+    int base_ok = 0;
+    int faulty_ok = 0;
+    int trials = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        ++trials;
+        base_ok += greedy.route(g.graph, obj, s).success() ? 1 : 0;
+        faulty_ok += faulty.route(g.graph, obj, s).success() ? 1 : 0;
+    }
+    EXPECT_GT(faulty_ok, trials * 7 / 10);
+    EXPECT_GT(faulty_ok, base_ok * 8 / 10);
+}
+
+}  // namespace
+}  // namespace smallworld

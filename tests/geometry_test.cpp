@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/cells.h"
+#include "geometry/morton.h"
+#include "geometry/torus.h"
+#include "random/rng.h"
+
+namespace smallworld {
+namespace {
+
+// ---------------------------------------------------------------- torus
+
+TEST(Torus, CoordDistanceWrapsAround) {
+    EXPECT_DOUBLE_EQ(torus_coord_distance(0.1, 0.9), 0.2);
+    EXPECT_DOUBLE_EQ(torus_coord_distance(0.0, 0.5), 0.5);
+    EXPECT_DOUBLE_EQ(torus_coord_distance(0.25, 0.25), 0.0);
+    EXPECT_DOUBLE_EQ(torus_coord_distance(0.0, 1.0), 0.0);
+}
+
+TEST(Torus, MaxNormDistance) {
+    const double x[2] = {0.1, 0.1};
+    const double y[2] = {0.2, 0.9};  // per-axis distances 0.1 and 0.2
+    EXPECT_DOUBLE_EQ(torus_distance(x, y, 2), 0.2);
+}
+
+TEST(Torus, DistanceIsAMetric) {
+    Rng rng(1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        double a[3];
+        double b[3];
+        double c[3];
+        for (int i = 0; i < 3; ++i) {
+            a[i] = rng.uniform();
+            b[i] = rng.uniform();
+            c[i] = rng.uniform();
+        }
+        const double ab = torus_distance(a, b, 3);
+        const double ba = torus_distance(b, a, 3);
+        const double ac = torus_distance(a, c, 3);
+        const double cb = torus_distance(c, b, 3);
+        EXPECT_DOUBLE_EQ(ab, ba);                    // symmetry
+        EXPECT_LE(ab, ac + cb + 1e-15);              // triangle inequality
+        EXPECT_LE(ab, 0.5);                          // diameter of the torus
+        EXPECT_GE(ab, 0.0);
+    }
+    double p[3] = {0.3, 0.7, 0.5};
+    EXPECT_DOUBLE_EQ(torus_distance(p, p, 3), 0.0);  // identity
+}
+
+TEST(Torus, DistancePowD) {
+    const double x[3] = {0.0, 0.0, 0.0};
+    const double y[3] = {0.2, 0.1, 0.05};
+    EXPECT_NEAR(torus_distance_pow_d(x, y, 3), 0.008, 1e-15);
+}
+
+TEST(Torus, BallVolume) {
+    EXPECT_DOUBLE_EQ(torus_ball_volume(0.1, 1), 0.2);
+    EXPECT_DOUBLE_EQ(torus_ball_volume(0.1, 2), 0.04);
+    EXPECT_DOUBLE_EQ(torus_ball_volume(0.7, 2), 1.0);  // capped at the torus
+    EXPECT_DOUBLE_EQ(torus_ball_volume(0.0, 3), 0.0);
+}
+
+TEST(Torus, BallRadiusInvertsVolume) {
+    for (int d = 1; d <= 4; ++d) {
+        for (const double r : {0.01, 0.1, 0.3}) {
+            EXPECT_NEAR(torus_ball_radius(torus_ball_volume(r, d), d), r, 1e-12);
+        }
+    }
+}
+
+TEST(Torus, WrapIntoUnitInterval) {
+    EXPECT_DOUBLE_EQ(torus_wrap(0.25), 0.25);
+    EXPECT_DOUBLE_EQ(torus_wrap(1.25), 0.25);
+    EXPECT_DOUBLE_EQ(torus_wrap(-0.25), 0.75);
+    EXPECT_DOUBLE_EQ(torus_wrap(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(torus_wrap(1.0), 0.0);
+    const double w = torus_wrap(-1e-18);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 1.0);
+}
+
+// ---------------------------------------------------------------- morton
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+    Rng rng(2);
+    for (int dim = 1; dim <= 4; ++dim) {
+        for (int level : {0, 1, 3, 7, kMaxLevel}) {
+            for (int trial = 0; trial < 200; ++trial) {
+                std::uint32_t coords[4] = {0, 0, 0, 0};
+                const std::uint32_t per_axis = 1U << level;
+                for (int a = 0; a < dim; ++a) {
+                    coords[a] = static_cast<std::uint32_t>(rng.uniform_index(per_axis));
+                }
+                const std::uint64_t code = morton_encode(coords, dim, level);
+                std::uint32_t decoded[4];
+                morton_decode(code, dim, level, decoded);
+                for (int a = 0; a < dim; ++a) EXPECT_EQ(decoded[a], coords[a]);
+            }
+        }
+    }
+}
+
+TEST(Morton, KnownCodes2d) {
+    // Level 1, 2D: (0,0)->0, (0,1)->1, (1,0)->2, (1,1)->3 (axis 0 = MSB).
+    std::uint32_t c00[2] = {0, 0};
+    std::uint32_t c01[2] = {0, 1};
+    std::uint32_t c10[2] = {1, 0};
+    std::uint32_t c11[2] = {1, 1};
+    EXPECT_EQ(morton_encode(c00, 2, 1), 0u);
+    EXPECT_EQ(morton_encode(c01, 2, 1), 1u);
+    EXPECT_EQ(morton_encode(c10, 2, 1), 2u);
+    EXPECT_EQ(morton_encode(c11, 2, 1), 3u);
+}
+
+TEST(Morton, HierarchicalPrefixProperty) {
+    // The code of a point at level l is the l*d-bit prefix of its code at
+    // any deeper level.
+    Rng rng(3);
+    for (int trial = 0; trial < 500; ++trial) {
+        double p[3] = {rng.uniform(), rng.uniform(), rng.uniform()};
+        const int dim = 3;
+        const std::uint64_t deep = morton_of_point(p, dim, 10);
+        for (int level = 0; level <= 10; ++level) {
+            const std::uint64_t shallow = morton_of_point(p, dim, level);
+            EXPECT_EQ(shallow, deep >> (dim * (10 - level)));
+        }
+    }
+}
+
+TEST(Morton, PointAtUpperBoundaryClamped) {
+    double p[2] = {1.0, 0.999999999};
+    std::uint32_t coords[2];
+    cell_coords_of_point(p, 2, 4, coords);
+    EXPECT_EQ(coords[0], 15u);
+    EXPECT_LE(coords[1], 15u);
+}
+
+// ---------------------------------------------------------------- cells
+
+TEST(Cells, SideLength) {
+    EXPECT_DOUBLE_EQ(cell_side(0), 1.0);
+    EXPECT_DOUBLE_EQ(cell_side(3), 0.125);
+}
+
+TEST(Cells, AxisDistanceWraps) {
+    // Level 3: 8 cells per axis; cells 0 and 7 are adjacent on the torus.
+    EXPECT_EQ(cell_axis_distance(0, 7, 3), 1u);
+    EXPECT_EQ(cell_axis_distance(0, 4, 3), 4u);
+    EXPECT_EQ(cell_axis_distance(2, 2, 3), 0u);
+}
+
+TEST(Cells, TouchingIncludesDiagonalAndWrap) {
+    Cell a;
+    a.level = 3;
+    a.coords[0] = 0;
+    a.coords[1] = 0;
+    Cell b = a;
+    b.coords[0] = 7;
+    b.coords[1] = 7;  // diagonal neighbor across both wraps
+    EXPECT_TRUE(cells_touch(a, b, 2));
+    b.coords[0] = 2;
+    b.coords[1] = 0;  // two apart on one axis
+    EXPECT_FALSE(cells_touch(a, b, 2));
+    EXPECT_TRUE(cells_touch(a, a, 2));  // a cell touches itself
+}
+
+TEST(Cells, RootTouchesItself) {
+    Cell root;
+    EXPECT_TRUE(cells_touch(root, root, 3));
+}
+
+TEST(Cells, MinDistanceLowerBoundsPointDistance) {
+    Rng rng(5);
+    const int dim = 2;
+    const int level = 4;
+    for (int trial = 0; trial < 3000; ++trial) {
+        double p[2] = {rng.uniform(), rng.uniform()};
+        double q[2] = {rng.uniform(), rng.uniform()};
+        const Cell a = cell_of_point(p, dim, level);
+        const Cell b = cell_of_point(q, dim, level);
+        EXPECT_LE(cell_min_distance(a, b, dim), torus_distance(p, q, dim) + 1e-12);
+    }
+}
+
+TEST(Cells, MinDistanceZeroForTouching) {
+    Cell a;
+    a.level = 2;
+    a.coords[0] = 1;
+    Cell b = a;
+    b.coords[0] = 2;
+    EXPECT_DOUBLE_EQ(cell_min_distance(a, b, 1), 0.0);
+    b.coords[0] = 3;  // one gap cell between them at level 2 (4 cells)
+    EXPECT_DOUBLE_EQ(cell_min_distance(a, b, 1), 0.25);
+}
+
+TEST(Cells, ChildCoversParentSubcube) {
+    Cell parent;
+    parent.level = 2;
+    parent.coords[0] = 1;
+    parent.coords[1] = 3;
+    for (unsigned k = 0; k < 4; ++k) {
+        const Cell child = cell_child(parent, 2, k);
+        EXPECT_EQ(child.level, 3);
+        EXPECT_EQ(child.coords[0] >> 1, parent.coords[0]);
+        EXPECT_EQ(child.coords[1] >> 1, parent.coords[1]);
+    }
+}
+
+TEST(Cells, ChildMortonIsContiguous) {
+    // Child Morton codes are parent*2^d + k, matching the recursion's
+    // assumption that descendants form contiguous ranges.
+    Cell parent;
+    parent.level = 3;
+    parent.coords[0] = 5;
+    parent.coords[1] = 2;
+    const std::uint64_t parent_code = parent.morton(2);
+    for (unsigned k = 0; k < 4; ++k) {
+        const Cell child = cell_child(parent, 2, k);
+        EXPECT_EQ(child.morton(2), parent_code * 4 + k);
+    }
+}
+
+TEST(Cells, CellOfPointConsistentWithMorton) {
+    Rng rng(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        double p[4] = {rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+        const Cell cell = cell_of_point(p, 4, 6);
+        EXPECT_EQ(cell.morton(4), morton_of_point(p, 4, 6));
+    }
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "girg/generator.h"
+#include "girg/io.h"
+
+namespace smallworld {
+namespace {
+
+GirgParams io_params() {
+    GirgParams p;
+    p.n = 400;
+    p.dim = 2;
+    p.alpha = 2.0;
+    p.beta = 2.5;
+    p.wmin = 1.5;
+    p.edge_scale = calibrated_edge_scale(p);
+    return p;
+}
+
+TEST(GirgIo, RoundTripPreservesEverything) {
+    const Girg original = generate_girg(io_params(), 77);
+    std::stringstream stream;
+    write_girg(stream, original);
+    const Girg loaded = read_girg(stream);
+
+    EXPECT_EQ(loaded.params.dim, original.params.dim);
+    EXPECT_DOUBLE_EQ(loaded.params.n, original.params.n);
+    EXPECT_DOUBLE_EQ(loaded.params.alpha, original.params.alpha);
+    EXPECT_DOUBLE_EQ(loaded.params.beta, original.params.beta);
+    EXPECT_DOUBLE_EQ(loaded.params.wmin, original.params.wmin);
+    EXPECT_DOUBLE_EQ(loaded.params.edge_scale, original.params.edge_scale);
+
+    ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+    EXPECT_EQ(loaded.weights, original.weights);          // exact: max_digits10
+    EXPECT_EQ(loaded.positions.coords, original.positions.coords);
+    ASSERT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+    for (Vertex v = 0; v < original.num_vertices(); ++v) {
+        const auto a = original.graph.neighbors(v);
+        const auto b = loaded.graph.neighbors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    }
+}
+
+TEST(GirgIo, ThresholdAlphaSerializedAsInf) {
+    GirgParams p = io_params();
+    p.alpha = kAlphaInfinity;
+    const Girg original = generate_girg(p, 5);
+    std::stringstream stream;
+    write_girg(stream, original);
+    EXPECT_NE(stream.str().find(" inf "), std::string::npos);
+    const Girg loaded = read_girg(stream);
+    EXPECT_TRUE(loaded.params.threshold());
+}
+
+TEST(GirgIo, RejectsGarbage) {
+    std::stringstream empty;
+    EXPECT_THROW(read_girg(empty), std::runtime_error);
+
+    std::stringstream wrong_magic("notagirg 1\n");
+    EXPECT_THROW(read_girg(wrong_magic), std::runtime_error);
+
+    std::stringstream wrong_version("girg 99\n");
+    EXPECT_THROW(read_girg(wrong_version), std::runtime_error);
+
+    std::stringstream bad_edge(
+        "girg 1\nparams 10 1 2 2.5 1 1\nvertices 2\n1.0 0.5\n1.0 0.25\n"
+        "edges 1\n0 7\n");
+    EXPECT_THROW(read_girg(bad_edge), std::runtime_error);
+
+    std::stringstream bad_coord(
+        "girg 1\nparams 10 1 2 2.5 1 1\nvertices 1\n1.0 1.5\nedges 0\n");
+    EXPECT_THROW(read_girg(bad_coord), std::runtime_error);
+}
+
+TEST(GirgIo, EdgeListFormat) {
+    const std::vector<Edge> edges{{0, 1}, {2, 1}};
+    const Graph graph(3, edges);
+    std::ostringstream os;
+    write_edge_list(os, graph);
+    EXPECT_EQ(os.str(), "0\t1\n1\t2\n");
+}
+
+TEST(GirgIo, EmptyGraphRoundTrip) {
+    Girg girg;
+    girg.params = io_params();
+    girg.positions.dim = girg.params.dim;
+    girg.graph = Graph(0, {});
+    std::stringstream stream;
+    write_girg(stream, girg);
+    const Girg loaded = read_girg(stream);
+    EXPECT_EQ(loaded.num_vertices(), 0u);
+    EXPECT_EQ(loaded.graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace smallworld

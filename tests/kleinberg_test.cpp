@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "graph/components.h"
+#include "kleinberg/lattice.h"
+#include "kleinberg/noisy.h"
+#include "random/stats.h"
+
+namespace smallworld {
+namespace {
+
+// ---------------------------------------------------------------- lattice
+
+TEST(KleinbergGrid, ManhattanTorusDistance) {
+    KleinbergGrid grid;
+    grid.params.side = 8;
+    EXPECT_EQ(grid.manhattan(grid.vertex_at(0, 0), grid.vertex_at(0, 3)), 3u);
+    EXPECT_EQ(grid.manhattan(grid.vertex_at(0, 0), grid.vertex_at(0, 7)), 1u);  // wrap
+    EXPECT_EQ(grid.manhattan(grid.vertex_at(1, 1), grid.vertex_at(5, 5)), 8u);
+    EXPECT_EQ(grid.manhattan(grid.vertex_at(2, 2), grid.vertex_at(2, 2)), 0u);
+}
+
+TEST(KleinbergGrid, RowColRoundTrip) {
+    KleinbergGrid grid;
+    grid.params.side = 10;
+    for (std::uint32_t r = 0; r < 10; ++r) {
+        for (std::uint32_t c = 0; c < 10; ++c) {
+            const Vertex v = grid.vertex_at(r, c);
+            EXPECT_EQ(grid.row(v), r);
+            EXPECT_EQ(grid.col(v), c);
+        }
+    }
+}
+
+TEST(KleinbergGenerate, LatticeEdgesPresent) {
+    KleinbergParams p;
+    p.side = 16;
+    p.q = 0;  // lattice only
+    const KleinbergGrid grid = generate_kleinberg(p, 1);
+    EXPECT_EQ(grid.graph.num_edges(), 2u * 16u * 16u);  // torus 4-regular
+    for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+        EXPECT_EQ(grid.graph.degree(v), 4u);
+    }
+    EXPECT_EQ(connected_components(grid.graph).count(), 1u);
+}
+
+TEST(KleinbergGenerate, LongRangeContactsAdded) {
+    KleinbergParams p;
+    p.side = 16;
+    p.q = 1;
+    const KleinbergGrid grid = generate_kleinberg(p, 2);
+    // 2n lattice edges + up to n long-range edges (collisions collapse).
+    EXPECT_GT(grid.graph.num_edges(), 2u * 16u * 16u + 100u);
+}
+
+TEST(KleinbergGenerate, LongRangeDistanceDistribution) {
+    // With exponent r = 2 in 2D, Pr[contact at Manhattan distance D] ~ 1/D
+    // (there are ~4D nodes at distance D, each weighted D^{-2}): compare the
+    // counts in two dyadic distance bands.
+    KleinbergParams p;
+    p.side = 64;
+    p.q = 1;
+    p.exponent = 2.0;
+    const KleinbergGrid grid = generate_kleinberg(p, 3);
+    std::size_t band_short = 0;  // distances [2, 4)
+    std::size_t band_long = 0;   // distances [8, 16)
+    for (Vertex v = 0; v < grid.num_vertices(); ++v) {
+        for (const Vertex u : grid.graph.neighbors(v)) {
+            const std::uint32_t d = grid.manhattan(u, v);
+            if (d >= 2 && d < 4) ++band_short;
+            if (d >= 8 && d < 16) ++band_long;
+        }
+    }
+    // Both dyadic bands carry ~equal mass for the harmonic distribution.
+    EXPECT_GT(band_long, band_short / 3);
+    EXPECT_LT(band_long, band_short * 3);
+}
+
+TEST(KleinbergObjectiveTest, InverseDistancePlusOne) {
+    KleinbergParams p;
+    p.side = 8;
+    p.q = 0;
+    const KleinbergGrid grid = generate_kleinberg(p, 4);
+    const Vertex t = grid.vertex_at(4, 4);
+    const KleinbergObjective obj(grid, t);
+    EXPECT_TRUE(std::isinf(obj.value(t)));
+    EXPECT_DOUBLE_EQ(obj.value(grid.vertex_at(4, 5)), 0.5);
+    EXPECT_DOUBLE_EQ(obj.value(grid.vertex_at(5, 5)), 1.0 / 3.0);
+}
+
+TEST(KleinbergRouting, AlwaysDelivers) {
+    // The lattice guarantees an improving neighbor at every step, so greedy
+    // always succeeds — the property whose loss the noisy variant shows.
+    KleinbergParams p;
+    p.side = 32;
+    p.q = 1;
+    const KleinbergGrid grid = generate_kleinberg(p, 5);
+    Rng rng(6);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+        if (s == t) continue;
+        const KleinbergObjective obj(grid, t);
+        const auto result = GreedyRouter{}.route(grid.graph, obj, s);
+        EXPECT_TRUE(result.success());
+        // Greedy distance can never exceed the Manhattan distance (lattice
+        // steps alone would achieve it).
+        EXPECT_LE(result.steps(), static_cast<std::size_t>(grid.manhattan(s, t)));
+    }
+}
+
+TEST(KleinbergRouting, HarmonicExponentBeatsOthersAtScale) {
+    // Kleinberg's dichotomy (the "fragile exponent" of Section 1.1): at
+    // r = 2 greedy routes in Theta(log^2 side); at r = 0 it needs
+    // Theta(side^{2/3}) and at steep r the long links shrink to lattice
+    // range. side = 512 separates the regimes clearly.
+    Rng rng(7);
+    const auto mean_hops = [&](double exponent) {
+        KleinbergParams p;
+        p.side = 512;
+        p.q = 1;
+        p.exponent = exponent;
+        const KleinbergGrid grid = generate_kleinberg(p, 8);
+        RunningStats hops;
+        for (int trial = 0; trial < 300; ++trial) {
+            const auto s = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+            const auto t = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+            if (s == t) continue;
+            const KleinbergObjective obj(grid, t);
+            const auto result = GreedyRouter{}.route(grid.graph, obj, s);
+            if (result.success()) hops.add(static_cast<double>(result.steps()));
+        }
+        return hops.mean();
+    };
+    const double harmonic = mean_hops(2.0);
+    const double uniform = mean_hops(0.0);
+    const double steep = mean_hops(3.5);
+    EXPECT_LT(harmonic, 0.85 * uniform);
+    EXPECT_LT(harmonic, 0.4 * steep);
+}
+
+// ------------------------------------------------------------ bounded grid
+
+TEST(KleinbergBounded, NoWrapDistancesAndCorners) {
+    KleinbergParams p;
+    p.side = 8;
+    p.q = 0;
+    p.torus = false;
+    const KleinbergGrid grid = generate_kleinberg(p, 4);
+    // Opposite corners are 2*(side-1) apart (14, not 2 as on the torus).
+    EXPECT_EQ(grid.manhattan(grid.vertex_at(0, 0), grid.vertex_at(7, 7)), 14u);
+    EXPECT_EQ(grid.manhattan(grid.vertex_at(0, 0), grid.vertex_at(0, 7)), 7u);
+    // Corner degree 2, edge degree 3, interior degree 4.
+    EXPECT_EQ(grid.graph.degree(grid.vertex_at(0, 0)), 2u);
+    EXPECT_EQ(grid.graph.degree(grid.vertex_at(0, 3)), 3u);
+    EXPECT_EQ(grid.graph.degree(grid.vertex_at(3, 3)), 4u);
+    // n*(n-1) horizontal + vertical edges each.
+    EXPECT_EQ(grid.graph.num_edges(), 2u * 8u * 7u);
+}
+
+TEST(KleinbergBounded, LongRangeContactsStayInGrid) {
+    KleinbergParams p;
+    p.side = 16;
+    p.q = 2;
+    p.torus = false;
+    const KleinbergGrid grid = generate_kleinberg(p, 5);
+    // More edges than the bare lattice: contacts were added (and all of
+    // them are valid by construction of the Graph).
+    EXPECT_GT(grid.graph.num_edges(), 2u * 16u * 15u + 100u);
+}
+
+TEST(KleinbergBounded, GreedyAlwaysDeliversOnBoundedGrid) {
+    KleinbergParams p;
+    p.side = 32;
+    p.q = 1;
+    p.torus = false;
+    const KleinbergGrid grid = generate_kleinberg(p, 6);
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(grid.num_vertices()));
+        if (s == t) continue;
+        const KleinbergObjective objective(grid, t);
+        const auto result = GreedyRouter{}.route(grid.graph, objective, s);
+        EXPECT_TRUE(result.success());
+        EXPECT_LE(result.steps(), static_cast<std::size_t>(grid.manhattan(s, t)));
+    }
+}
+
+// ---------------------------------------------------------------- noisy
+
+TEST(NoisyKleinberg, ParamsAndRadius) {
+    NoisyKleinbergParams p;
+    p.n = 1000;
+    p.local_degree = 4.0;
+    EXPECT_NO_THROW(p.validate());
+    // (n-1) * 2 * rho^2 = 4.
+    EXPECT_NEAR(2.0 * (p.n - 1) * p.local_radius() * p.local_radius(), 4.0, 1e-9);
+    p.n = 1;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(NoisyKleinberg, LocalDegreeMatches) {
+    NoisyKleinbergParams p;
+    p.n = 3000;
+    p.local_degree = 4.0;
+    p.q = 0;
+    const NoisyKleinbergGraph g = generate_noisy_kleinberg(p, 9);
+    EXPECT_NEAR(g.graph.average_degree(), 4.0, 0.5);
+}
+
+TEST(NoisyKleinberg, GreedyFailsOftenWithoutLattice) {
+    // Section 1.1: with noisy positions, greedy routing does not reach the
+    // target w.h.p. — each step has constant probability of a dead end.
+    NoisyKleinbergParams p;
+    p.n = 4000;
+    p.q = 1;
+    p.exponent = 2.0;
+    const NoisyKleinbergGraph g = generate_noisy_kleinberg(p, 10);
+    Rng rng(11);
+    int attempts = 0;
+    int delivered = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const NoisyKleinbergObjective obj(g, t);
+        ++attempts;
+        delivered += GreedyRouter{}.route(g.graph, obj, s).success() ? 1 : 0;
+    }
+    // The lattice version delivers 100%; the noisy version must collapse.
+    EXPECT_LT(static_cast<double>(delivered) / attempts, 0.35);
+}
+
+TEST(NoisyKleinberg, DistanceIsL1Torus) {
+    NoisyKleinbergParams p;
+    p.n = 2;
+    NoisyKleinbergGraph g;
+    g.params = p;
+    g.positions.dim = 2;
+    g.positions.coords = {0.1, 0.1, 0.9, 0.3};
+    EXPECT_NEAR(g.distance(0, 1), 0.2 + 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "core/layers.h"
+#include "core/objective.h"
+#include "girg/generator.h"
+#include "graph/components.h"
+
+namespace smallworld {
+namespace {
+
+GirgParams layer_params() {
+    GirgParams p;
+    p.n = 100000;
+    p.dim = 2;
+    p.alpha = 2.0;
+    p.beta = 2.5;
+    p.wmin = 2.0;
+    p.edge_scale = 1.0;
+    return p;
+}
+
+TEST(LayerStructure, WeightLandmarksGrowDoublyExponentially) {
+    const GirgParams p = layer_params();
+    const LayerStructure layers(p, /*w0=*/2.0, /*phi0=*/0.01);
+    const auto& y = layers.weight_landmarks();
+    ASSERT_GE(y.size(), 3u);
+    const double gamma = p.gamma(kDefaultEps1);
+    for (std::size_t j = 0; j + 1 < y.size(); ++j) {
+        EXPECT_NEAR(std::log(y[j + 1]), gamma * std::log(y[j]), 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(y.front(), 2.0);
+}
+
+TEST(LayerStructure, ObjectiveLandmarksAscendTowardPhi0) {
+    const GirgParams p = layer_params();
+    const LayerStructure layers(p, 2.0, 0.01);
+    const auto& psi = layers.objective_landmarks();
+    ASSERT_GE(psi.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(psi.begin(), psi.end()));
+    EXPECT_DOUBLE_EQ(psi.back(), 0.01);
+    // Consecutive landmarks related by the gamma power (descending view).
+    const double gamma = p.gamma(kDefaultEps1);
+    for (std::size_t j = 0; j + 1 < psi.size(); ++j) {
+        EXPECT_NEAR(std::log(psi[j]), gamma * std::log(psi[j + 1]), 1e-9);
+    }
+}
+
+TEST(LayerStructure, LayerLookupConsistent) {
+    const GirgParams p = layer_params();
+    const LayerStructure layers(p, 2.0, 0.01);
+    const auto& y = layers.weight_landmarks();
+    EXPECT_EQ(layers.weight_layer(y[0]), 0);
+    EXPECT_EQ(layers.weight_layer(y[1]), 1);
+    EXPECT_EQ(layers.weight_layer((y[0] + y[1]) / 2.0), 0);
+    EXPECT_EQ(layers.weight_layer(y[0] * 0.5), -1);
+    const auto& psi = layers.objective_landmarks();
+    EXPECT_EQ(layers.objective_layer(psi.front() * 0.5), -1);
+    EXPECT_EQ(layers.objective_layer(psi.front()), 0);
+    EXPECT_EQ(layers.objective_layer(psi.back()),
+              static_cast<int>(psi.size()) - 1);
+}
+
+TEST(LayerStructure, GlobalOrderFirstPhaseThenSecond) {
+    const GirgParams p = layer_params();
+    const LayerStructure layers(p, 2.0, 0.01);
+    TrajectoryPoint first;
+    first.phase = RoutingPhase::kFirst;
+    first.weight = layers.weight_landmarks().back();
+    TrajectoryPoint second;
+    second.phase = RoutingPhase::kSecond;
+    second.objective = layers.objective_landmarks().front();
+    EXPECT_LT(layers.layer_of(first), layers.layer_of(second));
+}
+
+TEST(LayerStructure, RejectsBadArguments) {
+    const GirgParams p = layer_params();
+    EXPECT_THROW(LayerStructure(p, 0.5, 0.01), std::invalid_argument);  // w0 < wmin
+    EXPECT_THROW(LayerStructure(p, 2.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(LayerStructure(p, 2.0, 2.0), std::invalid_argument);
+    GirgParams nearly3 = p;
+    nearly3.beta = 2.99;
+    // gamma(eps1) = (1-eps1)/0.99 < 1: the layer construction must refuse.
+    EXPECT_THROW(LayerStructure(nearly3, 2.0, 0.01), std::invalid_argument);
+}
+
+TEST(LayerDiscipline, CleanAscendingTrajectory) {
+    const GirgParams p = layer_params();
+    const LayerStructure layers(p, 2.0, 0.01);
+    std::vector<TrajectoryPoint> trajectory;
+    for (const double w : layers.weight_landmarks()) {
+        TrajectoryPoint point;
+        point.phase = RoutingPhase::kFirst;
+        point.weight = w * 1.01;
+        trajectory.push_back(point);
+    }
+    for (const double phi : layers.objective_landmarks()) {
+        TrajectoryPoint point;
+        point.phase = RoutingPhase::kSecond;
+        point.objective = phi * 1.01;
+        trajectory.push_back(point);
+    }
+    const auto discipline = check_layer_discipline(layers, trajectory);
+    EXPECT_TRUE(discipline.clean());
+    EXPECT_EQ(discipline.layers_visited,
+              layers.num_weight_layers() + layers.num_objective_layers());
+}
+
+TEST(LayerDiscipline, DetectsRevisitAndBackwardMove) {
+    const GirgParams p = layer_params();
+    const LayerStructure layers(p, 2.0, 0.01);
+    const auto& y = layers.weight_landmarks();
+    ASSERT_GE(y.size(), 2u);
+    TrajectoryPoint low;
+    low.phase = RoutingPhase::kFirst;
+    low.weight = y[0] * 1.01;
+    TrajectoryPoint high = low;
+    high.weight = y[1] * 1.01;
+    const auto discipline = check_layer_discipline(layers, {low, high, low});
+    EXPECT_EQ(discipline.layers_revisited, 1u);
+    EXPECT_EQ(discipline.backward_moves, 1u);
+    EXPECT_FALSE(discipline.clean());
+}
+
+/// Lemma 8.1 on real trajectories: a.a.s. greedy visits each layer at most
+/// once and never moves backwards. We allow a small violation fraction for
+/// the finite instance.
+TEST(LayerDiscipline, GreedyTrajectoriesAreMostlyClean) {
+    GirgParams p = layer_params();
+    p.edge_scale = calibrated_edge_scale(p);
+    const Girg girg = generate_girg(p, 111);
+    const auto comps = connected_components(girg.graph);
+    const auto giant = giant_component_vertices(comps);
+    const LayerStructure layers(p, p.wmin, 0.05);
+    Rng rng(112);
+    int paths = 0;
+    int clean = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t || girg.distance(s, t) < 0.1) continue;
+        const GirgObjective objective(girg, t);
+        const auto result = GreedyRouter{}.route(girg.graph, objective, s);
+        if (!result.success() || result.steps() < 3) continue;
+        auto trajectory = annotate_trajectory(girg, t, result.path);
+        trajectory.pop_back();  // drop the target's synthetic point
+        ++paths;
+        clean += check_layer_discipline(layers, trajectory).clean() ? 1 : 0;
+    }
+    ASSERT_GT(paths, 50);
+    EXPECT_GT(clean, paths * 7 / 10);
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/neighborhoods.h"
+#include "geometry/torus.h"
+#include "girg/generator.h"
+#include "graph/components.h"
+#include "graph/graph_stats.h"
+#include "random/stats.h"
+
+namespace smallworld {
+namespace {
+
+GirgParams nbhd_params(double alpha) {
+    GirgParams p;
+    p.n = 60000;
+    p.dim = 2;
+    p.alpha = alpha;
+    p.beta = 2.5;
+    p.wmin = 2.0;
+    p.edge_scale = calibrated_edge_scale(p);
+    return p;
+}
+
+TEST(Neighborhoods, RejectsBadEps) {
+    const Girg g = generate_girg(nbhd_params(2.0), 1);
+    EXPECT_THROW(NeighborhoodClasses(g, 0, 0.0), std::invalid_argument);
+    EXPECT_THROW(NeighborhoodClasses(g, 0, 0.2, 0.1), std::invalid_argument);
+}
+
+TEST(Neighborhoods, ZetaFormula) {
+    const Girg finite = generate_girg(nbhd_params(2.0), 2);
+    // (2*2-1)/(2*2+4-2*2.5) = 3/3 = 1 -> clamped to 3/2.
+    EXPECT_DOUBLE_EQ(NeighborhoodClasses(finite, 0, 0.05).zeta(), 1.5);
+    GirgParams steep = nbhd_params(8.0);
+    steep.n = 500;
+    const Girg g2 = generate_girg(steep, 3);
+    // (16-1)/(16+4-5) = 1 -> 3/2 again; try alpha small with beta large:
+    GirgParams tight = nbhd_params(2.0);
+    tight.beta = 2.9;
+    tight.n = 500;
+    tight.edge_scale = calibrated_edge_scale(tight);
+    const Girg g3 = generate_girg(tight, 4);
+    // (3)/(4+4-5.8) = 3/2.2 ~ 1.364 -> clamped to 1.5.
+    EXPECT_DOUBLE_EQ(NeighborhoodClasses(g3, 0, 0.05).zeta(), 1.5);
+    GirgParams thr = nbhd_params(2.0);
+    thr.alpha = kAlphaInfinity;
+    thr.n = 500;
+    const Girg g4 = generate_girg(thr, 5);
+    EXPECT_DOUBLE_EQ(NeighborhoodClasses(g4, 0, 0.05).zeta(), 1.5);
+}
+
+TEST(Neighborhoods, GoodSetMembershipFirstPhase) {
+    // Hand-check the definition (4) on a constructed configuration.
+    Girg g;
+    g.params = nbhd_params(2.0);
+    g.params.n = 1000;
+    g.positions.dim = 2;
+    // v: weight 4 at distance 0.25 from target; far first-phase vertex.
+    // u_good: weight 4^gamma(eps), closer to the target.
+    // u_bad: weight wmin, same (better) objective region.
+    const double eps = 0.05;
+    const double gamma = g.params.gamma(eps);
+    auto add = [&](double w, double x) {
+        g.weights.push_back(w);
+        g.positions.coords.push_back(x);
+        g.positions.coords.push_back(0.0);
+        return static_cast<Vertex>(g.weights.size() - 1);
+    };
+    const Vertex target = add(2.0, 0.5);
+    const Vertex v = add(4.0, 0.25);
+    const Vertex u_good = add(std::pow(4.0, gamma) * 1.01, 0.25);
+    const Vertex u_far_light = add(2.0, 0.0);
+    g.graph = Graph(4, std::vector<Edge>{{v, u_good}, {v, u_far_light}});
+
+    const NeighborhoodClasses classes(g, target, eps);
+    ASSERT_EQ(classes.phase(v), RoutingPhase::kFirst);
+    EXPECT_TRUE(classes.in_good_set(u_good, v));     // heavy and same distance
+    EXPECT_FALSE(classes.in_good_set(u_far_light, v));
+    EXPECT_FALSE(classes.in_bad_set(u_good, v));     // too heavy to be "bad"
+    EXPECT_FALSE(classes.in_bad_set(u_far_light, v));  // objective too small
+    const auto counts = classes.neighbor_counts(v);
+    EXPECT_EQ(counts.good, 1u);
+    EXPECT_EQ(counts.degree, 2u);
+}
+
+/// Lemma 7.11 (i)/(ii) empirically: along first-phase vertices of growing
+/// weight, good neighbors are plentiful and bad neighbors are rare, with
+/// the gap widening in the weight.
+TEST(Neighborhoods, GoodDominatesBadInFirstPhase) {
+    const Girg g = generate_girg(nbhd_params(2.0), 11);
+    double target_pos[2] = {0.31, 0.77};
+    // Use an actual vertex far from most as target.
+    Vertex target = 0;
+    double best = -1.0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const double d = torus_distance(g.position(v), target_pos, 2);
+        if (best < 0 || d < best) {
+            best = d;
+            target = v;
+        }
+    }
+    const NeighborhoodClasses classes(g, target, 0.05);
+
+    RunningStats good_mid;   // vertices with weight in [8, 32)
+    RunningStats bad_mid;
+    std::size_t sampled = 0;
+    for (Vertex v = 0; v < g.num_vertices() && sampled < 4000; ++v) {
+        if (v == target) continue;
+        const double w = g.weight(v);
+        if (w < 8.0 || w >= 32.0) continue;
+        if (classes.phase(v) != RoutingPhase::kFirst) continue;
+        const auto counts = classes.neighbor_counts(v);
+        good_mid.add(static_cast<double>(counts.good));
+        bad_mid.add(static_cast<double>(counts.bad));
+        ++sampled;
+    }
+    ASSERT_GT(good_mid.count(), 200u);
+    // Lemma 7.11: E[good] = Omega(w^eps) > 0, E[bad] = O(w^{-Omega(eps)}).
+    EXPECT_GT(good_mid.mean(), 0.5);
+    EXPECT_LT(bad_mid.mean(), good_mid.mean() * 0.5);
+}
+
+/// Lemma 7.12 empirically for the second phase: good (V2, much better
+/// objective) neighbors outnumber bad (V1) ones.
+TEST(Neighborhoods, GoodDominatesBadInSecondPhase) {
+    const Girg g = generate_girg(nbhd_params(2.0), 13);
+    const Vertex target = g.num_vertices() / 2;
+    const NeighborhoodClasses classes(g, target, 0.05);
+    RunningStats good;
+    RunningStats bad;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (v == target) continue;
+        if (classes.phase(v) != RoutingPhase::kSecond) continue;
+        const double phi = classes.phi(v);
+        if (phi > 0.05) continue;  // lemma needs phi <= phi1(eps)
+        const auto counts = classes.neighbor_counts(v);
+        good.add(static_cast<double>(counts.good));
+        bad.add(static_cast<double>(counts.bad));
+    }
+    ASSERT_GT(good.count(), 50u);
+    EXPECT_GT(good.mean(), bad.mean());
+}
+
+/// Lemma 7.4: the expected number of neighbors of v with weight at least
+/// w+ = wv^{(1+eps)/(beta-2)} is O(wmin^{beta-2} wv^{-eps}) — i.e. very
+/// heavy neighbors of mid-weight vertices are rare.
+TEST(Neighborhoods, HeavyNeighborsAreRare) {
+    const Girg g = generate_girg(nbhd_params(2.0), 17);
+    const double eps = 0.3;
+    const double exponent = (1.0 + eps) / (g.params.beta - 2.0);
+    RunningStats heavy_counts;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const double w = g.weight(v);
+        if (w < 4.0 || w >= 8.0) continue;  // mid-weight band
+        const double w_plus = std::pow(w, exponent);
+        std::size_t heavy = 0;
+        for (const Vertex u : g.graph.neighbors(v)) {
+            if (g.weight(u) >= w_plus) ++heavy;
+        }
+        heavy_counts.add(static_cast<double>(heavy));
+    }
+    ASSERT_GT(heavy_counts.count(), 500u);
+    // Mean degree in this band is ~6; heavy neighbors must be a small
+    // fraction (the lemma's bound at w ~ 6 is ~ 6^{-0.3} ~ 0.58).
+    EXPECT_LT(heavy_counts.mean(), 0.9);
+}
+
+/// Polylogarithmic diameter ([16], cited in Section 1.1 item (2)): the
+/// double-sweep lower bound on the giant's diameter stays tiny compared to
+/// any polynomial in n.
+TEST(Neighborhoods, GiantDiameterIsPolylog) {
+    const Girg g = generate_girg(nbhd_params(2.0), 19);  // n = 60000
+    const auto comps = connected_components(g.graph);
+    Vertex start = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (comps.in_giant(v)) {
+            start = v;
+            break;
+        }
+    }
+    const auto diameter = double_sweep_diameter_lower_bound(g.graph, start);
+    const double log_n = std::log2(g.params.n);
+    EXPECT_LT(static_cast<double>(diameter), 2.0 * log_n);  // << n^c
+    EXPECT_GE(diameter, 4);  // sanity: not a star
+}
+
+}  // namespace
+}  // namespace smallworld

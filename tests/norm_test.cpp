@@ -1,0 +1,188 @@
+// The Euclidean-norm variant of the model (Section 2.1: "we may replace the
+// maximum norm by any other norm and obtain the same model since we allow
+// constant factor deviations").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/greedy.h"
+#include "core/phi_dfs.h"
+#include "geometry/torus.h"
+#include "girg/edge_probability.h"
+#include "girg/generator.h"
+#include "girg/io.h"
+#include "graph/components.h"
+#include "random/stats.h"
+
+namespace smallworld {
+namespace {
+
+GirgParams l2_params(double n = 600.0) {
+    GirgParams p;
+    p.n = n;
+    p.dim = 2;
+    p.alpha = 2.0;
+    p.beta = 2.5;
+    p.wmin = 2.0;
+    p.norm = Norm::kEuclidean;
+    p.edge_scale = calibrated_edge_scale(p);
+    return p;
+}
+
+// ---------------------------------------------------------------- geometry
+
+TEST(L2Norm, DistanceBasics) {
+    const double x[2] = {0.1, 0.1};
+    const double y[2] = {0.2, 0.9};  // wraps: deltas 0.1 and 0.2
+    EXPECT_NEAR(torus_distance_l2(x, y, 2), std::sqrt(0.01 + 0.04), 1e-12);
+    EXPECT_DOUBLE_EQ(torus_distance(x, y, 2, Norm::kEuclidean),
+                     torus_distance_l2(x, y, 2));
+    EXPECT_DOUBLE_EQ(torus_distance(x, y, 2, Norm::kMax), 0.2);
+}
+
+TEST(L2Norm, DominatesMaxNorm) {
+    Rng rng(1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        double a[3] = {rng.uniform(), rng.uniform(), rng.uniform()};
+        double b[3] = {rng.uniform(), rng.uniform(), rng.uniform()};
+        const double linf = torus_distance(a, b, 3);
+        const double l2 = torus_distance_l2(a, b, 3);
+        EXPECT_GE(l2, linf - 1e-15);
+        EXPECT_LE(l2, std::sqrt(3.0) * linf + 1e-15);
+    }
+}
+
+TEST(L2Norm, L2IsAMetric) {
+    Rng rng(2);
+    for (int trial = 0; trial < 2000; ++trial) {
+        double a[2] = {rng.uniform(), rng.uniform()};
+        double b[2] = {rng.uniform(), rng.uniform()};
+        double c[2] = {rng.uniform(), rng.uniform()};
+        EXPECT_NEAR(torus_distance_l2(a, b, 2), torus_distance_l2(b, a, 2), 1e-15);
+        EXPECT_LE(torus_distance_l2(a, b, 2),
+                  torus_distance_l2(a, c, 2) + torus_distance_l2(c, b, 2) + 1e-12);
+    }
+}
+
+TEST(L2Norm, UnitBallVolumes) {
+    EXPECT_DOUBLE_EQ(unit_ball_volume(1, Norm::kMax), 2.0);
+    EXPECT_DOUBLE_EQ(unit_ball_volume(3, Norm::kMax), 8.0);
+    EXPECT_DOUBLE_EQ(unit_ball_volume(1, Norm::kEuclidean), 2.0);
+    EXPECT_NEAR(unit_ball_volume(2, Norm::kEuclidean), 3.14159265, 1e-8);
+    EXPECT_NEAR(unit_ball_volume(3, Norm::kEuclidean), 4.0 * 3.14159265 / 3.0, 1e-7);
+    EXPECT_NEAR(unit_ball_volume(4, Norm::kEuclidean), 9.8696044 / 2.0, 1e-6);
+}
+
+// ---------------------------------------------------------------- sampling
+
+TEST(L2Norm, ThresholdEdgeSetsIdenticalAcrossSamplers) {
+    // The fast sampler's L-infinity cell bounds are conservative lower
+    // bounds under L2 (l2 >= linf), so coverage must be exact; in the
+    // threshold model the edge set is deterministic, so both samplers must
+    // agree edge-for-edge.
+    for (const std::uint64_t seed : {1ULL, 7ULL}) {
+        GirgParams p = l2_params(500.0);
+        p.alpha = kAlphaInfinity;
+        p.edge_scale = calibrated_edge_scale(p);
+        const Girg base = generate_girg(p, seed);
+        const Graph gn = resample_edges(base, 5, SamplerKind::kNaive);
+        const Graph gf = resample_edges(base, 6, SamplerKind::kFast);
+        ASSERT_EQ(gn.num_edges(), gf.num_edges()) << "seed " << seed;
+        for (Vertex v = 0; v < base.num_vertices(); ++v) {
+            const auto a = gn.neighbors(v);
+            const auto b = gf.neighbors(v);
+            ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+        }
+    }
+}
+
+TEST(L2Norm, MarginalProbabilityMonteCarloAgrees) {
+    const GirgParams p = l2_params();
+    Rng rng(3);
+    RunningStats mc;
+    const double product = 12.0;
+    for (int i = 0; i < 300000; ++i) {
+        double a[2] = {rng.uniform(), rng.uniform()};
+        double b[2] = {rng.uniform(), rng.uniform()};
+        mc.add(girg_edge_probability(p, 1.0, product, a, b));
+    }
+    const double exact = exact_marginal_probability(p, product);
+    EXPECT_NEAR(mc.mean(), exact, 5.0 * mc.stddev() / std::sqrt(300000.0) + 1e-5);
+}
+
+TEST(L2Norm, DegreeCalibrationHolds) {
+    GirgParams p = l2_params(20000.0);
+    const Girg g = generate_girg(p, 9);
+    // Calibrated: mean degree ~ E[W] = wmin (beta-1)/(beta-2) = 6.
+    EXPECT_NEAR(g.graph.average_degree(), 6.0, 0.8);
+    double ratio = 0.0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        ratio += static_cast<double>(g.graph.degree(v)) / g.weight(v);
+    }
+    EXPECT_NEAR(ratio / g.num_vertices(), 1.0, 0.15);
+}
+
+// ---------------------------------------------------------------- routing
+
+TEST(L2Norm, GreedyRoutingWorks) {
+    const GirgParams p = l2_params(20000.0);
+    const Girg g = generate_girg(p, 11);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(12);
+    int delivered = 0;
+    int attempts = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        ++attempts;
+        const auto result = GreedyRouter{}.route(g.graph, obj, s);
+        delivered += result.success() ? 1 : 0;
+        // Greedy invariant independent of the norm.
+        for (std::size_t i = 1; i < result.path.size(); ++i) {
+            EXPECT_GT(obj.value(result.path[i]), obj.value(result.path[i - 1]));
+        }
+    }
+    EXPECT_GT(static_cast<double>(delivered) / attempts, 0.5);
+}
+
+TEST(L2Norm, PatchingDelivers) {
+    const GirgParams p = l2_params(5000.0);
+    const Girg g = generate_girg(p, 13);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(14);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        EXPECT_TRUE(PhiDfsRouter{}.route(g.graph, obj, s).success());
+    }
+}
+
+// ---------------------------------------------------------------- io
+
+TEST(L2Norm, IoRoundTripPreservesNorm) {
+    const Girg original = generate_girg(l2_params(), 15);
+    std::stringstream stream;
+    write_girg(stream, original);
+    EXPECT_NE(stream.str().find(" l2\n"), std::string::npos);
+    const Girg loaded = read_girg(stream);
+    EXPECT_EQ(loaded.params.norm, Norm::kEuclidean);
+    EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+}
+
+TEST(L2Norm, IoVersion1DefaultsToMaxNorm) {
+    std::stringstream v1(
+        "girg 1\nparams 10 1 2 2.5 1 1\nvertices 1\n1.0 0.5\nedges 0\n");
+    const Girg loaded = read_girg(v1);
+    EXPECT_EQ(loaded.params.norm, Norm::kMax);
+}
+
+}  // namespace
+}  // namespace smallworld

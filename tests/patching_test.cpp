@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "core/gravity_pressure.h"
+#include "core/greedy.h"
+#include "core/message_history.h"
+#include "core/p_checker.h"
+#include "core/phi_dfs.h"
+#include "girg/generator.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "test_scenarios.h"
+
+namespace smallworld {
+namespace {
+
+using testing::ScenarioBuilder;
+
+/// A scenario where pure greedy dies in a local optimum but the target is
+/// reachable through a detour over a worse-objective vertex:
+///
+///   s(0.00) - u(0.20) - w(0.05) - x(0.35) - t(0.50)
+///
+/// From u the only unexplored neighbor w has a worse objective than u, so
+/// greedy drops the packet at u; any (P1)-(P3) patching must backtrack
+/// through w and deliver.
+struct LocalOptimumScenario {
+    Girg girg;
+    Vertex s, u, w, x, t;
+
+    LocalOptimumScenario() {
+        ScenarioBuilder b;
+        s = b.vertex(0.00);
+        u = b.vertex(0.20);
+        w = b.vertex(0.05);
+        x = b.vertex(0.35);
+        t = b.vertex(0.50);
+        girg = b.edge(s, u).edge(u, w).edge(w, x).edge(x, t).build();
+    }
+};
+
+/// The regression scenario behind the resume-rescan fix: s's only neighbor u
+/// is better than s; u's other neighbor w is worse than s; the rest of the
+/// component hangs off w. A literal reading of Algorithm 2's lines 26-27
+/// would declare exhaustion without ever exploring w.
+struct ResumeRescanScenario {
+    Girg girg;
+    Vertex s, u, w, t;
+
+    ResumeRescanScenario() {
+        ScenarioBuilder b;
+        s = b.vertex(0.30);
+        u = b.vertex(0.35);   // better than s (closer to t)
+        w = b.vertex(0.05);   // much worse than s
+        t = b.vertex(0.50);
+        girg = b.edge(s, u).edge(u, w).edge(w, t).build();
+    }
+};
+
+template <typename RouterT>
+class PatchingRouterTest : public ::testing::Test {
+protected:
+    RouterT router;
+};
+
+using PatchingRouters =
+    ::testing::Types<PhiDfsRouter, MessageHistoryRouter, GravityPressureRouter>;
+TYPED_TEST_SUITE(PatchingRouterTest, PatchingRouters);
+
+TYPED_TEST(PatchingRouterTest, DeliversWhereGreedyDies) {
+    const LocalOptimumScenario sc;
+    const GirgObjective obj(sc.girg, sc.t);
+    EXPECT_EQ(GreedyRouter{}.route(sc.girg.graph, obj, sc.s).status,
+              RoutingStatus::kDeadEnd);
+    const auto result = this->router.route(sc.girg.graph, obj, sc.s);
+    EXPECT_TRUE(result.success()) << "router " << this->router.name();
+    EXPECT_EQ(result.path.back(), sc.t);
+}
+
+TYPED_TEST(PatchingRouterTest, SourceEqualsTarget) {
+    const LocalOptimumScenario sc;
+    const GirgObjective obj(sc.girg, sc.s);
+    const auto result = this->router.route(sc.girg.graph, obj, sc.s);
+    EXPECT_TRUE(result.success());
+    EXPECT_EQ(result.steps(), 0u);
+}
+
+TYPED_TEST(PatchingRouterTest, PathIsGraphWalk) {
+    const LocalOptimumScenario sc;
+    const GirgObjective obj(sc.girg, sc.t);
+    const auto result = this->router.route(sc.girg.graph, obj, sc.s);
+    for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+        EXPECT_TRUE(sc.girg.graph.has_edge(result.path[i], result.path[i + 1]))
+            << this->router.name() << " step " << i;
+    }
+}
+
+TYPED_TEST(PatchingRouterTest, ResumeRescanScenarioDelivers) {
+    const ResumeRescanScenario sc;
+    const GirgObjective obj(sc.girg, sc.t);
+    const auto result = this->router.route(sc.girg.graph, obj, sc.s);
+    EXPECT_TRUE(result.success()) << this->router.name();
+}
+
+TYPED_TEST(PatchingRouterTest, AlwaysDeliversInsideGiantComponent) {
+    // Theorem 3.4 (for PhiDfs / MessageHistory; gravity-pressure also
+    // succeeds empirically although it violates (P3)).
+    GirgParams params{.n = 4000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 1.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 31);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    ASSERT_GT(giant.size(), 100u);
+    Rng rng(32);
+    RoutingOptions options;
+    options.max_steps = 200 * g.num_vertices();
+    for (int trial = 0; trial < 60; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto result = this->router.route(g.graph, obj, s, options);
+        EXPECT_TRUE(result.success())
+            << this->router.name() << " failed s=" << s << " t=" << t
+            << " status=" << static_cast<int>(result.status);
+    }
+}
+
+// ----------------------------------------------------- exhaust / components
+
+using ExhaustingRouters = ::testing::Types<PhiDfsRouter, MessageHistoryRouter>;
+template <typename RouterT>
+class ExhaustingRouterTest : public ::testing::Test {
+protected:
+    RouterT router;
+};
+TYPED_TEST_SUITE(ExhaustingRouterTest, ExhaustingRouters);
+
+TYPED_TEST(ExhaustingRouterTest, ReportsExhaustedAcrossComponents) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex a = b.vertex(0.1);
+    const Vertex t = b.vertex(0.5);
+    const Vertex z = b.vertex(0.6);
+    const Girg g = b.edge(s, a).edge(t, z).build();  // two components
+    const GirgObjective obj(g, t);
+    const auto result = this->router.route(g.graph, obj, s);
+    EXPECT_EQ(result.status, RoutingStatus::kExhausted);
+}
+
+TYPED_TEST(ExhaustingRouterTest, ExhaustionVisitsWholeComponent) {
+    // A 20-vertex random component without the target: the protocol must
+    // visit every vertex before giving up (condition (P2)).
+    ScenarioBuilder b;
+    std::vector<Vertex> comp;
+    for (int i = 0; i < 20; ++i) comp.push_back(b.vertex(0.01 * i, 1.0 + (i % 3)));
+    // A deterministic "random-ish" connected wiring with shortcuts.
+    b.chain(comp);
+    b.edge(comp[0], comp[7]).edge(comp[3], comp[12]).edge(comp[5], comp[19]);
+    const Vertex t = b.vertex(0.9);
+    const Vertex z = b.vertex(0.95);
+    const Girg g = b.edge(t, z).build();
+    const GirgObjective obj(g, t);
+    RoutingOptions options;
+    options.max_steps = 100000;
+    const auto result = this->router.route(g.graph, obj, comp[0], options);
+    EXPECT_EQ(result.status, RoutingStatus::kExhausted);
+    EXPECT_EQ(result.distinct_vertices(), comp.size());
+}
+
+TYPED_TEST(ExhaustingRouterTest, IsolatedSourceExhaustsImmediately) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.5);
+    const Vertex z = b.vertex(0.6);
+    const Girg g = b.edge(t, z).build();
+    const GirgObjective obj(g, t);
+    const auto result = this->router.route(g.graph, obj, s);
+    EXPECT_EQ(result.status, RoutingStatus::kExhausted);
+    EXPECT_EQ(result.steps(), 0u);
+}
+
+// ----------------------------------------------------------- (P1)-(P2) checks
+
+TYPED_TEST(ExhaustingRouterTest, SatisfiesP1P2OnRandomGirgs) {
+    GirgParams params{.n = 2000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 1.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const Girg g = generate_girg(params, seed);
+        Rng rng(seed + 100);
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+            const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+            if (s == t) continue;
+            const GirgObjective obj(g, t);
+            RoutingOptions options;
+            options.max_steps = 200 * g.num_vertices();
+            const auto result = this->router.route(g.graph, obj, s, options);
+            ASSERT_NE(result.status, RoutingStatus::kStepLimit);
+            const auto violations =
+                check_patching_conditions(g.graph, obj, result.path);
+            EXPECT_TRUE(violations.empty())
+                << this->router.name() << ": " << violations.size()
+                << " violations, first: "
+                << (violations.empty() ? "" : violations.front().rule + " @ " +
+                                                  violations.front().description);
+        }
+    }
+}
+
+// --------------------------------------------------------------- p_checker
+
+TEST(PChecker, AcceptsGreedyPaths) {
+    const LocalOptimumScenario sc;
+    const GirgObjective obj(sc.girg, sc.t);
+    // A valid greedy descent s -> u.
+    const auto violations =
+        check_patching_conditions(sc.girg.graph, obj, {sc.s, sc.u});
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(PChecker, FlagsNonAdjacentMove) {
+    const LocalOptimumScenario sc;
+    const GirgObjective obj(sc.girg, sc.t);
+    const auto violations =
+        check_patching_conditions(sc.girg.graph, obj, {sc.s, sc.t});
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations.front().rule, "adjacency");
+}
+
+TEST(PChecker, FlagsNonGreedyFirstVisit) {
+    // From s, the best neighbor is b1 (closer to t); moving to b0 instead
+    // violates (P1).
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex b0 = b.vertex(0.1);
+    const Vertex b1 = b.vertex(0.3);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.edge(s, b0).edge(s, b1).edge(b1, t).edge(b0, t).build();
+    const GirgObjective obj(g, t);
+    const auto violations = check_patching_conditions(g.graph, obj, {s, b0, t});
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations.front().rule, "P1b");
+}
+
+TEST(PChecker, FlagsWorseUnexploredChoice) {
+    // From a *revisited* vertex, picking a non-maximal unexplored neighbor
+    // violates P1a (P1b does not apply on revisits).
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex c0 = b.vertex(0.1);
+    const Vertex c1 = b.vertex(0.2);
+    const Vertex c2 = b.vertex(0.3);  // s's best neighbor, itself a dead end
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.edge(s, c0).edge(s, c1).edge(s, c2).edge(c0, t).build();
+    const GirgObjective obj(g, t);
+    // s -> c2 (greedy, fine) -> s (revisit, free) -> c0 although the
+    // unexplored c1 has the larger objective.
+    const auto violations = check_patching_conditions(g.graph, obj, {s, c2, s, c0});
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations.back().rule, "P1a");
+}
+
+TEST(PChecker, FlagsExplorationStall) {
+    // A walk that oscillates between two visited vertices for far longer
+    // than the polynomial bound while unexplored neighbors exist.
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex a = b.vertex(0.4);
+    const Vertex c = b.vertex(0.1);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.edge(s, a).edge(s, c).edge(a, t).build();
+    const GirgObjective obj(g, t);
+    std::vector<Vertex> path{s, a};
+    for (int i = 0; i < 200; ++i) {
+        path.push_back(s);
+        path.push_back(a);
+    }
+    PatchingCheckOptions options;
+    options.p2_coeff = 1.0;
+    options.p2_power = 2.0;
+    options.p2_offset = 4.0;
+    const auto violations = check_patching_conditions(g.graph, obj, path, options);
+    bool found_p2 = false;
+    for (const auto& v : violations) found_p2 |= v.rule == "P2";
+    EXPECT_TRUE(found_p2);
+}
+
+// -------------------------------------------------- protocol-specific bits
+
+TEST(PhiDfs, StaysGreedyOnImprovingChain) {
+    // Where greedy succeeds, PhiDfs must follow the identical path (its
+    // phase-1 behavior is exactly greedy).
+    ScenarioBuilder b;
+    const Vertex v0 = b.vertex(0.0);
+    const Vertex v1 = b.vertex(0.2);
+    const Vertex v2 = b.vertex(0.35);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.chain({v0, v1, v2, t}).build();
+    const GirgObjective obj(g, t);
+    const auto greedy = GreedyRouter{}.route(g.graph, obj, v0);
+    const auto dfs = PhiDfsRouter{}.route(g.graph, obj, v0);
+    ASSERT_TRUE(greedy.success());
+    ASSERT_TRUE(dfs.success());
+    EXPECT_EQ(greedy.path, dfs.path);
+}
+
+TEST(MessageHistory, MatchesGreedyWhenGreedyWorks) {
+    GirgParams params{.n = 8000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 3.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 41);
+    Rng rng(42);
+    int checked = 0;
+    for (int trial = 0; trial < 100 && checked < 30; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto greedy = GreedyRouter{}.route(g.graph, obj, s);
+        if (!greedy.success()) continue;
+        const auto patched = MessageHistoryRouter{}.route(g.graph, obj, s);
+        ASSERT_TRUE(patched.success());
+        EXPECT_EQ(greedy.path, patched.path);
+        ++checked;
+    }
+    EXPECT_GE(checked, 30);
+}
+
+TEST(GravityPressure, EscapesLocalOptimaWithVisitCounts) {
+    const LocalOptimumScenario sc;
+    const GirgObjective obj(sc.girg, sc.t);
+    const auto result = GravityPressureRouter{}.route(sc.girg.graph, obj, sc.s);
+    ASSERT_TRUE(result.success());
+    // Pressure mode goes u -> w although w is worse, then recovers:
+    // s, u, w, x, t.
+    EXPECT_EQ(result.path, (std::vector<Vertex>{sc.s, sc.u, sc.w, sc.x, sc.t}));
+}
+
+TEST(GravityPressure, IsolatedSourceDeadEnd) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.5);
+    const Vertex z = b.vertex(0.6);
+    const Girg g = b.edge(t, z).build();
+    const GirgObjective obj(g, t);
+    EXPECT_EQ(GravityPressureRouter{}.route(g.graph, obj, s).status,
+              RoutingStatus::kDeadEnd);
+}
+
+TEST(GravityPressure, HitsStepLimitAcrossComponents) {
+    // With no exhaustion detection, gravity-pressure wanders until the cap
+    // when the target is unreachable — the (P3) violation in action.
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex a = b.vertex(0.1);
+    const Vertex t = b.vertex(0.5);
+    const Vertex z = b.vertex(0.6);
+    const Girg g = b.edge(s, a).edge(t, z).build();
+    const GirgObjective obj(g, t);
+    RoutingOptions options;
+    options.max_steps = 200;
+    EXPECT_EQ(GravityPressureRouter{}.route(g.graph, obj, s, options).status,
+              RoutingStatus::kStepLimit);
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,244 @@
+// Property-based sweeps: the paper's results are "robust in the model
+// parameters" (Section 3, third bullet) — these parameterized suites pin
+// the library's invariants across the whole admissible parameter box
+// (beta in (2,3)) x (alpha > 1 incl. threshold) x (d in 1..3) x wmin.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "core/greedy.h"
+#include "core/message_history.h"
+#include "core/p_checker.h"
+#include "core/phases.h"
+#include "core/phi_dfs.h"
+#include "girg/generator.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+
+namespace smallworld {
+namespace {
+
+struct ParamPoint {
+    double beta;
+    double alpha;
+    int dim;
+    double wmin;
+};
+
+std::ostream& operator<<(std::ostream& os, const ParamPoint& p) {
+    os << "beta" << p.beta << "_alpha";
+    if (p.alpha == kAlphaInfinity) {
+        os << "Inf";
+    } else {
+        os << p.alpha;
+    }
+    os << "_d" << p.dim << "_wmin" << p.wmin;
+    return os;
+}
+
+std::string param_name(const ::testing::TestParamInfo<ParamPoint>& info) {
+    std::ostringstream os;
+    os << info.param;
+    std::string s = os.str();
+    for (char& c : s) {
+        if (c == '.') c = 'p';
+    }
+    return s;
+}
+
+class GirgPropertyTest : public ::testing::TestWithParam<ParamPoint> {
+protected:
+    /// One sampled instance per parameter point, shared by every TEST_P in
+    /// the suite (sampling 36 graphs once is cheap; 300 times is not).
+    static const Girg& instance() {
+        static std::map<std::string, std::unique_ptr<Girg>> cache;
+        std::ostringstream key;
+        key << GetParam();
+        auto& slot = cache[key.str()];
+        if (!slot) {
+            const ParamPoint p = GetParam();
+            GirgParams params;
+            params.n = 3000;
+            params.dim = p.dim;
+            params.alpha = p.alpha;
+            params.beta = p.beta;
+            params.wmin = p.wmin;
+            params.edge_scale = calibrated_edge_scale(params);
+            slot = std::make_unique<Girg>(generate_girg(params, /*seed=*/0xF00D));
+        }
+        return *slot;
+    }
+};
+
+TEST_P(GirgPropertyTest, VertexAttributesWellFormed) {
+    const Girg& g = instance();
+    ASSERT_GT(g.num_vertices(), 100u);
+    EXPECT_EQ(g.weights.size(), g.positions.count());
+    EXPECT_EQ(g.positions.dim, GetParam().dim);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_GE(g.weight(v), GetParam().wmin);
+        for (int axis = 0; axis < g.params.dim; ++axis) {
+            EXPECT_GE(g.position(v)[axis], 0.0);
+            EXPECT_LT(g.position(v)[axis], 1.0);
+        }
+    }
+}
+
+TEST_P(GirgPropertyTest, GraphStructurallySound) {
+    const Girg& g = instance();
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const auto nbrs = g.graph.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            EXPECT_NE(nbrs[i], v);                       // no self loops
+            if (i > 0) {
+                EXPECT_LT(nbrs[i - 1], nbrs[i]);  // sorted, no dupes
+            }
+            EXPECT_TRUE(g.graph.has_edge(nbrs[i], v));   // symmetric
+        }
+    }
+}
+
+TEST_P(GirgPropertyTest, DegreeCalibrationHolds) {
+    // Lemma 7.2 with the calibrated constant: mean(deg/weight) ~ 1. Wide
+    // tolerance: n = 3000 is small and the torus is finite.
+    const Girg& g = instance();
+    double ratio = 0.0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        ratio += static_cast<double>(g.graph.degree(v)) / g.weight(v);
+    }
+    ratio /= static_cast<double>(g.num_vertices());
+    EXPECT_GT(ratio, 0.4) << GetParam();
+    EXPECT_LT(ratio, 1.8) << GetParam();
+}
+
+TEST_P(GirgPropertyTest, SamplerDeterministic) {
+    const Girg& g = instance();
+    const Graph again = resample_edges(g, 0xBEEF, SamplerKind::kFast);
+    const Graph again2 = resample_edges(g, 0xBEEF, SamplerKind::kFast);
+    EXPECT_EQ(again.num_edges(), again2.num_edges());
+}
+
+TEST_P(GirgPropertyTest, GreedyObjectiveStrictlyIncreases) {
+    const Girg& g = instance();
+    Rng rng(0xABCD);
+    const GreedyRouter router;
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto result = router.route(g.graph, obj, s);
+        EXPECT_EQ(result.distinct_vertices(), result.path.size());
+        for (std::size_t i = 1; i < result.path.size(); ++i) {
+            EXPECT_GT(obj.value(result.path[i]), obj.value(result.path[i - 1]));
+            EXPECT_TRUE(g.graph.has_edge(result.path[i - 1], result.path[i]));
+        }
+    }
+}
+
+TEST_P(GirgPropertyTest, PatchingAlwaysDeliversInGiant) {
+    const Girg& g = instance();
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    if (giant.size() < 50) GTEST_SKIP() << "giant too small at " << GetParam();
+    Rng rng(0x1234);
+    const PhiDfsRouter phi_dfs;
+    const MessageHistoryRouter message_history;
+    RoutingOptions options;
+    options.max_steps = 300 * g.num_vertices();
+    for (int trial = 0; trial < 12; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        EXPECT_TRUE(phi_dfs.route(g.graph, obj, s, options).success()) << GetParam();
+        EXPECT_TRUE(message_history.route(g.graph, obj, s, options).success())
+            << GetParam();
+    }
+}
+
+TEST_P(GirgPropertyTest, StretchNeverBelowOne) {
+    const Girg& g = instance();
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    if (giant.size() < 50) GTEST_SKIP();
+    Rng rng(0x7777);
+    const Vertex t = giant[rng.uniform_index(giant.size())];
+    const auto dist = bfs_distances(g.graph, t);
+    const GirgObjective obj(g, t);
+    for (int trial = 0; trial < 40; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        if (s == t || dist[s] <= 0) continue;
+        const auto result = GreedyRouter{}.route(g.graph, obj, s);
+        if (result.success()) {
+            EXPECT_GE(result.steps(), static_cast<std::size_t>(dist[s])) << GetParam();
+        }
+    }
+}
+
+TEST_P(GirgPropertyTest, PhiDfsSatisfiesP1P2) {
+    const Girg& g = instance();
+    Rng rng(0x5555);
+    const PhiDfsRouter router;
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        RoutingOptions options;
+        options.max_steps = 300 * g.num_vertices();
+        const auto result = router.route(g.graph, obj, s, options);
+        ASSERT_NE(result.status, RoutingStatus::kStepLimit) << GetParam();
+        const auto violations = check_patching_conditions(g.graph, obj, result.path);
+        EXPECT_TRUE(violations.empty())
+            << GetParam() << " first violation: "
+            << (violations.empty() ? "" : violations.front().rule);
+    }
+}
+
+TEST_P(GirgPropertyTest, RelaxationIdentityAtZeroMagnitude) {
+    const Girg& g = instance();
+    const Vertex t = g.num_vertices() / 2;
+    const GirgObjective base(g, t);
+    const RelaxedObjective relaxed(g, t, RelaxationKind::kExponent, 0.0, 1);
+    Rng rng(0x9999);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto v = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        EXPECT_DOUBLE_EQ(base.value(v), relaxed.value(v));
+    }
+}
+
+TEST_P(GirgPropertyTest, PhaseClassificationConsistent) {
+    // Every vertex is in exactly one of V1/V2, and the classification is
+    // monotone: raising phi at fixed weight can only move kFirst -> kSecond.
+    const Girg& g = instance();
+    Rng rng(0x4242);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto v = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const double w = g.weight(v);
+        const double phi = 1e-6 + rng.uniform() * 1e-3;
+        const RoutingPhase low = classify_phase(g, w, phi);
+        const RoutingPhase high = classify_phase(g, w, phi * 1e6);
+        if (low == RoutingPhase::kSecond) {
+            EXPECT_EQ(high, RoutingPhase::kSecond);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterBox, GirgPropertyTest,
+    ::testing::Values(
+        ParamPoint{2.2, 1.5, 1, 1.0}, ParamPoint{2.2, 1.5, 2, 3.0},
+        ParamPoint{2.2, kAlphaInfinity, 2, 1.0}, ParamPoint{2.2, 3.0, 3, 1.0},
+        ParamPoint{2.5, 1.5, 1, 3.0}, ParamPoint{2.5, 2.0, 2, 1.0},
+        ParamPoint{2.5, 2.0, 2, 3.0}, ParamPoint{2.5, kAlphaInfinity, 1, 1.0},
+        ParamPoint{2.5, kAlphaInfinity, 3, 3.0}, ParamPoint{2.5, 5.0, 2, 1.0},
+        ParamPoint{2.8, 1.5, 2, 1.0}, ParamPoint{2.8, 2.0, 1, 1.0},
+        ParamPoint{2.8, 2.0, 3, 3.0}, ParamPoint{2.8, kAlphaInfinity, 2, 3.0},
+        ParamPoint{2.9, 2.0, 2, 2.0}, ParamPoint{2.1, 2.0, 2, 2.0}),
+    param_name);
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "girg/generator.h"
+#include "graph/components.h"
+
+namespace smallworld {
+namespace {
+
+TEST(Quantize, ExactValuesPassThrough) {
+    EXPECT_DOUBLE_EQ(QuantizedObjective::quantize(0.0, 8), 0.0);
+    EXPECT_DOUBLE_EQ(QuantizedObjective::quantize(0.5, 8), 0.5);
+    EXPECT_DOUBLE_EQ(QuantizedObjective::quantize(2.0, 8), 2.0);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(QuantizedObjective::quantize(inf, 8), inf);
+}
+
+TEST(Quantize, RelativeErrorBounded) {
+    Rng rng(1);
+    for (const int bits : {4, 8, 16, 32}) {
+        const double tolerance = std::ldexp(1.0, -bits);
+        for (int trial = 0; trial < 2000; ++trial) {
+            const double x = std::exp(rng.uniform(-40.0, 40.0));
+            const double q = QuantizedObjective::quantize(x, bits);
+            EXPECT_NEAR(q / x, 1.0, tolerance) << "bits=" << bits << " x=" << x;
+        }
+    }
+}
+
+TEST(Quantize, IsIdempotent) {
+    Rng rng(2);
+    for (int trial = 0; trial < 500; ++trial) {
+        const double x = rng.uniform(0.0, 100.0);
+        const double q = QuantizedObjective::quantize(x, 10);
+        EXPECT_DOUBLE_EQ(QuantizedObjective::quantize(q, 10), q);
+    }
+}
+
+TEST(Quantize, NegativeValuesSymmetric) {
+    EXPECT_DOUBLE_EQ(QuantizedObjective::quantize(-1.2345, 6),
+                     -QuantizedObjective::quantize(1.2345, 6));
+}
+
+TEST(QuantizedObjectiveTest, RejectsBadBits) {
+    GirgParams p{.n = 500, .dim = 1, .alpha = 2.0, .beta = 2.5, .wmin = 1.0,
+                 .edge_scale = 1.0};
+    const Girg g = generate_girg(p, 1);
+    EXPECT_THROW(QuantizedObjective(g, 0, 0), std::invalid_argument);
+    EXPECT_THROW(QuantizedObjective(g, 0, 53), std::invalid_argument);
+}
+
+TEST(QuantizedObjectiveTest, HighPrecisionMatchesExact) {
+    GirgParams p{.n = 4000, .dim = 2, .alpha = 2.0, .beta = 2.5, .wmin = 2.0,
+                 .edge_scale = 1.0};
+    p.edge_scale = calibrated_edge_scale(p);
+    const Girg g = generate_girg(p, 3);
+    const Vertex t = 7;
+    const GirgObjective exact(g, t);
+    const QuantizedObjective quantized(g, t, 52);
+    Rng rng(4);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto v = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        EXPECT_NEAR(quantized.value(v), exact.value(v),
+                    std::abs(exact.value(v)) * 1e-12);
+    }
+    EXPECT_TRUE(std::isinf(quantized.value(t)));
+}
+
+TEST(QuantizedObjectiveTest, CoarseAddressesStillRoute) {
+    // Theorem 3.5 in practice: 6-bit relative precision barely dents
+    // delivery on a dense GIRG.
+    GirgParams p{.n = 20000, .dim = 2, .alpha = 2.0, .beta = 2.5, .wmin = 4.0,
+                 .edge_scale = 1.0};
+    p.edge_scale = calibrated_edge_scale(p);
+    const Girg g = generate_girg(p, 5);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(6);
+    int exact_ok = 0;
+    int coarse_ok = 0;
+    int trials = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t) continue;
+        ++trials;
+        const GirgObjective exact(g, t);
+        const QuantizedObjective coarse(g, t, 6);
+        exact_ok += GreedyRouter{}.route(g.graph, exact, s).success() ? 1 : 0;
+        coarse_ok += GreedyRouter{}.route(g.graph, coarse, s).success() ? 1 : 0;
+    }
+    EXPECT_GT(coarse_ok, trials * 8 / 10);
+    EXPECT_GT(coarse_ok, exact_ok - trials / 10);
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "random/point_process.h"
+#include "random/power_law.h"
+#include "random/rng.h"
+#include "random/splitmix64.h"
+#include "random/stats.h"
+#include "random/xoshiro.h"
+
+namespace smallworld {
+namespace {
+
+// ---------------------------------------------------------------- splitmix
+
+TEST(Splitmix64, DeterministicAndStateAdvances) {
+    std::uint64_t s1 = 1234567;
+    std::uint64_t s2 = 1234567;
+    const std::uint64_t a = splitmix64(s1);
+    const std::uint64_t b = splitmix64(s2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, 1234567ULL);     // state advanced
+    EXPECT_NE(splitmix64(s1), a);  // next draw differs
+}
+
+TEST(Splitmix64, MixAvalanche) {
+    // Single-bit input flips should change roughly half the output bits.
+    const std::uint64_t a = mix64(0);
+    const std::uint64_t b = mix64(1);
+    const int differing = __builtin_popcountll(a ^ b);
+    EXPECT_GT(differing, 16);
+    EXPECT_LT(differing, 48);
+}
+
+TEST(HashCombine, OrderSensitive) {
+    EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+    EXPECT_NE(hash_combine(0, 0), 0ULL);
+}
+
+// ---------------------------------------------------------------- xoshiro
+
+TEST(Xoshiro, DeterministicForSeed) {
+    Xoshiro256pp a(42);
+    Xoshiro256pp b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+    Xoshiro256pp a(1);
+    Xoshiro256pp b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, SplitStreamsAreIndependentlySeeded) {
+    Xoshiro256pp parent(7);
+    Xoshiro256pp child = parent.split();
+    EXPECT_FALSE(parent == child);
+    // The two streams should not collide over a short window.
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 64; ++i) {
+        values.insert(parent());
+        values.insert(child());
+    }
+    EXPECT_EQ(values.size(), 128u);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+    Rng rng(3);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+    Rng rng(5);
+    constexpr std::uint64_t kBound = 7;
+    std::vector<std::size_t> counts(kBound, 0);
+    constexpr int kDraws = 70000;
+    for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(kBound)];
+    std::vector<double> expected(kBound, static_cast<double>(kDraws) / kBound);
+    const double chi2 = chi_square_statistic(counts, expected);
+    // 6 degrees of freedom; 99.9% critical value ~ 22.46.
+    EXPECT_LT(chi2, 22.46);
+}
+
+TEST(Rng, UniformIndexBoundOne) {
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(17);
+    int hits = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMeanAndVariance) {
+    Rng rng(23);
+    RunningStats stats;
+    const double lambda = 9.5;
+    for (int i = 0; i < 50000; ++i) stats.add(static_cast<double>(rng.poisson(lambda)));
+    EXPECT_NEAR(stats.mean(), lambda, 0.1);
+    EXPECT_NEAR(stats.variance(), lambda, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(31);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(2.0));
+    EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, GeometricSkipMatchesGeometricDistribution) {
+    Rng rng(37);
+    const double p = 0.2;
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(static_cast<double>(rng.geometric_skip(p)));
+    // E[failures before success] = (1-p)/p = 4.
+    EXPECT_NEAR(stats.mean(), (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricSkipCertainSuccess) {
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_skip(1.0), 0u);
+}
+
+TEST(Rng, GeometricSkipTinyProbabilityIsFiniteAndLarge) {
+    Rng rng(43);
+    const auto skip = rng.geometric_skip(1e-12);
+    EXPECT_GT(skip, 1000u);  // overwhelmingly likely
+}
+
+// ---------------------------------------------------------------- PowerLaw
+
+TEST(PowerLaw, RejectsBadParameters) {
+    EXPECT_THROW(PowerLaw(1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(PowerLaw(2.5, 0.0), std::invalid_argument);
+    EXPECT_THROW(PowerLaw(2.5, -1.0), std::invalid_argument);
+}
+
+TEST(PowerLaw, QuantileInvertsCdf) {
+    const PowerLaw law(2.5, 0.7);
+    for (const double u : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+        EXPECT_NEAR(law.cdf(law.quantile(u)), u, 1e-12);
+    }
+}
+
+TEST(PowerLaw, TailFormula) {
+    const PowerLaw law(2.5, 1.0);
+    EXPECT_DOUBLE_EQ(law.tail(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(law.tail(0.5), 1.0);
+    EXPECT_NEAR(law.tail(4.0), std::pow(0.25, 1.5), 1e-12);
+}
+
+TEST(PowerLaw, PdfIntegratesToOne) {
+    const PowerLaw law(2.3, 1.0);
+    // Numeric integration of the pdf over [wmin, 10^6].
+    double integral = 0.0;
+    double w = 1.0;
+    const double factor = 1.001;
+    while (w < 1e6) {
+        const double next = w * factor;
+        integral += law.pdf(0.5 * (w + next)) * (next - w);
+        w = next;
+    }
+    EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(PowerLaw, SampleMeanMatchesTheory) {
+    // beta = 2.8 has a finite mean with moderate tail variance.
+    const PowerLaw law(2.8, 1.0);
+    Rng rng(47);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(law.sample(rng));
+    EXPECT_NEAR(stats.mean(), law.mean(), 0.1);
+}
+
+TEST(PowerLaw, SamplesNeverBelowMinimum) {
+    const PowerLaw law(2.5, 3.0);
+    Rng rng(53);
+    for (int i = 0; i < 10000; ++i) EXPECT_GE(law.sample(rng), 3.0);
+}
+
+TEST(PowerLaw, KolmogorovSmirnovGoodnessOfFit) {
+    const PowerLaw law(2.5, 1.0);
+    Rng rng(59);
+    const auto sample = law.sample_many(20000, rng);
+    const double d =
+        ks_statistic(sample, [&](double w) { return law.cdf(w); });
+    EXPECT_LT(d, ks_critical_value(sample.size(), 0.01));
+}
+
+TEST(PowerLaw, SecondMomentDivergesBelowThree) {
+    EXPECT_TRUE(std::isinf(PowerLaw(2.5, 1.0).second_moment()));
+    EXPECT_FALSE(std::isinf(PowerLaw(3.5, 1.0).second_moment()));
+}
+
+// ---------------------------------------------------------------- points
+
+TEST(PointProcess, UniformPointsInUnitTorus) {
+    Rng rng(61);
+    const auto cloud = sample_uniform_points(5000, 3, rng);
+    EXPECT_EQ(cloud.count(), 5000u);
+    EXPECT_EQ(cloud.dim, 3);
+    for (const double c : cloud.coords) {
+        EXPECT_GE(c, 0.0);
+        EXPECT_LT(c, 1.0);
+    }
+}
+
+TEST(PointProcess, PoissonCountConcentration) {
+    Rng rng(67);
+    RunningStats stats;
+    for (int i = 0; i < 3000; ++i) {
+        stats.add(static_cast<double>(
+            sample_poisson_point_process(100.0, 2, rng).count()));
+    }
+    EXPECT_NEAR(stats.mean(), 100.0, 1.5);
+    EXPECT_NEAR(stats.variance(), 100.0, 8.0);
+}
+
+TEST(PointProcess, CoordinatesAreUniform) {
+    Rng rng(71);
+    const auto cloud = sample_uniform_points(20000, 1, rng);
+    const double d = ks_statistic(cloud.coords, [](double x) { return x; });
+    EXPECT_LT(d, ks_critical_value(cloud.coords.size(), 0.01));
+}
+
+TEST(PointProcess, DisjointRegionsIndependentCounts) {
+    // Sanity version of the Poisson independence property: counts in the
+    // left and right half of T^1 are uncorrelated.
+    Rng rng(73);
+    RunningStats left_stats;
+    std::vector<double> lefts;
+    std::vector<double> rights;
+    for (int i = 0; i < 2000; ++i) {
+        const auto cloud = sample_poisson_point_process(50.0, 1, rng);
+        double left = 0;
+        for (const double c : cloud.coords) left += c < 0.5 ? 1 : 0;
+        lefts.push_back(left);
+        rights.push_back(static_cast<double>(cloud.count()) - left);
+    }
+    // Pearson correlation should be ~0 (would be strongly negative for a
+    // fixed-count binomial process).
+    double mean_l = 0;
+    double mean_r = 0;
+    for (std::size_t i = 0; i < lefts.size(); ++i) {
+        mean_l += lefts[i];
+        mean_r += rights[i];
+    }
+    mean_l /= static_cast<double>(lefts.size());
+    mean_r /= static_cast<double>(rights.size());
+    double cov = 0;
+    double var_l = 0;
+    double var_r = 0;
+    for (std::size_t i = 0; i < lefts.size(); ++i) {
+        cov += (lefts[i] - mean_l) * (rights[i] - mean_r);
+        var_l += (lefts[i] - mean_l) * (lefts[i] - mean_l);
+        var_r += (rights[i] - mean_r) * (rights[i] - mean_r);
+    }
+    const double corr = cov / std::sqrt(var_l * var_r);
+    EXPECT_NEAR(corr, 0.0, 0.06);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, MeanVarianceMinMax) {
+    RunningStats stats;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    Rng rng(79);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-5, 5);
+        (i % 2 == 0 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(Stats, QuantileInterpolation) {
+    const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+}
+
+TEST(Stats, SummaryFields) {
+    std::vector<double> values;
+    for (int i = 1; i <= 101; ++i) values.push_back(static_cast<double>(i));
+    const Summary s = summarize(values);
+    EXPECT_EQ(s.count, 101u);
+    EXPECT_DOUBLE_EQ(s.median, 51.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 101.0);
+    EXPECT_DOUBLE_EQ(s.mean, 51.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(static_cast<double>(i));
+        y.push_back(3.0 * i + 2.0);
+    }
+    const LinearFit fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-10);
+    EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, WilsonIntervalContainsEstimate) {
+    const auto ci = wilson_interval(70, 100);
+    EXPECT_DOUBLE_EQ(ci.estimate, 0.7);
+    EXPECT_LT(ci.lower, 0.7);
+    EXPECT_GT(ci.upper, 0.7);
+    EXPECT_GT(ci.lower, 0.59);
+    EXPECT_LT(ci.upper, 0.79);
+}
+
+TEST(Stats, WilsonIntervalDegenerate) {
+    const auto empty = wilson_interval(0, 0);
+    EXPECT_DOUBLE_EQ(empty.estimate, 0.0);
+    const auto all = wilson_interval(50, 50);
+    EXPECT_DOUBLE_EQ(all.estimate, 1.0);
+    EXPECT_LE(all.upper, 1.0);
+}
+
+TEST(Stats, HistogramBinningAndOverflow) {
+    const std::vector<double> values{-0.5, 0.0, 0.1, 0.5, 0.99, 1.0, 2.0};
+    const Histogram h = make_histogram(values, 0.0, 1.0, 2);
+    EXPECT_EQ(h.underflow, 1u);
+    EXPECT_EQ(h.overflow, 2u);
+    EXPECT_EQ(h.counts[0], 2u);  // 0.0 and 0.1; the 0.5 boundary goes to bin 1
+    EXPECT_EQ(h.counts[1], 2u);  // 0.5 and 0.99
+    EXPECT_EQ(h.total(), values.size());
+}
+
+TEST(Stats, KsStatisticDetectsWrongDistribution) {
+    Rng rng(83);
+    std::vector<double> data;
+    for (int i = 0; i < 5000; ++i) data.push_back(rng.uniform() * rng.uniform());
+    // Uniform-product data against a uniform CDF must fail the KS test.
+    const double d = ks_statistic(data, [](double x) { return x; });
+    EXPECT_GT(d, ks_critical_value(data.size(), 0.01));
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "girg/generator.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "random/stats.h"
+#include "test_scenarios.h"
+
+namespace smallworld {
+namespace {
+
+using testing::ScenarioBuilder;
+
+// ---------------------------------------------------------------- objectives
+
+TEST(GirgObjectiveTest, TargetHasInfiniteValue) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.3);
+    const Girg g = b.edge(s, t).build();
+    const GirgObjective obj(g, t);
+    EXPECT_TRUE(std::isinf(obj.value(t)));
+    EXPECT_FALSE(std::isinf(obj.value(s)));
+    EXPECT_EQ(obj.target(), t);
+}
+
+TEST(GirgObjectiveTest, MatchesFormula) {
+    ScenarioBuilder b(1000.0);
+    const Vertex v = b.vertex(0.1, 3.0);
+    const Vertex t = b.vertex(0.3);
+    const Girg g = b.build();
+    const GirgObjective obj(g, t);
+    // phi(v) = wv / (wmin * n * |xv - xt|) with d = 1.
+    EXPECT_NEAR(obj.value(v), 3.0 / (1.0 * 1000.0 * 0.2), 1e-12);
+}
+
+TEST(GirgObjectiveTest, IncreasesWithWeightAndProximity) {
+    ScenarioBuilder b;
+    const Vertex far_light = b.vertex(0.0, 1.0);
+    const Vertex far_heavy = b.vertex(0.0, 5.0);
+    const Vertex near_light = b.vertex(0.4, 1.0);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.build();
+    const GirgObjective obj(g, t);
+    EXPECT_GT(obj.value(far_heavy), obj.value(far_light));
+    EXPECT_GT(obj.value(near_light), obj.value(far_light));
+}
+
+TEST(GeometricObjectiveTest, IgnoresWeight) {
+    ScenarioBuilder b;
+    const Vertex light = b.vertex(0.2, 1.0);
+    const Vertex heavy = b.vertex(0.2, 100.0);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.build();
+    const GeometricObjective obj(g, t);
+    EXPECT_DOUBLE_EQ(obj.value(light), obj.value(heavy));
+    EXPECT_TRUE(std::isinf(obj.value(t)));
+}
+
+TEST(RelaxedObjectiveTest, ZeroMagnitudeEqualsBase) {
+    ScenarioBuilder b;
+    const Vertex v = b.vertex(0.1, 2.0);
+    const Vertex u = b.vertex(0.25, 4.0);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.build();
+    const GirgObjective base(g, t);
+    const RelaxedObjective exp_relax(g, t, RelaxationKind::kExponent, 0.0, 99);
+    const RelaxedObjective fac_relax(g, t, RelaxationKind::kConstantFactor, 1.0, 99);
+    for (const Vertex x : {v, u}) {
+        EXPECT_DOUBLE_EQ(exp_relax.value(x), base.value(x));
+        EXPECT_DOUBLE_EQ(fac_relax.value(x), base.value(x));
+    }
+    EXPECT_TRUE(std::isinf(exp_relax.value(t)));
+}
+
+TEST(RelaxedObjectiveTest, DeterministicPerVertex) {
+    ScenarioBuilder b;
+    const Vertex v = b.vertex(0.1, 2.0);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.build();
+    const RelaxedObjective relax(g, t, RelaxationKind::kExponent, 0.3, 7);
+    EXPECT_DOUBLE_EQ(relax.value(v), relax.value(v));  // a genuine function
+    const RelaxedObjective other_seed(g, t, RelaxationKind::kExponent, 0.3, 8);
+    EXPECT_NE(relax.value(v), other_seed.value(v));
+}
+
+TEST(RelaxedObjectiveTest, BoundedByTheoremCondition) {
+    // |log(phi~/phi)| <= magnitude * log(min{w, 1/phi}) for the exponent
+    // kind — exactly Condition (2) of Theorem 3.5.
+    ScenarioBuilder b(10000.0);
+    std::vector<Vertex> vertices;
+    for (int i = 0; i < 50; ++i) {
+        vertices.push_back(b.vertex(0.01 * i, 1.0 + i));
+    }
+    const Vertex t = b.vertex(0.77);
+    const Girg g = b.build();
+    const GirgObjective base(g, t);
+    const double magnitude = 0.2;
+    const RelaxedObjective relax(g, t, RelaxationKind::kExponent, magnitude, 3);
+    for (const Vertex v : vertices) {
+        const double phi = base.value(v);
+        const double cap = std::min(g.weight(v), 1.0 / phi);
+        const double ratio = std::abs(std::log(relax.value(v) / phi));
+        EXPECT_LE(ratio, magnitude * std::abs(std::log(cap)) + 1e-9);
+    }
+}
+
+// --------------------------------------------------------------- best_neighbor
+
+TEST(BestNeighbor, PicksMaxObjective) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex a = b.vertex(0.1);
+    const Vertex c = b.vertex(0.3);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.edge(s, a).edge(s, c).build();
+    const GirgObjective obj(g, t);
+    EXPECT_EQ(best_neighbor(g.graph, obj, s), c);
+}
+
+TEST(BestNeighbor, TieBreaksTowardSmallerId) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex a = b.vertex(0.1);   // same position/weight as below
+    const Vertex a2 = b.vertex(0.1);  // identical objective
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.edge(s, a2).edge(s, a).build();
+    const GirgObjective obj(g, t);
+    EXPECT_EQ(best_neighbor(g.graph, obj, s), a);
+}
+
+TEST(BestNeighbor, NoNeighbors) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.build();
+    const GirgObjective obj(g, t);
+    EXPECT_EQ(best_neighbor(g.graph, obj, s), kNoVertex);
+}
+
+// ---------------------------------------------------------------- greedy
+
+TEST(Greedy, SourceEqualsTarget) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Girg g = b.build();
+    const GirgObjective obj(g, s);
+    const GreedyRouter router;
+    const auto result = router.route(g.graph, obj, s);
+    EXPECT_TRUE(result.success());
+    EXPECT_EQ(result.steps(), 0u);
+}
+
+TEST(Greedy, DirectNeighborDelivery) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.3);
+    const Girg g = b.edge(s, t).build();
+    const GirgObjective obj(g, t);
+    const auto result = GreedyRouter{}.route(g.graph, obj, s);
+    EXPECT_TRUE(result.success());
+    EXPECT_EQ(result.steps(), 1u);
+    EXPECT_EQ(result.path.back(), t);
+}
+
+TEST(Greedy, WalksImprovingChain) {
+    ScenarioBuilder b;
+    const Vertex v0 = b.vertex(0.00);
+    const Vertex v1 = b.vertex(0.10);
+    const Vertex v2 = b.vertex(0.20);
+    const Vertex v3 = b.vertex(0.30);
+    const Vertex t = b.vertex(0.40);
+    const Girg g = b.chain({v0, v1, v2, v3, t}).build();
+    const GirgObjective obj(g, t);
+    const auto result = GreedyRouter{}.route(g.graph, obj, v0);
+    ASSERT_TRUE(result.success());
+    EXPECT_EQ(result.path, (std::vector<Vertex>{v0, v1, v2, v3, t}));
+}
+
+TEST(Greedy, IsolatedSourceIsDeadEnd) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.5);
+    const Girg g = b.build();
+    const GirgObjective obj(g, t);
+    const auto result = GreedyRouter{}.route(g.graph, obj, s);
+    EXPECT_EQ(result.status, RoutingStatus::kDeadEnd);
+    EXPECT_EQ(result.steps(), 0u);
+}
+
+TEST(Greedy, StopsAtLocalOptimum) {
+    // s's only neighbor u is closer to s but further from t: dead end at s.
+    ScenarioBuilder b;
+    const Vertex u = b.vertex(0.05);
+    const Vertex s = b.vertex(0.2);
+    const Vertex t = b.vertex(0.5);
+    b.edge(s, u);
+    // t connected elsewhere so it is not isolated (irrelevant to the route).
+    const Vertex w = b.vertex(0.45);
+    const Girg g = b.edge(t, w).build();
+    const GirgObjective obj(g, t);
+    const auto result = GreedyRouter{}.route(g.graph, obj, s);
+    EXPECT_EQ(result.status, RoutingStatus::kDeadEnd);
+    EXPECT_EQ(result.path, (std::vector<Vertex>{s}));
+}
+
+TEST(Greedy, PrefersHeavyNeighborOverNearLight) {
+    // Weight can beat proximity: phi = w/(n*dist).
+    ScenarioBuilder b(100.0);
+    const Vertex s = b.vertex(0.00);
+    const Vertex near_light = b.vertex(0.30, 1.0);  // dist to t 0.2 -> phi=1/20
+    const Vertex far_heavy = b.vertex(0.10, 5.0);   // dist to t 0.4 -> phi=5/40
+    const Vertex t = b.vertex(0.50);
+    const Girg g = b.edge(s, near_light).edge(s, far_heavy).edge(far_heavy, t).build();
+    const GirgObjective obj(g, t);
+    const auto result = GreedyRouter{}.route(g.graph, obj, s);
+    ASSERT_TRUE(result.success());
+    EXPECT_EQ(result.path[1], far_heavy);
+}
+
+TEST(Greedy, ObjectiveStrictlyIncreasesAlongPath) {
+    const GirgParams params{.n = 10000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                            .wmin = 2.0, .edge_scale = 1.0};
+    const Girg g = generate_girg(params, 5);
+    Rng rng(6);
+    const GreedyRouter router;
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto result = router.route(g.graph, obj, s);
+        for (std::size_t i = 1; i < result.path.size(); ++i) {
+            EXPECT_GT(obj.value(result.path[i]), obj.value(result.path[i - 1]));
+        }
+        // Greedy visits every vertex at most once.
+        EXPECT_EQ(result.distinct_vertices(), result.path.size());
+    }
+}
+
+TEST(Greedy, PathEdgesExistInGraph) {
+    const GirgParams params{.n = 5000, .dim = 1, .alpha = 3.0, .beta = 2.7,
+                            .wmin = 2.0, .edge_scale = 1.0};
+    const Girg g = generate_girg(params, 11);
+    Rng rng(12);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto result = GreedyRouter{}.route(g.graph, obj, s);
+        for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+            EXPECT_TRUE(g.graph.has_edge(result.path[i], result.path[i + 1]));
+        }
+    }
+}
+
+TEST(Greedy, SuccessRateIsSubstantialOnDenseGirg) {
+    // Theorem 3.2: with wmin = 4, failures should be rare even for
+    // unconstrained random pairs.
+    GirgParams params{.n = 20000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 4.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 21);
+    Rng rng(22);
+    int delivered = 0;
+    const int kTrials = 300;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        delivered += GreedyRouter{}.route(g.graph, obj, s).success() ? 1 : 0;
+    }
+    EXPECT_GT(delivered, kTrials * 7 / 10);
+}
+
+TEST(Greedy, UltraSmallPathLength) {
+    // Theorem 3.3: successful paths are O(loglog n)-short; compare against
+    // the predicted bound with generous slack.
+    GirgParams params{.n = 30000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 3.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 23);
+    Rng rng(24);
+    RunningStats hops;
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+        if (s == t) continue;
+        const GirgObjective obj(g, t);
+        const auto result = GreedyRouter{}.route(g.graph, obj, s);
+        if (result.success()) hops.add(static_cast<double>(result.steps()));
+    }
+    ASSERT_GT(hops.count(), 100u);
+    EXPECT_LT(hops.mean(), 2.0 * params.predicted_hops(params.n));
+    EXPECT_LT(hops.max(), 5.0 * params.predicted_hops(params.n));
+}
+
+TEST(Greedy, StretchCloseToOne) {
+    GirgParams params{.n = 20000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 3.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 27);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(28);
+    RunningStats stretch;
+    for (int round = 0; round < 5; ++round) {
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        const auto dist = bfs_distances(g.graph, t);
+        const GirgObjective obj(g, t);
+        for (int trial = 0; trial < 60; ++trial) {
+            const Vertex s = giant[rng.uniform_index(giant.size())];
+            if (s == t || dist[s] <= 0) continue;
+            const auto result = GreedyRouter{}.route(g.graph, obj, s);
+            if (result.success()) {
+                stretch.add(static_cast<double>(result.steps()) /
+                            static_cast<double>(dist[s]));
+            }
+        }
+    }
+    ASSERT_GT(stretch.count(), 100u);
+    EXPECT_LT(stretch.mean(), 1.15);  // Theorem 3.3: 1 + o(1)
+    EXPECT_GE(stretch.min(), 1.0);    // can never beat the shortest path
+}
+
+TEST(Greedy, StepLimitEnforced) {
+    ScenarioBuilder b;
+    std::vector<Vertex> vs;
+    for (int i = 0; i <= 50; ++i) vs.push_back(b.vertex(0.01 * i));
+    b.chain(vs);
+    const Girg g = b.build();
+    const GirgObjective obj(g, vs.back());
+    RoutingOptions options;
+    options.max_steps = 5;
+    const auto result = GreedyRouter{}.route(g.graph, obj, vs.front(), options);
+    EXPECT_EQ(result.status, RoutingStatus::kStepLimit);
+    EXPECT_EQ(result.steps(), 5u);
+}
+
+}  // namespace
+}  // namespace smallworld

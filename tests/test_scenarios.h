@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "girg/girg.h"
+#include "girg/params.h"
+
+namespace smallworld::testing {
+
+/// Hand-built 1-dimensional GIRG instances with exact weights, positions and
+/// edges, so routing behavior is fully predictable in unit tests.
+class ScenarioBuilder {
+public:
+    explicit ScenarioBuilder(double n = 100.0) {
+        girg_.params.n = n;
+        girg_.params.dim = 1;
+        girg_.params.alpha = 2.0;
+        girg_.params.beta = 2.5;
+        girg_.params.wmin = 1.0;
+        girg_.params.edge_scale = 1.0;
+        girg_.positions.dim = 1;
+    }
+
+    /// Adds a vertex and returns its id.
+    Vertex vertex(double position, double weight = 1.0) {
+        girg_.weights.push_back(weight);
+        girg_.positions.coords.push_back(position);
+        return static_cast<Vertex>(girg_.weights.size() - 1);
+    }
+
+    ScenarioBuilder& edge(Vertex u, Vertex v) {
+        edges_.emplace_back(u, v);
+        return *this;
+    }
+
+    /// Convenience: chain of edges v0-v1-v2-...
+    ScenarioBuilder& chain(const std::vector<Vertex>& vertices) {
+        for (std::size_t i = 0; i + 1 < vertices.size(); ++i) {
+            edge(vertices[i], vertices[i + 1]);
+        }
+        return *this;
+    }
+
+    [[nodiscard]] Girg build() {
+        girg_.graph = Graph(static_cast<Vertex>(girg_.weights.size()), edges_);
+        return girg_;
+    }
+
+private:
+    Girg girg_;
+    std::vector<Edge> edges_;
+};
+
+}  // namespace smallworld::testing

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/phases.h"
+#include "girg/generator.h"
+#include "graph/components.h"
+#include "test_scenarios.h"
+
+namespace smallworld {
+namespace {
+
+using testing::ScenarioBuilder;
+
+TEST(Phases, ClassifyByGammaThreshold) {
+    ScenarioBuilder b(1000.0);
+    const Girg g = b.build();
+    const double eps1 = 0.1;
+    const double gamma = g.params.gamma(eps1);  // (1-0.1)/(2.5-2) = 1.8
+    const double w = 4.0;
+    const double boundary = std::pow(w, -gamma);
+    EXPECT_EQ(classify_phase(g, w, boundary * 0.9, eps1), RoutingPhase::kFirst);
+    EXPECT_EQ(classify_phase(g, w, boundary * 1.1, eps1), RoutingPhase::kSecond);
+}
+
+TEST(Phases, AnnotateComputesFields) {
+    ScenarioBuilder b(100.0);
+    const Vertex s = b.vertex(0.0, 2.0);
+    const Vertex t = b.vertex(0.25, 1.0);
+    const Girg g = b.edge(s, t).build();
+    const auto points = annotate_trajectory(g, t, {s, t});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].vertex, s);
+    EXPECT_DOUBLE_EQ(points[0].weight, 2.0);
+    EXPECT_DOUBLE_EQ(points[0].distance, 0.25);
+    EXPECT_NEAR(points[0].objective, 2.0 / (100.0 * 0.25), 1e-12);
+    // The target gets a finite stand-in objective.
+    EXPECT_TRUE(std::isfinite(points[1].objective));
+    EXPECT_DOUBLE_EQ(points[1].distance, 0.0);
+}
+
+TEST(Phases, AnalyzeCountsAndMonotonicity) {
+    std::vector<TrajectoryPoint> points(4);
+    points[0] = {0, 1.0, 0.001, 0.5, RoutingPhase::kFirst};
+    points[1] = {1, 4.0, 0.01, 0.3, RoutingPhase::kFirst};
+    points[2] = {2, 16.0, 0.1, 0.1, RoutingPhase::kSecond};
+    points[3] = {3, 2.0, 0.9, 0.01, RoutingPhase::kSecond};
+    const auto shape = analyze_trajectory(points);
+    EXPECT_EQ(shape.hops, 3u);
+    EXPECT_EQ(shape.first_phase_hops, 2u);
+    EXPECT_EQ(shape.second_phase_hops, 2u);
+    EXPECT_TRUE(shape.objective_monotone);
+    EXPECT_TRUE(shape.phase_ordered);
+    EXPECT_TRUE(shape.weight_unimodal);
+    EXPECT_DOUBLE_EQ(shape.peak_weight, 16.0);
+}
+
+TEST(Phases, DetectsPhaseDisorder) {
+    std::vector<TrajectoryPoint> points(3);
+    points[0] = {0, 1.0, 0.01, 0.5, RoutingPhase::kSecond};
+    points[1] = {1, 4.0, 0.1, 0.3, RoutingPhase::kFirst};
+    points[2] = {2, 2.0, 0.9, 0.1, RoutingPhase::kSecond};
+    EXPECT_FALSE(analyze_trajectory(points).phase_ordered);
+}
+
+TEST(Phases, DetectsNonUnimodalWeights) {
+    std::vector<TrajectoryPoint> points(4);
+    points[0] = {0, 1.0, 0.001, 0.5, RoutingPhase::kFirst};
+    points[1] = {1, 50.0, 0.01, 0.3, RoutingPhase::kFirst};
+    points[2] = {2, 1.0, 0.1, 0.1, RoutingPhase::kSecond};
+    points[3] = {3, 50.0, 0.9, 0.01, RoutingPhase::kSecond};  // rises again 50x
+    EXPECT_FALSE(analyze_trajectory(points).weight_unimodal);
+}
+
+TEST(Phases, EmptyTrajectory) {
+    const auto shape = analyze_trajectory({});
+    EXPECT_EQ(shape.hops, 0u);
+    EXPECT_FALSE(shape.objective_monotone);
+}
+
+/// Figure 1 on a real instance: greedy trajectories on a large GIRG first
+/// climb in weight (phase 1), then descend toward the target (phase 2),
+/// with strictly increasing objective throughout.
+TEST(Figure1, TypicalTrajectoriesMatchTheShape) {
+    GirgParams params{.n = 50000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 2.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 77);
+    const auto comps = connected_components(g.graph);
+    const auto giant = giant_component_vertices(comps);
+    Rng rng(78);
+
+    int long_paths = 0;
+    int monotone = 0;
+    int unimodal = 0;
+    int ordered = 0;
+    int peak_above_endpoints = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const Vertex s = giant[rng.uniform_index(giant.size())];
+        const Vertex t = giant[rng.uniform_index(giant.size())];
+        if (s == t || g.distance(s, t) < 0.1) continue;  // far-apart pairs
+        const GirgObjective obj(g, t);
+        const auto result = GreedyRouter{}.route(g.graph, obj, s);
+        if (!result.success() || result.steps() < 3) continue;
+        ++long_paths;
+        const auto points = annotate_trajectory(g, t, result.path);
+        const auto shape = analyze_trajectory(points);
+        monotone += shape.objective_monotone ? 1 : 0;
+        unimodal += shape.weight_unimodal ? 1 : 0;
+        ordered += shape.phase_ordered ? 1 : 0;
+        peak_above_endpoints +=
+            (shape.peak_weight > points.front().weight &&
+             shape.peak_weight >= points.back().weight)
+                ? 1
+                : 0;
+    }
+    ASSERT_GT(long_paths, 40);
+    EXPECT_EQ(monotone, long_paths);  // greedy guarantee, must be exact
+    // Figure 1 is about the *typical* trajectory: the overwhelming majority
+    // must climb into the heavy core and come back down once.
+    EXPECT_GT(unimodal, long_paths * 8 / 10);
+    EXPECT_GT(ordered, long_paths * 8 / 10);
+    EXPECT_GT(peak_above_endpoints, long_paths * 8 / 10);
+}
+
+}  // namespace
+}  // namespace smallworld
