@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c36_hyperbolic.dir/bench_c36_hyperbolic.cpp.o"
+  "CMakeFiles/bench_c36_hyperbolic.dir/bench_c36_hyperbolic.cpp.o.d"
+  "bench_c36_hyperbolic"
+  "bench_c36_hyperbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c36_hyperbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generator_throughput.dir/bench_generator_throughput.cpp.o"
+  "CMakeFiles/bench_generator_throughput.dir/bench_generator_throughput.cpp.o.d"
+  "bench_generator_throughput"
+  "bench_generator_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

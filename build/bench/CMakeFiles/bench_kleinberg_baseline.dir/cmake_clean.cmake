@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kleinberg_baseline.dir/bench_kleinberg_baseline.cpp.o"
+  "CMakeFiles/bench_kleinberg_baseline.dir/bench_kleinberg_baseline.cpp.o.d"
+  "bench_kleinberg_baseline"
+  "bench_kleinberg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kleinberg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

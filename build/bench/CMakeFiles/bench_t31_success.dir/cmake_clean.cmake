@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t31_success.dir/bench_t31_success.cpp.o"
+  "CMakeFiles/bench_t31_success.dir/bench_t31_success.cpp.o.d"
+  "bench_t31_success"
+  "bench_t31_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t31_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

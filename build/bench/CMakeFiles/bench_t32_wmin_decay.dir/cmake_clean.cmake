@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t32_wmin_decay.dir/bench_t32_wmin_decay.cpp.o"
+  "CMakeFiles/bench_t32_wmin_decay.dir/bench_t32_wmin_decay.cpp.o.d"
+  "bench_t32_wmin_decay"
+  "bench_t32_wmin_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t32_wmin_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t33_pathlength.dir/bench_t33_pathlength.cpp.o"
+  "CMakeFiles/bench_t33_pathlength.dir/bench_t33_pathlength.cpp.o.d"
+  "bench_t33_pathlength"
+  "bench_t33_pathlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t33_pathlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

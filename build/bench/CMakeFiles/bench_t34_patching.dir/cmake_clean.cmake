@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t34_patching.dir/bench_t34_patching.cpp.o"
+  "CMakeFiles/bench_t34_patching.dir/bench_t34_patching.cpp.o.d"
+  "bench_t34_patching"
+  "bench_t34_patching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t34_patching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

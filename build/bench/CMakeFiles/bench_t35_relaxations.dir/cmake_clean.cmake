@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t35_relaxations.dir/bench_t35_relaxations.cpp.o"
+  "CMakeFiles/bench_t35_relaxations.dir/bench_t35_relaxations.cpp.o.d"
+  "bench_t35_relaxations"
+  "bench_t35_relaxations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t35_relaxations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/generate_graph.cpp" "examples/CMakeFiles/generate_graph.dir/generate_graph.cpp.o" "gcc" "examples/CMakeFiles/generate_graph.dir/generate_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/sw_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/girg/CMakeFiles/sw_girg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperbolic/CMakeFiles/sw_hyperbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/kleinberg/CMakeFiles/sw_kleinberg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/sw_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_graph.dir/generate_graph.cpp.o"
+  "CMakeFiles/generate_graph.dir/generate_graph.cpp.o.d"
+  "generate_graph"
+  "generate_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_routing.dir/internet_routing.cpp.o"
+  "CMakeFiles/internet_routing.dir/internet_routing.cpp.o.d"
+  "internet_routing"
+  "internet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

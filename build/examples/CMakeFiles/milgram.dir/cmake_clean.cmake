@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milgram.dir/milgram.cpp.o"
+  "CMakeFiles/milgram.dir/milgram.cpp.o.d"
+  "milgram"
+  "milgram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_figure.dir/trajectory_figure.cpp.o"
+  "CMakeFiles/trajectory_figure.dir/trajectory_figure.cpp.o.d"
+  "trajectory_figure"
+  "trajectory_figure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_figure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

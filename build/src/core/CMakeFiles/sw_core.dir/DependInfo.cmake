@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/faulty.cpp" "src/core/CMakeFiles/sw_core.dir/faulty.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/faulty.cpp.o.d"
+  "/root/repo/src/core/gravity_pressure.cpp" "src/core/CMakeFiles/sw_core.dir/gravity_pressure.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/gravity_pressure.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/sw_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/layers.cpp" "src/core/CMakeFiles/sw_core.dir/layers.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/layers.cpp.o.d"
+  "/root/repo/src/core/message_history.cpp" "src/core/CMakeFiles/sw_core.dir/message_history.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/message_history.cpp.o.d"
+  "/root/repo/src/core/neighborhoods.cpp" "src/core/CMakeFiles/sw_core.dir/neighborhoods.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/neighborhoods.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/sw_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/p_checker.cpp" "src/core/CMakeFiles/sw_core.dir/p_checker.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/p_checker.cpp.o.d"
+  "/root/repo/src/core/phases.cpp" "src/core/CMakeFiles/sw_core.dir/phases.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/phases.cpp.o.d"
+  "/root/repo/src/core/phi_dfs.cpp" "src/core/CMakeFiles/sw_core.dir/phi_dfs.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/phi_dfs.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/sw_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/sw_core.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/girg/CMakeFiles/sw_girg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/sw_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sw_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

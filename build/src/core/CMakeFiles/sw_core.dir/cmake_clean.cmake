@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_core.dir/faulty.cpp.o"
+  "CMakeFiles/sw_core.dir/faulty.cpp.o.d"
+  "CMakeFiles/sw_core.dir/gravity_pressure.cpp.o"
+  "CMakeFiles/sw_core.dir/gravity_pressure.cpp.o.d"
+  "CMakeFiles/sw_core.dir/greedy.cpp.o"
+  "CMakeFiles/sw_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/sw_core.dir/layers.cpp.o"
+  "CMakeFiles/sw_core.dir/layers.cpp.o.d"
+  "CMakeFiles/sw_core.dir/message_history.cpp.o"
+  "CMakeFiles/sw_core.dir/message_history.cpp.o.d"
+  "CMakeFiles/sw_core.dir/neighborhoods.cpp.o"
+  "CMakeFiles/sw_core.dir/neighborhoods.cpp.o.d"
+  "CMakeFiles/sw_core.dir/objective.cpp.o"
+  "CMakeFiles/sw_core.dir/objective.cpp.o.d"
+  "CMakeFiles/sw_core.dir/p_checker.cpp.o"
+  "CMakeFiles/sw_core.dir/p_checker.cpp.o.d"
+  "CMakeFiles/sw_core.dir/phases.cpp.o"
+  "CMakeFiles/sw_core.dir/phases.cpp.o.d"
+  "CMakeFiles/sw_core.dir/phi_dfs.cpp.o"
+  "CMakeFiles/sw_core.dir/phi_dfs.cpp.o.d"
+  "CMakeFiles/sw_core.dir/router.cpp.o"
+  "CMakeFiles/sw_core.dir/router.cpp.o.d"
+  "libsw_core.a"
+  "libsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

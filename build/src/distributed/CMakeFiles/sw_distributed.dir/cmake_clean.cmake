@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_distributed.dir/protocols.cpp.o"
+  "CMakeFiles/sw_distributed.dir/protocols.cpp.o.d"
+  "CMakeFiles/sw_distributed.dir/simulation.cpp.o"
+  "CMakeFiles/sw_distributed.dir/simulation.cpp.o.d"
+  "libsw_distributed.a"
+  "libsw_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

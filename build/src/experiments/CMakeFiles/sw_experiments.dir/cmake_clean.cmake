@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_experiments.dir/parallel.cpp.o"
+  "CMakeFiles/sw_experiments.dir/parallel.cpp.o.d"
+  "CMakeFiles/sw_experiments.dir/runner.cpp.o"
+  "CMakeFiles/sw_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/sw_experiments.dir/table.cpp.o"
+  "CMakeFiles/sw_experiments.dir/table.cpp.o.d"
+  "CMakeFiles/sw_experiments.dir/trajectory_profile.cpp.o"
+  "CMakeFiles/sw_experiments.dir/trajectory_profile.cpp.o.d"
+  "libsw_experiments.a"
+  "libsw_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/cells.cpp" "src/geometry/CMakeFiles/sw_geometry.dir/cells.cpp.o" "gcc" "src/geometry/CMakeFiles/sw_geometry.dir/cells.cpp.o.d"
+  "/root/repo/src/geometry/morton.cpp" "src/geometry/CMakeFiles/sw_geometry.dir/morton.cpp.o" "gcc" "src/geometry/CMakeFiles/sw_geometry.dir/morton.cpp.o.d"
+  "/root/repo/src/geometry/torus.cpp" "src/geometry/CMakeFiles/sw_geometry.dir/torus.cpp.o" "gcc" "src/geometry/CMakeFiles/sw_geometry.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

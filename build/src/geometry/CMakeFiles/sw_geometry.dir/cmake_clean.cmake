@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_geometry.dir/cells.cpp.o"
+  "CMakeFiles/sw_geometry.dir/cells.cpp.o.d"
+  "CMakeFiles/sw_geometry.dir/morton.cpp.o"
+  "CMakeFiles/sw_geometry.dir/morton.cpp.o.d"
+  "CMakeFiles/sw_geometry.dir/torus.cpp.o"
+  "CMakeFiles/sw_geometry.dir/torus.cpp.o.d"
+  "libsw_geometry.a"
+  "libsw_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/girg/diagnostics.cpp" "src/girg/CMakeFiles/sw_girg.dir/diagnostics.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/girg/fast_sampler.cpp" "src/girg/CMakeFiles/sw_girg.dir/fast_sampler.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/fast_sampler.cpp.o.d"
+  "/root/repo/src/girg/generator.cpp" "src/girg/CMakeFiles/sw_girg.dir/generator.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/generator.cpp.o.d"
+  "/root/repo/src/girg/girg.cpp" "src/girg/CMakeFiles/sw_girg.dir/girg.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/girg.cpp.o.d"
+  "/root/repo/src/girg/io.cpp" "src/girg/CMakeFiles/sw_girg.dir/io.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/io.cpp.o.d"
+  "/root/repo/src/girg/naive_sampler.cpp" "src/girg/CMakeFiles/sw_girg.dir/naive_sampler.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/naive_sampler.cpp.o.d"
+  "/root/repo/src/girg/params.cpp" "src/girg/CMakeFiles/sw_girg.dir/params.cpp.o" "gcc" "src/girg/CMakeFiles/sw_girg.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/sw_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_girg.dir/diagnostics.cpp.o"
+  "CMakeFiles/sw_girg.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/sw_girg.dir/fast_sampler.cpp.o"
+  "CMakeFiles/sw_girg.dir/fast_sampler.cpp.o.d"
+  "CMakeFiles/sw_girg.dir/generator.cpp.o"
+  "CMakeFiles/sw_girg.dir/generator.cpp.o.d"
+  "CMakeFiles/sw_girg.dir/girg.cpp.o"
+  "CMakeFiles/sw_girg.dir/girg.cpp.o.d"
+  "CMakeFiles/sw_girg.dir/io.cpp.o"
+  "CMakeFiles/sw_girg.dir/io.cpp.o.d"
+  "CMakeFiles/sw_girg.dir/naive_sampler.cpp.o"
+  "CMakeFiles/sw_girg.dir/naive_sampler.cpp.o.d"
+  "CMakeFiles/sw_girg.dir/params.cpp.o"
+  "CMakeFiles/sw_girg.dir/params.cpp.o.d"
+  "libsw_girg.a"
+  "libsw_girg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_girg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/sw_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/sw_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/sw_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/sw_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/core_decomposition.cpp" "src/graph/CMakeFiles/sw_graph.dir/core_decomposition.cpp.o" "gcc" "src/graph/CMakeFiles/sw_graph.dir/core_decomposition.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/sw_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/sw_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/sw_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/sw_graph.dir/graph_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_graph.dir/bfs.cpp.o"
+  "CMakeFiles/sw_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/sw_graph.dir/components.cpp.o"
+  "CMakeFiles/sw_graph.dir/components.cpp.o.d"
+  "CMakeFiles/sw_graph.dir/core_decomposition.cpp.o"
+  "CMakeFiles/sw_graph.dir/core_decomposition.cpp.o.d"
+  "CMakeFiles/sw_graph.dir/graph.cpp.o"
+  "CMakeFiles/sw_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/sw_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/sw_graph.dir/graph_stats.cpp.o.d"
+  "libsw_graph.a"
+  "libsw_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_hyperbolic.dir/embedder.cpp.o"
+  "CMakeFiles/sw_hyperbolic.dir/embedder.cpp.o.d"
+  "CMakeFiles/sw_hyperbolic.dir/hrg.cpp.o"
+  "CMakeFiles/sw_hyperbolic.dir/hrg.cpp.o.d"
+  "CMakeFiles/sw_hyperbolic.dir/hyperbolic_objective.cpp.o"
+  "CMakeFiles/sw_hyperbolic.dir/hyperbolic_objective.cpp.o.d"
+  "CMakeFiles/sw_hyperbolic.dir/mapping.cpp.o"
+  "CMakeFiles/sw_hyperbolic.dir/mapping.cpp.o.d"
+  "libsw_hyperbolic.a"
+  "libsw_hyperbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_hyperbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_kleinberg.dir/lattice.cpp.o"
+  "CMakeFiles/sw_kleinberg.dir/lattice.cpp.o.d"
+  "CMakeFiles/sw_kleinberg.dir/noisy.cpp.o"
+  "CMakeFiles/sw_kleinberg.dir/noisy.cpp.o.d"
+  "libsw_kleinberg.a"
+  "libsw_kleinberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_kleinberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/random/point_process.cpp" "src/random/CMakeFiles/sw_random.dir/point_process.cpp.o" "gcc" "src/random/CMakeFiles/sw_random.dir/point_process.cpp.o.d"
+  "/root/repo/src/random/power_law.cpp" "src/random/CMakeFiles/sw_random.dir/power_law.cpp.o" "gcc" "src/random/CMakeFiles/sw_random.dir/power_law.cpp.o.d"
+  "/root/repo/src/random/stats.cpp" "src/random/CMakeFiles/sw_random.dir/stats.cpp.o" "gcc" "src/random/CMakeFiles/sw_random.dir/stats.cpp.o.d"
+  "/root/repo/src/random/xoshiro.cpp" "src/random/CMakeFiles/sw_random.dir/xoshiro.cpp.o" "gcc" "src/random/CMakeFiles/sw_random.dir/xoshiro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

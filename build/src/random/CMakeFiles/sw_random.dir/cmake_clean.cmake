@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_random.dir/point_process.cpp.o"
+  "CMakeFiles/sw_random.dir/point_process.cpp.o.d"
+  "CMakeFiles/sw_random.dir/power_law.cpp.o"
+  "CMakeFiles/sw_random.dir/power_law.cpp.o.d"
+  "CMakeFiles/sw_random.dir/stats.cpp.o"
+  "CMakeFiles/sw_random.dir/stats.cpp.o.d"
+  "CMakeFiles/sw_random.dir/xoshiro.cpp.o"
+  "CMakeFiles/sw_random.dir/xoshiro.cpp.o.d"
+  "libsw_random.a"
+  "libsw_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faulty_test.dir/faulty_test.cpp.o"
+  "CMakeFiles/faulty_test.dir/faulty_test.cpp.o.d"
+  "faulty_test"
+  "faulty_test.pdb"
+  "faulty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faulty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/girg_test.dir/girg_test.cpp.o"
+  "CMakeFiles/girg_test.dir/girg_test.cpp.o.d"
+  "girg_test"
+  "girg_test.pdb"
+  "girg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/girg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperbolic_test.dir/hyperbolic_test.cpp.o"
+  "CMakeFiles/hyperbolic_test.dir/hyperbolic_test.cpp.o.d"
+  "hyperbolic_test"
+  "hyperbolic_test.pdb"
+  "hyperbolic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperbolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

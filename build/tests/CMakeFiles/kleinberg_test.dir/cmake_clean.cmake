@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kleinberg_test.dir/kleinberg_test.cpp.o"
+  "CMakeFiles/kleinberg_test.dir/kleinberg_test.cpp.o.d"
+  "kleinberg_test"
+  "kleinberg_test.pdb"
+  "kleinberg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kleinberg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

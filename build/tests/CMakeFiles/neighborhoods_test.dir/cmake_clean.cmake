@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhoods_test.dir/neighborhoods_test.cpp.o"
+  "CMakeFiles/neighborhoods_test.dir/neighborhoods_test.cpp.o.d"
+  "neighborhoods_test"
+  "neighborhoods_test.pdb"
+  "neighborhoods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhoods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norm_test.dir/norm_test.cpp.o"
+  "CMakeFiles/norm_test.dir/norm_test.cpp.o.d"
+  "norm_test"
+  "norm_test.pdb"
+  "norm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

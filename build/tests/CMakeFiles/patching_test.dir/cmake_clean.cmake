@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patching_test.dir/patching_test.cpp.o"
+  "CMakeFiles/patching_test.dir/patching_test.cpp.o.d"
+  "patching_test"
+  "patching_test.pdb"
+  "patching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
