@@ -1,9 +1,20 @@
 // EXP-GEN — generator ablation: the expected-linear-time layered cell
 // sampler vs the O(n^2) reference sampler. Same distribution (tested in
 // girg_test.cpp); here we reproduce the scaling separation and report
-// edges/second. Also sweeps dimension and the threshold model, the regimes
-// that stress different parts of the cell recursion.
+// edges/second. Also sweeps dimension, the threshold model, and the
+// sampler's thread count (the regimes that stress different parts of the
+// cell recursion and its parallel task decomposition).
+//
+// `--sweep [output.json]` skips google-benchmark and runs a hand-timed
+// thread sweep of the parallel sampler on a 2^20-vertex instance, writing
+// the measurements (per-thread-count seconds, edges/sec, speedup) to JSON.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
 
 #include "bench_common.h"
 #include "girg/fast_sampler.h"
@@ -27,9 +38,11 @@ VertexSet make_vertices(const GirgParams& params, std::uint64_t seed) {
     return out;
 }
 
-void sampler_bench(benchmark::State& state, SamplerKind kind, double alpha, int dim) {
+void sampler_bench(benchmark::State& state, SamplerKind kind, double alpha, int dim,
+                   unsigned threads) {
     GirgParams params = standard_params(static_cast<double>(state.range(0)), 2.5, alpha,
                                         2.0, dim);
+    params.threads = threads;
     const VertexSet vertices = make_vertices(params, 22001);
     std::size_t edges = 0;
     std::uint64_t seed = 23001;
@@ -47,14 +60,16 @@ void sampler_bench(benchmark::State& state, SamplerKind kind, double alpha, int 
         static_cast<double>(edges) * static_cast<double>(state.iterations()),
         benchmark::Counter::kIsRate);
     state.counters["vertices"] = static_cast<double>(vertices.weights.size());
+    state.counters["threads"] = static_cast<double>(threads);
 }
 
 void register_all() {
     const auto add = [](const std::string& name, SamplerKind kind, double alpha, int dim,
-                        std::initializer_list<int> sizes) {
+                        std::initializer_list<int> sizes, unsigned threads = 1) {
         auto* b = benchmark::RegisterBenchmark(
-            ("GEN_Sampler/" + name).c_str(), [kind, alpha, dim](benchmark::State& state) {
-                sampler_bench(state, kind, alpha, dim);
+            ("GEN_Sampler/" + name).c_str(),
+            [kind, alpha, dim, threads](benchmark::State& state) {
+                sampler_bench(state, kind, alpha, dim, threads);
             });
         for (const int n : sizes) b->Arg(n);
         b->Unit(benchmark::kMillisecond);
@@ -65,12 +80,92 @@ void register_all() {
     add("fast/alphaInf/d2", SamplerKind::kFast, kAlphaInfinity, 2, {1 << 14, 1 << 17});
     add("fast/alpha2/d1", SamplerKind::kFast, 2.0, 1, {1 << 17});
     add("fast/alpha2/d3", SamplerKind::kFast, 2.0, 3, {1 << 17});
+    // Thread sweep of the parallel task decomposition (same seed -> same
+    // edges at every width; only the wall clock changes).
+    for (const unsigned t : {1u, 2u, 4u, 8u}) {
+        add("fast/alpha2/d2/threads" + std::to_string(t), SamplerKind::kFast, 2.0, 2,
+            {1 << 17, 1 << 20}, t);
+    }
+}
+
+// ------------------------------------------------------------------ --sweep
+
+/// Hand-timed thread sweep on a 10^6-vertex instance, written as JSON so the
+/// result can be committed alongside the code it measures.
+int run_sweep(const std::string& output_path) {
+    // Fail on an unwritable path before spending minutes measuring.
+    std::ofstream out(output_path);
+    if (!out) {
+        std::cerr << "sweep: cannot open " << output_path << "\n";
+        return 1;
+    }
+    const int n = 1 << 20;
+    GirgParams params = standard_params(static_cast<double>(n), 2.5, 2.0, 2.0, 2);
+    std::cerr << "sweep: sampling " << n << " vertices...\n";
+    const VertexSet vertices = make_vertices(params, 22001);
+
+    struct Row {
+        unsigned threads;
+        double seconds;
+        std::size_t edges;
+    };
+    std::vector<Row> rows;
+    const int kReps = 3;
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        params.threads = threads;
+        double best = 0.0;
+        std::size_t edges = 0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            Rng rng(23001);
+            const auto start = std::chrono::steady_clock::now();
+            const auto sampled =
+                sample_edges_fast(params, vertices.weights, vertices.positions, rng);
+            const auto stop = std::chrono::steady_clock::now();
+            const double secs = std::chrono::duration<double>(stop - start).count();
+            if (rep == 0 || secs < best) best = secs;
+            edges = sampled.size();
+        }
+        rows.push_back({threads, best, edges});
+        std::cerr << "sweep: threads=" << threads << " best=" << best << "s edges="
+                  << edges << "\n";
+    }
+
+    const double base = rows.front().seconds;
+    out << "{\n"
+        << "  \"benchmark\": \"GEN_Sampler/thread_sweep\",\n"
+        << "  \"n\": " << n << ",\n"
+        << "  \"dim\": 2,\n"
+        << "  \"alpha\": 2.0,\n"
+        << "  \"beta\": 2.5,\n"
+        << "  \"reps\": " << kReps << ",\n"
+        << "  \"timing\": \"best of reps, wall clock\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+            << ", \"edges\": " << r.edges << ", \"edges_per_sec\": "
+            << static_cast<double>(r.edges) / r.seconds
+            << ", \"speedup_vs_1\": " << base / r.seconds << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cerr << "sweep: wrote " << output_path << "\n";
+    return 0;
 }
 
 }  // namespace
 }  // namespace smallworld::bench
 
 int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--sweep") {
+            const std::string path =
+                i + 1 < argc ? argv[i + 1] : "BENCH_generator_throughput.json";
+            return smallworld::bench::run_sweep(path);
+        }
+    }
     smallworld::bench::register_all();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

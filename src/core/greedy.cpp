@@ -12,8 +12,14 @@ RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective
     Vertex current = source;
     double current_value = objective.value(current);
     while (true) {
+        // Arrival is checked before the budget: a packet that reaches the
+        // target in exactly max_steps hops is delivered, not step-limited.
         if (current == target) {
             result.status = RoutingStatus::kDelivered;
+            return result;
+        }
+        if (result.steps() >= max_steps) {
+            result.status = RoutingStatus::kStepLimit;
             return result;
         }
         const Vertex next = best_neighbor(graph, objective, current);
@@ -24,10 +30,6 @@ RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective
         result.path.push_back(next);
         current = next;
         current_value = objective.value(current);
-        if (result.steps() >= max_steps) {
-            result.status = RoutingStatus::kStepLimit;
-            return result;
-        }
     }
 }
 

@@ -1,0 +1,136 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace smallworld {
+
+namespace {
+
+/// Set while a thread is executing job items; nested for_each calls detect
+/// it and run inline instead of waiting on their own pool.
+thread_local bool tls_inside_job = false;
+
+unsigned hardware_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) threads = hardware_threads();
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool;
+    return pool;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        bool participate = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            // Only the first job_workers_ workers join (the concurrency
+            // cap); the rest go straight back to sleep without touching the
+            // job. The caller waits for exactly the participants, and every
+            // participant is guaranteed to wake because the generation
+            // cannot advance until they have all checked out.
+            participate = index < job_workers_;
+        }
+        if (!participate) continue;
+        drain();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (--workers_remaining_ == 0) done_cv_.notify_one();
+        }
+    }
+}
+
+void ThreadPool::drain() {
+    const bool was_inside = tls_inside_job;
+    tls_inside_job = true;
+    for (;;) {
+        const std::size_t begin = next_.fetch_add(job_chunk_, std::memory_order_relaxed);
+        if (begin >= job_count_) break;
+        const std::size_t end = std::min(begin + job_chunk_, job_count_);
+        try {
+            for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_) error_ = std::current_exception();
+            // Park the counter past the end so no further blocks start.
+            next_.store(job_count_, std::memory_order_relaxed);
+        }
+    }
+    tls_inside_job = was_inside;
+}
+
+void ThreadPool::for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
+                          std::size_t chunk, unsigned max_concurrency) {
+    if (count == 0) return;
+    if (chunk == 0) chunk = 1;
+    const std::size_t blocks = (count + chunk - 1) / chunk;
+    unsigned pool_workers =
+        static_cast<unsigned>(std::min<std::size_t>(workers(), blocks - 1));
+    if (max_concurrency != 0) {
+        pool_workers = std::min(pool_workers, max_concurrency - 1);
+    }
+    if (tls_inside_job || pool_workers == 0) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    const std::lock_guard<std::mutex> call_lock(call_mutex_);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job_fn_ = &fn;
+        job_count_ = count;
+        job_chunk_ = chunk;
+        job_workers_ = pool_workers;
+        workers_remaining_ = pool_workers;
+        next_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    drain();
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return workers_remaining_ == 0; });
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads, std::size_t chunk) {
+    ThreadPool& pool = ThreadPool::shared();
+    if (threads == 0 || threads <= pool.workers() + 1) {
+        pool.for_each(count, fn, chunk, threads);
+        return;
+    }
+    ThreadPool dedicated(threads - 1);
+    dedicated.for_each(count, fn, chunk, threads);
+}
+
+}  // namespace smallworld

@@ -2,10 +2,10 @@
 
 #include <stdexcept>
 
-#include "experiments/parallel.h"
+#include "core/thread_pool.h"
 #include "graph/bfs.h"
 #include "graph/components.h"
-#include "random/splitmix64.h"
+#include "random/rng.h"
 
 namespace smallworld {
 
@@ -69,10 +69,13 @@ TrialStats run_trials_impl(const Graph& graph, const Router& router,
     if (pool.size() < 2) throw std::invalid_argument("run_trials: vertex pool too small");
 
     std::vector<TrialStats> per_target(config.targets);
+    // Each target draws from its own counter-seeded stream, so the dynamic
+    // assignment of trials to threads never changes the results.
+    const RngStreams streams(seed);
     parallel_for(
         config.targets,
         [&](std::size_t target_index) {
-            Rng rng(hash_combine(seed, target_index));
+            Rng rng = streams.stream(target_index);
             TrialStats& stats = per_target[target_index];
 
             const Vertex target = pool[rng.uniform_index(pool.size())];

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "core/thread_pool.h"
 #include "geometry/cells.h"
 #include "geometry/morton.h"
 #include "girg/edge_probability.h"
@@ -39,6 +40,29 @@ struct Slice {
     }
 };
 
+/// One unit of parallel work: a (layer i, layer j) pair restricted to a
+/// cell pair, exactly as the recursion would visit it. Tasks are collected
+/// by a serial descent in a fixed order, so task index t is a deterministic
+/// function of the instance alone — never of the thread count.
+struct Task {
+    int i = 0;
+    int j = 0;
+    int target = 0;
+    Cell a;
+    Cell b;
+    std::uint64_t code_a = 0;
+    std::uint64_t code_b = 0;
+    Slice a_i, a_j, b_i, b_j;
+};
+
+/// Per-task mutable state: its own counter-seeded RNG stream and edge
+/// buffer. Buffers are concatenated in task order afterwards, which makes
+/// the full edge list byte-identical at any thread count.
+struct TaskContext {
+    Rng rng;
+    std::vector<Edge> edges;
+};
+
 class FastSampler {
 public:
     FastSampler(const GirgParams& params, const std::vector<double>& weights,
@@ -48,20 +72,30 @@ public:
     std::vector<Edge> run() {
         if (weights_.empty()) return {};
         build_layers();
-        // One pruned cell-pair recursion per (unordered) layer pair; the
-        // slices narrow with depth, so the walk only visits cell pairs that
-        // still hold candidate vertices on both sides.
-        Cell root;
-        for (int i = 0; i < num_layers_; ++i) {
-            if (layers_[static_cast<std::size_t>(i)].empty()) continue;
-            for (int j = i; j < num_layers_; ++j) {
-                if (layers_[static_cast<std::size_t>(j)].empty()) continue;
-                const int target = target_level(i, j);
-                process(i, j, target, root, 0, root, 0, full_slice(i), full_slice(j),
-                        full_slice(i), full_slice(j));
-            }
+        collect_tasks();
+        // Counter-seeded streams: task t's randomness depends only on the
+        // parent generator's state and t, so the dynamic assignment of
+        // tasks to threads cannot perturb the output.
+        const RngStreams streams = rng_.streams();
+        std::vector<std::vector<Edge>> buffers(tasks_.size());
+        parallel_for(
+            tasks_.size(),
+            [&](std::size_t t) {
+                TaskContext ctx{streams.stream(t), {}};
+                const Task& task = tasks_[t];
+                process(task.i, task.j, task.target, task.a, task.code_a, task.b,
+                        task.code_b, task.a_i, task.a_j, task.b_i, task.b_j, ctx);
+                buffers[t] = std::move(ctx.edges);
+            },
+            params_.threads, /*chunk=*/8);
+        std::size_t total = 0;
+        for (const auto& buffer : buffers) total += buffer.size();
+        std::vector<Edge> edges;
+        edges.reserve(total);
+        for (const auto& buffer : buffers) {
+            edges.insert(edges.end(), buffer.begin(), buffer.end());
         }
-        return std::move(edges_);
+        return edges;
     }
 
 private:
@@ -141,6 +175,70 @@ private:
         return static_cast<int>(std::floor(std::log2(cells) / params_.dim));
     }
 
+    // ---- task collection -----------------------------------------------
+
+    /// Level at which layer-pair subtrees are cut into tasks: deep enough
+    /// for load balance (at most ~64 cells, so a few hundred cell pairs per
+    /// layer pair before slice pruning), never past the pair's target.
+    [[nodiscard]] int split_level() const noexcept { return 6 / params_.dim; }
+
+    void collect_tasks() {
+        const Cell root;
+        for (int i = 0; i < num_layers_; ++i) {
+            if (layers_[static_cast<std::size_t>(i)].empty()) continue;
+            for (int j = i; j < num_layers_; ++j) {
+                if (layers_[static_cast<std::size_t>(j)].empty()) continue;
+                const int target = target_level(i, j);
+                const int split = std::min(target, split_level());
+                collect(i, j, target, split, root, 0, root, 0, full_slice(i),
+                        full_slice(j), full_slice(i), full_slice(j));
+            }
+        }
+    }
+
+    /// Descends exactly like process() down to the split level, emitting a
+    /// task for every subtree (touching pair at the split level) or type-II
+    /// pair (first non-touching pair) reached. Because the descent prunes
+    /// on the same slice-emptiness conditions, the union of the emitted
+    /// tasks covers every vertex pair exactly once, as the serial recursion
+    /// did.
+    void collect(int i, int j, int target, int split, const Cell& a,  // NOLINT
+                 std::uint64_t code_a, const Cell& b, std::uint64_t code_b,
+                 const Slice& a_i, const Slice& a_j, const Slice& b_i, const Slice& b_j) {
+        const bool same_cell = code_a == code_b;
+        const bool dir1 = a_i.count > 0 && b_j.count > 0;
+        const bool dir2 = i != j && !same_cell && a_j.count > 0 && b_i.count > 0;
+        if (!dir1 && !dir2) return;
+
+        if (!cells_touch(a, b, params_.dim) || a.level >= split) {
+            tasks_.push_back({i, j, target, a, b, code_a, code_b, a_i, a_j, b_i, b_j});
+            return;
+        }
+
+        const unsigned fanout = 1U << params_.dim;
+        const int shift = params_.dim * (deepest_ - a.level - 1);
+        const std::uint64_t base_a = code_a << params_.dim;
+        const std::uint64_t base_b = code_b << params_.dim;
+        for (unsigned ka = 0; ka < fanout; ++ka) {
+            const std::uint64_t lo_a = (base_a + ka) << shift;
+            const std::uint64_t hi_a = lo_a + (std::uint64_t{1} << shift);
+            const Slice ca_i = a_i.subrange(lo_a, hi_a);
+            const Slice ca_j = i == j ? ca_i : a_j.subrange(lo_a, hi_a);
+            if (ca_i.count == 0 && ca_j.count == 0) continue;
+            const Cell ca = cell_child(a, params_.dim, ka);
+            for (unsigned kb = same_cell ? ka : 0U; kb < fanout; ++kb) {
+                const std::uint64_t lo_b = (base_b + kb) << shift;
+                const std::uint64_t hi_b = lo_b + (std::uint64_t{1} << shift);
+                const Slice cb_i = b_i.subrange(lo_b, hi_b);
+                const Slice cb_j = i == j ? cb_i : b_j.subrange(lo_b, hi_b);
+                if (cb_i.count == 0 && cb_j.count == 0) continue;
+                const Cell cb = cell_child(b, params_.dim, kb);
+                collect(i, j, target, split, ca, base_a + ka, cb, base_b + kb, ca_i,
+                        ca_j, cb_i, cb_j);
+            }
+        }
+    }
+
     // ---- edge checks ---------------------------------------------------
 
     [[nodiscard]] double exact_probability(Vertex u, Vertex v) const noexcept {
@@ -148,8 +246,8 @@ private:
                                      positions_.point(v));
     }
 
-    void check_pair(Vertex u, Vertex v) {
-        if (rng_.bernoulli(exact_probability(u, v))) edges_.emplace_back(u, v);
+    void check_pair(Vertex u, Vertex v, TaskContext& ctx) const {
+        if (ctx.rng.bernoulli(exact_probability(u, v))) ctx.edges.emplace_back(u, v);
     }
 
     // ---- recursion per layer pair ---------------------------------------
@@ -160,7 +258,7 @@ private:
     /// the chain of ancestors of (a, b) all touch.
     void process(int i, int j, int target, const Cell& a, std::uint64_t code_a,  // NOLINT
                  const Cell& b, std::uint64_t code_b, const Slice& a_i, const Slice& a_j,
-                 const Slice& b_i, const Slice& b_j) {
+                 const Slice& b_i, const Slice& b_j, TaskContext& ctx) const {
         const bool same_cell = code_a == code_b;
         // A candidate pair needs a layer-i vertex on one side and a layer-j
         // vertex on the other (for same_cell both live in a).
@@ -170,7 +268,7 @@ private:
 
         if (cells_touch(a, b, params_.dim)) {
             if (a.level == target) {
-                sample_type1(same_cell, i, j, a_i, a_j, b_i, b_j);
+                sample_type1(same_cell, i, j, a_i, a_j, b_i, b_j, ctx);
                 return;
             }
             // Descend into all child cell pairs (unordered when a == b).
@@ -194,7 +292,7 @@ private:
                     if (cb_i.count == 0 && cb_j.count == 0) continue;
                     const Cell cb = cell_child(b, params_.dim, kb);
                     process(i, j, target, ca, base_a + ka, cb, base_b + kb, ca_i, ca_j,
-                            cb_i, cb_j);
+                            cb_i, cb_j, ctx);
                 }
             }
             return;
@@ -208,49 +306,50 @@ private:
         const double wj = layers_[static_cast<std::size_t>(j)].weight_upper;
         const double pbar = girg_edge_probability(params_, wi * wj, min_distance);
         if (pbar <= 0.0) return;
-        if (dir1) sample_type2_direction(a_i, b_j, pbar);
-        if (dir2) sample_type2_direction(a_j, b_i, pbar);
+        if (dir1) sample_type2_direction(a_i, b_j, pbar, ctx);
+        if (dir2) sample_type2_direction(a_j, b_i, pbar, ctx);
     }
 
     // ---- type I: exhaustive at the target level -------------------------
 
-    void cross_check(const Slice& ra, const Slice& rb) {
+    void cross_check(const Slice& ra, const Slice& rb, TaskContext& ctx) const {
         for (std::size_t p = 0; p < ra.count; ++p) {
             for (std::size_t q = 0; q < rb.count; ++q) {
-                check_pair(ra.vertices[p], rb.vertices[q]);
+                check_pair(ra.vertices[p], rb.vertices[q], ctx);
             }
         }
     }
 
     void sample_type1(bool same_cell, int i, int j, const Slice& a_i, const Slice& a_j,
-                      const Slice& b_i, const Slice& b_j) {
+                      const Slice& b_i, const Slice& b_j, TaskContext& ctx) const {
         if (same_cell && i == j) {
             for (std::size_t p = 0; p < a_i.count; ++p) {
                 for (std::size_t q = p + 1; q < a_i.count; ++q) {
-                    check_pair(a_i.vertices[p], a_i.vertices[q]);
+                    check_pair(a_i.vertices[p], a_i.vertices[q], ctx);
                 }
             }
             return;
         }
-        cross_check(a_i, b_j);
+        cross_check(a_i, b_j, ctx);
         // Mirror direction: layer j in a against layer i in b.
-        if (!same_cell && i != j) cross_check(a_j, b_i);
+        if (!same_cell && i != j) cross_check(a_j, b_i, ctx);
     }
 
     // ---- type II: geometric jumps over distant cell pairs ---------------
 
-    void sample_type2_direction(const Slice& ra, const Slice& rb, double pbar) {
+    void sample_type2_direction(const Slice& ra, const Slice& rb, double pbar,
+                                TaskContext& ctx) const {
         const std::uint64_t total =
             static_cast<std::uint64_t>(ra.count) * static_cast<std::uint64_t>(rb.count);
-        std::uint64_t k = rng_.geometric_skip(pbar);
+        std::uint64_t k = ctx.rng.geometric_skip(pbar);
         while (k < total) {
             const Vertex u = ra.vertices[k / rb.count];
             const Vertex v = rb.vertices[k % rb.count];
             const double p = exact_probability(u, v);
             // p <= pbar by construction (weights below the layer bound,
             // distance above the cell bound).
-            if (rng_.bernoulli(p / pbar)) edges_.emplace_back(u, v);
-            k += 1 + rng_.geometric_skip(pbar);
+            if (ctx.rng.bernoulli(p / pbar)) ctx.edges.emplace_back(u, v);
+            k += 1 + ctx.rng.geometric_skip(pbar);
         }
     }
 
@@ -262,7 +361,7 @@ private:
     int num_layers_ = 0;
     int deepest_ = 0;
     std::vector<Layer> layers_;
-    std::vector<Edge> edges_;
+    std::vector<Task> tasks_;
 };
 
 }  // namespace

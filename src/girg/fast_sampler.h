@@ -29,6 +29,12 @@ namespace smallworld {
 ///
 /// The output distribution is *exactly* the model's (tested against the
 /// naive sampler); only the running time is randomized.
+///
+/// The recursion is executed in parallel on params.threads workers (0 = all
+/// hardware threads): the layer pairs are cut into per-cell-pair tasks, and
+/// every task draws from its own stream counter-seeded by the task index
+/// (see RngStreams). Task buffers are concatenated in task order, so a
+/// fixed seed yields a byte-identical edge list at any thread count.
 [[nodiscard]] std::vector<Edge> sample_edges_fast(const GirgParams& params,
                                                   const std::vector<double>& weights,
                                                   const PointCloud& positions, Rng& rng);

@@ -31,6 +31,13 @@ struct GirgParams {
     double edge_scale = 1.0;  ///< the Theta-constant c in puv (> 0)
     Norm norm = Norm::kMax;   ///< distance norm (the paper allows any norm)
 
+    /// Execution knob, not a model parameter: worker threads for the fast
+    /// edge sampler (0 = all hardware threads). Has no effect on the
+    /// sampled distribution, and none on the seeded output either — sampler
+    /// tasks draw from counter-seeded RNG streams, so a fixed seed yields
+    /// byte-identical edge lists at any thread count.
+    unsigned threads = 0;
+
     [[nodiscard]] bool threshold() const noexcept { return alpha == kAlphaInfinity; }
 
     /// Throws std::invalid_argument when any parameter is outside the

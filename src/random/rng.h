@@ -5,9 +5,12 @@
 #include <cstdint>
 #include <random>
 
+#include "random/splitmix64.h"
 #include "random/xoshiro.h"
 
 namespace smallworld {
+
+class RngStreams;
 
 /// Convenience façade over Xoshiro256pp with the handful of draws the
 /// generators and routers need. All methods are cheap and allocation-free.
@@ -82,8 +85,31 @@ public:
     /// Derive an independent child generator (for parallel work items).
     Rng split() noexcept { return Rng(engine_.split()); }
 
+    /// Derive a family of counter-indexed child streams rooted at one draw
+    /// from this generator (defined below; consumes exactly one draw).
+    RngStreams streams() noexcept;
+
 private:
     Xoshiro256pp engine_;
 };
+
+/// Family of independent child RNG streams rooted at a single 64-bit value:
+/// stream(k) = Rng(hash_combine(root, k)) is a pure function of (root, k).
+/// Parallel work items indexed by a deterministic counter therefore produce
+/// identical results at any thread count and in any execution order — the
+/// scheme used by both the trial runner and the parallel edge sampler.
+class RngStreams {
+public:
+    explicit RngStreams(std::uint64_t root) noexcept : root_(root) {}
+
+    [[nodiscard]] Rng stream(std::uint64_t k) const noexcept {
+        return Rng(hash_combine(root_, k));
+    }
+
+private:
+    std::uint64_t root_;
+};
+
+inline RngStreams Rng::streams() noexcept { return RngStreams(engine_()); }
 
 }  // namespace smallworld

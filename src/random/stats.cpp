@@ -46,10 +46,20 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-double quantile(std::span<const double> values, double q) {
-    if (values.empty()) throw std::invalid_argument("quantile: empty sample");
-    std::vector<double> sorted(values.begin(), values.end());
-    std::sort(sorted.begin(), sorted.end());
+namespace {
+
+/// NaNs break the sort's strict weak ordering (comparator UB), so both
+/// order-statistic entry points reject them up front.
+void reject_nans(std::span<const double> values, const char* who) {
+    for (const double v : values) {
+        if (std::isnan(v)) {
+            throw std::invalid_argument(std::string(who) + ": NaN in sample");
+        }
+    }
+}
+
+/// Linear-interpolated quantile of an already-sorted sample.
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
     q = std::clamp(q, 0.0, 1.0);
     const double pos = q * static_cast<double>(sorted.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
@@ -58,9 +68,20 @@ double quantile(std::span<const double> values, double q) {
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+    if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+    reject_nans(values, "quantile");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    return quantile_sorted(sorted, q);
+}
+
 Summary summarize(std::span<const double> values) {
     Summary s;
     if (values.empty()) return s;
+    reject_nans(values, "summarize");
     RunningStats rs;
     for (const double v : values) rs.add(v);
     s.count = rs.count();
@@ -68,10 +89,13 @@ Summary summarize(std::span<const double> values) {
     s.stddev = rs.stddev();
     s.min = rs.min();
     s.max = rs.max();
-    s.q25 = quantile(values, 0.25);
-    s.median = quantile(values, 0.50);
-    s.q75 = quantile(values, 0.75);
-    s.q95 = quantile(values, 0.95);
+    // One sort shared by all four order statistics.
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.q25 = quantile_sorted(sorted, 0.25);
+    s.median = quantile_sorted(sorted, 0.50);
+    s.q75 = quantile_sorted(sorted, 0.75);
+    s.q95 = quantile_sorted(sorted, 0.95);
     return s;
 }
 

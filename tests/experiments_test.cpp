@@ -5,7 +5,7 @@
 
 #include "core/greedy.h"
 #include "core/phi_dfs.h"
-#include "experiments/parallel.h"
+#include "core/thread_pool.h"
 #include "experiments/runner.h"
 #include "experiments/table.h"
 #include "experiments/trajectory_profile.h"

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "random/point_process.h"
 #include "random/power_law.h"
@@ -162,6 +164,40 @@ TEST(Rng, GeometricSkipTinyProbabilityIsFiniteAndLarge) {
 }
 
 // ---------------------------------------------------------------- PowerLaw
+
+TEST(RngStreams, StreamsAreDeterministicGivenRoot) {
+    const RngStreams a(42);
+    const RngStreams b(42);
+    Rng ra = a.stream(7);
+    Rng rb = b.stream(7);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(ra.uniform_index(1u << 30), rb.uniform_index(1u << 30));
+}
+
+TEST(RngStreams, DistinctCountersGiveDistinctStreams) {
+    const RngStreams streams(42);
+    Rng r0 = streams.stream(0);
+    Rng r1 = streams.stream(1);
+    int equal = 0;
+    for (int i = 0; i < 16; ++i) {
+        equal += r0.uniform_index(1u << 30) == r1.uniform_index(1u << 30) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngStreams, DerivationAdvancesParent) {
+    // streams() consumes one draw from the parent, so resampling with the
+    // same Rng object yields a fresh stream family each time.
+    Rng parent(9);
+    const RngStreams first = parent.streams();
+    const RngStreams second = parent.streams();
+    Rng f = first.stream(0);
+    Rng s = second.stream(0);
+    int equal = 0;
+    for (int i = 0; i < 16; ++i) {
+        equal += f.uniform_index(1u << 30) == s.uniform_index(1u << 30) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 2);
+}
 
 TEST(PowerLaw, RejectsBadParameters) {
     EXPECT_THROW(PowerLaw(1.0, 1.0), std::invalid_argument);
@@ -325,6 +361,20 @@ TEST(Stats, QuantileInterpolation) {
     EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
     EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
     EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileInputOrderIrrelevant) {
+    const std::vector<double> shuffled{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(shuffled, 0.5), 2.5);
+    // The input itself is left untouched.
+    EXPECT_EQ(shuffled, (std::vector<double>{4.0, 1.0, 3.0, 2.0}));
+}
+
+TEST(Stats, QuantileRejectsNaN) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW((void)quantile(std::vector<double>{1.0, nan, 3.0}, 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW((void)summarize(std::vector<double>{nan}), std::invalid_argument);
 }
 
 TEST(Stats, SummaryFields) {

@@ -2,9 +2,14 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "core/faulty.h"
+#include "core/gravity_pressure.h"
 #include "core/greedy.h"
+#include "core/message_history.h"
 #include "core/objective.h"
+#include "core/phi_dfs.h"
 #include "girg/generator.h"
 #include "graph/bfs.h"
 #include "graph/components.h"
@@ -343,6 +348,90 @@ TEST(Greedy, StepLimitEnforced) {
     EXPECT_EQ(result.status, RoutingStatus::kStepLimit);
     EXPECT_EQ(result.steps(), 5u);
 }
+
+TEST(Greedy, ExactBudgetArrivalIsDelivered) {
+    // Regression: a packet reaching the target in exactly max_steps hops was
+    // misreported as kStepLimit because the budget was checked before arrival.
+    ScenarioBuilder b;
+    std::vector<Vertex> vs;
+    for (int i = 0; i <= 5; ++i) vs.push_back(b.vertex(0.01 * i));
+    b.chain(vs);
+    const Girg g = b.build();
+    const GirgObjective obj(g, vs.back());
+    RoutingOptions options;
+    options.max_steps = 5;  // == true path length
+    const auto result = GreedyRouter{}.route(g.graph, obj, vs.front(), options);
+    EXPECT_EQ(result.status, RoutingStatus::kDelivered);
+    EXPECT_EQ(result.steps(), 5u);
+    EXPECT_EQ(result.path.back(), vs.back());
+}
+
+// ------------------------------------------------ all routers: budget edge
+
+// Every Router implementation must agree on the arrival-vs-budget boundary:
+// delivery in exactly max_steps hops is a delivery, one hop fewer of budget
+// is a step-limit failure.
+using RouterFactory = std::unique_ptr<Router> (*)();
+
+std::unique_ptr<Router> make_greedy() { return std::make_unique<GreedyRouter>(); }
+std::unique_ptr<Router> make_phi_dfs() { return std::make_unique<PhiDfsRouter>(); }
+std::unique_ptr<Router> make_gravity() {
+    return std::make_unique<GravityPressureRouter>();
+}
+std::unique_ptr<Router> make_history() {
+    return std::make_unique<MessageHistoryRouter>();
+}
+std::unique_ptr<Router> make_faulty() {
+    // Zero failure probability: behaves like greedy, exercises the same loop.
+    return std::make_unique<FaultyLinkGreedyRouter>(0.0, 1, 0);
+}
+
+struct RouterCase {
+    const char* name;
+    RouterFactory make;
+};
+
+class AllRoutersBudget : public ::testing::TestWithParam<RouterCase> {};
+
+TEST_P(AllRoutersBudget, ExactBudgetArrivalIsDelivered) {
+    ScenarioBuilder b;
+    std::vector<Vertex> vs;
+    for (int i = 0; i <= 5; ++i) vs.push_back(b.vertex(0.01 * i));
+    b.chain(vs);
+    const Girg g = b.build();
+    const GirgObjective obj(g, vs.back());
+    RoutingOptions options;
+    options.max_steps = 5;  // exactly the monotone chain's length
+    const auto router = GetParam().make();
+    const auto result = router->route(g.graph, obj, vs.front(), options);
+    EXPECT_EQ(result.status, RoutingStatus::kDelivered);
+    EXPECT_EQ(result.steps(), 5u);
+    EXPECT_EQ(result.path.back(), vs.back());
+}
+
+TEST_P(AllRoutersBudget, OneHopShortOfBudgetIsNotDelivered) {
+    ScenarioBuilder b;
+    std::vector<Vertex> vs;
+    for (int i = 0; i <= 5; ++i) vs.push_back(b.vertex(0.01 * i));
+    b.chain(vs);
+    const Girg g = b.build();
+    const GirgObjective obj(g, vs.back());
+    RoutingOptions options;
+    options.max_steps = 4;  // one hop too few
+    const auto router = GetParam().make();
+    const auto result = router->route(g.graph, obj, vs.front(), options);
+    EXPECT_FALSE(result.success());
+    EXPECT_LE(result.steps(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Routers, AllRoutersBudget,
+    ::testing::Values(RouterCase{"Greedy", make_greedy},
+                      RouterCase{"PhiDfs", make_phi_dfs},
+                      RouterCase{"GravityPressure", make_gravity},
+                      RouterCase{"MessageHistory", make_history},
+                      RouterCase{"FaultyZeroProb", make_faulty}),
+    [](const ::testing::TestParamInfo<RouterCase>& info) { return info.param.name; });
 
 }  // namespace
 }  // namespace smallworld
