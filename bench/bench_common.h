@@ -3,12 +3,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "core/thread_pool.h"
 #include "experiments/runner.h"
 #include "girg/generator.h"
 
@@ -52,6 +55,83 @@ inline void report_stats(benchmark::State& state, const TrialStats& stats) {
     state.counters["bfs_mean"] = stats.bfs_distance.mean();
     state.counters["attempts"] = static_cast<double>(stats.attempts);
 }
+
+/// Writer for the committed `BENCH_*.json` artifacts. Every file gets the
+/// same provenance header — benchmark name, git SHA (compiled in via the
+/// SMALLWORLD_GIT_SHA definition), compiler, the shared pool's thread count,
+/// and the hardware concurrency — so a recorded number is always traceable
+/// to the tree, toolchain, and machine that produced it. After the header,
+/// callers append scalar fields and raw-JSON arrays, then close() (also run
+/// by the destructor) writes the footer.
+class BenchJson {
+public:
+    BenchJson(const std::string& path, const std::string& benchmark_name)
+        : out_(path) {
+        if (!out_) return;
+        out_ << "{\n";
+        field("benchmark", benchmark_name);
+        field("git_sha",
+#ifdef SMALLWORLD_GIT_SHA
+              SMALLWORLD_GIT_SHA
+#else
+              "unknown"
+#endif
+        );
+        field("compiler", compiler_string());
+        field("pool_threads",
+              static_cast<double>(ThreadPool::shared().workers() + 1));
+        field("hardware_concurrency",
+              static_cast<double>(std::thread::hardware_concurrency()));
+    }
+    ~BenchJson() { close(); }
+
+    BenchJson(const BenchJson&) = delete;
+    BenchJson& operator=(const BenchJson&) = delete;
+
+    /// False when the output path could not be opened; callers should bail
+    /// before measuring anything.
+    [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+    void field(const std::string& key, const std::string& value) {
+        separator();
+        out_ << "  \"" << key << "\": \"" << value << '"';
+    }
+    void field(const std::string& key, double value) {
+        separator();
+        out_ << "  \"" << key << "\": " << value;
+    }
+    /// Verbatim JSON (arrays, nested objects) under `key`.
+    void field_raw(const std::string& key, const std::string& raw_json) {
+        separator();
+        out_ << "  \"" << key << "\": " << raw_json;
+    }
+
+    void close() {
+        if (closed_ || !out_) return;
+        out_ << "\n}\n";
+        closed_ = true;
+    }
+
+    [[nodiscard]] static std::string compiler_string() {
+#if defined(__clang__)
+        return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+        return std::string("gcc ") + __VERSION__;
+#else
+        return "unknown";
+#endif
+    }
+
+private:
+    void separator() {
+        if (any_field_) out_ << ",\n";
+        any_field_ = true;
+    }
+
+    std::ofstream out_;
+    bool any_field_ = false;
+    bool closed_ = false;
+};
 
 inline GirgParams standard_params(double n, double beta, double alpha, double wmin,
                                   int dim = 2) {

@@ -11,10 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
-#include <thread>
 
 #include "bench_common.h"
 #include "girg/fast_sampler.h"
@@ -94,8 +93,8 @@ void register_all() {
 /// result can be committed alongside the code it measures.
 int run_sweep(const std::string& output_path) {
     // Fail on an unwritable path before spending minutes measuring.
-    std::ofstream out(output_path);
-    if (!out) {
+    BenchJson json(output_path, "GEN_Sampler/thread_sweep");
+    if (!json.ok()) {
         std::cerr << "sweep: cannot open " << output_path << "\n";
         return 1;
     }
@@ -131,26 +130,25 @@ int run_sweep(const std::string& output_path) {
     }
 
     const double base = rows.front().seconds;
-    out << "{\n"
-        << "  \"benchmark\": \"GEN_Sampler/thread_sweep\",\n"
-        << "  \"n\": " << n << ",\n"
-        << "  \"dim\": 2,\n"
-        << "  \"alpha\": 2.0,\n"
-        << "  \"beta\": 2.5,\n"
-        << "  \"reps\": " << kReps << ",\n"
-        << "  \"timing\": \"best of reps, wall clock\",\n"
-        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-        << ",\n"
-        << "  \"results\": [\n";
+    json.field("n", static_cast<double>(n));
+    json.field("dim", 2.0);
+    json.field("alpha", 2.0);
+    json.field("beta", 2.5);
+    json.field("reps", static_cast<double>(kReps));
+    json.field("timing", "best of reps, wall clock");
+    std::ostringstream results;
+    results << "[\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
-        out << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
-            << ", \"edges\": " << r.edges << ", \"edges_per_sec\": "
-            << static_cast<double>(r.edges) / r.seconds
-            << ", \"speedup_vs_1\": " << base / r.seconds << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
+        results << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+                << ", \"edges\": " << r.edges << ", \"edges_per_sec\": "
+                << static_cast<double>(r.edges) / r.seconds
+                << ", \"speedup_vs_1\": " << base / r.seconds << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    results << "  ]";
+    json.field_raw("results", results.str());
+    json.close();
     std::cerr << "sweep: wrote " << output_path << "\n";
     return 0;
 }

@@ -22,14 +22,16 @@ RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective
             result.status = RoutingStatus::kStepLimit;
             return result;
         }
-        const Vertex next = best_neighbor(graph, objective, current);
-        if (next == kNoVertex || !(objective.value(next) > current_value)) {
+        // One batched argmax returns the hop and its value together, so the
+        // greedy loop costs a single virtual call per visited vertex.
+        const BestNeighbor next = objective.best_of(graph.neighbors(current));
+        if (next.vertex == kNoVertex || !(next.value > current_value)) {
             result.status = RoutingStatus::kDeadEnd;
             return result;
         }
-        result.path.push_back(next);
-        current = next;
-        current_value = objective.value(current);
+        result.path.push_back(next.vertex);
+        current = next.vertex;
+        current_value = next.value;
     }
 }
 

@@ -11,11 +11,16 @@
 namespace smallworld {
 
 GirgObjective::GirgObjective(const Girg& girg, Vertex target)
-    : girg_(&girg), target_(target) {}
+    : evaluator_(girg, target) {}
 
-double GirgObjective::value(Vertex v) const {
-    if (v == target_) return std::numeric_limits<double>::infinity();
-    return girg_->objective(v, girg_->position(target_));
+double GirgObjective::value(Vertex v) const { return evaluator_.value(v); }
+
+void GirgObjective::values(std::span<const Vertex> vertices, double* out) const {
+    evaluator_.values(vertices, out);
+}
+
+BestNeighbor GirgObjective::best_of(std::span<const Vertex> vertices) const {
+    return evaluator_.best_of(vertices);
 }
 
 GeometricObjective::GeometricObjective(const PointCloud& positions, Vertex target)
@@ -29,20 +34,24 @@ double GeometricObjective::value(Vertex v) const {
     return 1.0 / dist;
 }
 
+void GeometricObjective::values(std::span<const Vertex> vertices, double* out) const {
+    for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
+}
+
 RelaxedObjective::RelaxedObjective(const Girg& girg, Vertex target, RelaxationKind kind,
                                    double magnitude, std::uint64_t seed)
-    : girg_(&girg), target_(target), kind_(kind), magnitude_(magnitude), seed_(seed) {}
+    : evaluator_(girg, target), kind_(kind), magnitude_(magnitude), seed_(seed) {}
 
 double RelaxedObjective::value(Vertex v) const {
-    if (v == target_) return std::numeric_limits<double>::infinity();
-    const double phi = girg_->objective(v, girg_->position(target_));
+    if (v == evaluator_.target()) return std::numeric_limits<double>::infinity();
+    const double phi = evaluator_.value(v);
     // Noise in [-1, 1], a deterministic function of (seed, v).
     const std::uint64_t h = hash_combine(seed_, v);
     const double noise =
         2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
     switch (kind_) {
         case RelaxationKind::kExponent: {
-            const double base = std::min(girg_->weight(v), 1.0 / phi);
+            const double base = std::min(evaluator_.weight(v), 1.0 / phi);
             // base >= wmin could still be < 1 for wmin < 1; a base below 1
             // would flip the direction of the exponentiation, which is fine:
             // the theorem's condition is symmetric in the exponent sign.
@@ -55,8 +64,12 @@ double RelaxedObjective::value(Vertex v) const {
     return phi;
 }
 
+void RelaxedObjective::values(std::span<const Vertex> vertices, double* out) const {
+    for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
+}
+
 QuantizedObjective::QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits)
-    : girg_(&girg), target_(target), mantissa_bits_(mantissa_bits) {
+    : evaluator_(girg, target), mantissa_bits_(mantissa_bits) {
     if (mantissa_bits < 1 || mantissa_bits > 52) {
         throw std::invalid_argument("QuantizedObjective: mantissa_bits in [1, 52]");
     }
@@ -71,8 +84,12 @@ double QuantizedObjective::quantize(double x, int mantissa_bits) noexcept {
 }
 
 double QuantizedObjective::value(Vertex v) const {
-    if (v == target_) return std::numeric_limits<double>::infinity();
-    return quantize(girg_->objective(v, girg_->position(target_)), mantissa_bits_);
+    if (v == evaluator_.target()) return std::numeric_limits<double>::infinity();
+    return quantize(evaluator_.value(v), mantissa_bits_);
+}
+
+void QuantizedObjective::values(std::span<const Vertex> vertices, double* out) const {
+    for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
 }
 
 }  // namespace smallworld

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "girg/girg.h"
+#include "girg/phi_evaluator.h"
 #include "graph/graph.h"
 
 namespace smallworld {
@@ -16,6 +18,12 @@ namespace smallworld {
 /// An Objective instance is bound to one target; evaluating phi(v) uses only
 /// v's address (position, weight) and the target's position — the locality
 /// property the paper emphasizes.
+///
+/// Concurrency contract: objectives may memoize per-vertex values behind a
+/// const interface (GirgObjective and friends do), so a single instance must
+/// not be shared across threads. Construct one objective per worker; phi is
+/// a pure function of the vertex attributes, so independent instances for
+/// the same target always agree.
 class Objective {
 public:
     virtual ~Objective() = default;
@@ -24,22 +32,47 @@ public:
     [[nodiscard]] virtual double value(Vertex v) const = 0;
 
     [[nodiscard]] virtual Vertex target() const = 0;
+
+    /// Batched evaluation: out[i] = value(vertices[i]). One virtual call per
+    /// neighbor list instead of one per neighbor; subclasses override with a
+    /// non-virtual inner loop.
+    virtual void values(std::span<const Vertex> vertices, double* out) const {
+        for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
+    }
+
+    /// First maximizer of phi over `vertices` in list order (ties toward the
+    /// earlier entry — the smaller id on sorted CSR neighbor lists), with its
+    /// value. {kNoVertex, 0.0} for an empty list.
+    [[nodiscard]] virtual BestNeighbor best_of(std::span<const Vertex> vertices) const {
+        BestNeighbor best;
+        for (const Vertex u : vertices) {
+            const double value_u = value(u);
+            if (best.vertex == kNoVertex || value_u > best.value) {
+                best.vertex = u;
+                best.value = value_u;
+            }
+        }
+        return best;
+    }
 };
 
 /// The paper's canonical objective phi(v) = wv / (wmin * n * ||xv - xt||^d),
 /// i.e. "forward to the acquaintance most likely to know the target":
 /// for alpha < infinity maximizing phi is equivalent to maximizing the
-/// connection probability p_{v,t}.
+/// connection probability p_{v,t}. Evaluation is delegated to a memoizing
+/// PhiEvaluator, so the batched entry points never touch a vtable per
+/// neighbor.
 class GirgObjective final : public Objective {
 public:
     GirgObjective(const Girg& girg, Vertex target);
 
     [[nodiscard]] double value(Vertex v) const override;
-    [[nodiscard]] Vertex target() const override { return target_; }
+    [[nodiscard]] Vertex target() const override { return evaluator_.target(); }
+    void values(std::span<const Vertex> vertices, double* out) const override;
+    [[nodiscard]] BestNeighbor best_of(std::span<const Vertex> vertices) const override;
 
 private:
-    const Girg* girg_;
-    Vertex target_;
+    PhiEvaluator evaluator_;
 };
 
 /// Degree-agnostic geometric objective 1/||xv - xt|| (torus L-infinity) —
@@ -54,6 +87,7 @@ public:
 
     [[nodiscard]] double value(Vertex v) const override;
     [[nodiscard]] Vertex target() const override { return target_; }
+    void values(std::span<const Vertex> vertices, double* out) const override;
 
 private:
     const PointCloud* positions_;
@@ -76,18 +110,18 @@ enum class RelaxationKind {
 /// for vertex v is derived by hashing (seed, v), so phi~ is a genuine
 /// function of the vertex (consistent across queries) as Theorem 3.5
 /// requires, yet "adversarially" scrambles the ordering of near-equal
-/// neighbors.
+/// neighbors. The unperturbed base phi comes from a memoized PhiEvaluator.
 class RelaxedObjective final : public Objective {
 public:
     RelaxedObjective(const Girg& girg, Vertex target, RelaxationKind kind,
                      double magnitude, std::uint64_t seed);
 
     [[nodiscard]] double value(Vertex v) const override;
-    [[nodiscard]] Vertex target() const override { return target_; }
+    [[nodiscard]] Vertex target() const override { return evaluator_.target(); }
+    void values(std::span<const Vertex> vertices, double* out) const override;
 
 private:
-    const Girg* girg_;
-    Vertex target_;
+    PhiEvaluator evaluator_;
     RelaxationKind kind_;
     double magnitude_;
     std::uint64_t seed_;
@@ -104,14 +138,14 @@ public:
     QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits);
 
     [[nodiscard]] double value(Vertex v) const override;
-    [[nodiscard]] Vertex target() const override { return target_; }
+    [[nodiscard]] Vertex target() const override { return evaluator_.target(); }
+    void values(std::span<const Vertex> vertices, double* out) const override;
 
     /// Rounds x to the given number of mantissa bits (exposed for tests).
     [[nodiscard]] static double quantize(double x, int mantissa_bits) noexcept;
 
 private:
-    const Girg* girg_;
-    Vertex target_;
+    PhiEvaluator evaluator_;
     int mantissa_bits_;
 };
 

@@ -1,6 +1,5 @@
 #include "core/phi_dfs.h"
 
-#include <cmath>
 #include <limits>
 #include <unordered_map>
 
@@ -73,10 +72,10 @@ public:
                 st.parent = last_visited_;
                 // Lines 14-17: descend to the best neighbor if any neighbor
                 // reaches the current Phi; otherwise backtrack.
-                const Vertex best = best_any_neighbor(v);
-                if (best != kNoVertex && objective_.value(best) >= message_phi_) {
+                const BestNeighbor best = best_any_neighbor(v);
+                if (best.vertex != kNoVertex && best.value >= message_phi_) {
                     last_visited_ = v;
-                    v = best;
+                    v = best.vertex;
                     continue;  // EXPLORE(best)
                 }
                 const Vertex back = last_visited_;
@@ -136,8 +135,8 @@ private:
     /// SET_NEW_PHI(v, m), lines 30-35.
     void set_new_phi(Vertex v, double phi_v) {
         best_seen_ = phi_v;
-        const Vertex best = best_any_neighbor(v);
-        if (best != kNoVertex && objective_.value(best) >= phi_v) {
+        const BestNeighbor best = best_any_neighbor(v);
+        if (best.vertex != kNoVertex && best.value >= phi_v) {
             VertexState& st = state_[v];
             st.started_new_dfs = true;
             st.previous_phi = message_phi_;
@@ -146,19 +145,24 @@ private:
     }
 
     /// argmax over all neighbors (line 15); ties toward smaller id.
-    [[nodiscard]] Vertex best_any_neighbor(Vertex v) const {
-        return best_neighbor(graph_, objective_, v);
+    [[nodiscard]] BestNeighbor best_any_neighbor(Vertex v) const {
+        return objective_.best_of(graph_.neighbors(v));
     }
 
     /// Line 19: best u in Gamma(v) with u != v.parent and
-    /// m.Phi <= phi(u) < (objective of the child we returned from).
+    /// m.Phi <= phi(u) < (objective of the child we returned from). The
+    /// neighbor objectives come from one batched values() call.
     [[nodiscard]] Vertex best_unexplored_child(Vertex v, Vertex parent) const {
         const double upper = backtrack_upper_;
+        const auto neighbors = graph_.neighbors(v);
+        scratch_.resize(neighbors.size());
+        objective_.values(neighbors, scratch_.data());
         Vertex best = kNoVertex;
         double best_value = kNegInf;
-        for (const Vertex u : graph_.neighbors(v)) {
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            const Vertex u = neighbors[i];
             if (u == parent) continue;
-            const double value = objective_.value(u);
+            const double value = scratch_[i];
             if (value >= message_phi_ && value < upper && value > best_value) {
                 best = u;
                 best_value = value;
@@ -184,6 +188,7 @@ private:
     std::size_t max_steps_;
 
     std::unordered_map<Vertex, VertexState> state_;
+    mutable std::vector<double> scratch_;  // neighbor objectives, reused per scan
     double best_seen_ = kNegInf;
     double message_phi_ = kNegInf;
     double backtrack_upper_ = kNegInf;

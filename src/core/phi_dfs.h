@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "core/router.h"
 
 namespace smallworld {

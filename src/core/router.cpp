@@ -10,16 +10,10 @@ std::size_t RoutingResult::distinct_vertices() const {
 }
 
 Vertex best_neighbor(const Graph& graph, const Objective& objective, Vertex v) {
-    Vertex best = kNoVertex;
-    double best_value = 0.0;
-    for (const Vertex u : graph.neighbors(v)) {
-        const double value = objective.value(u);
-        if (best == kNoVertex || value > best_value) {
-            best = u;
-            best_value = value;
-        }
-    }
-    return best;
+    // One virtual call per neighbor list; the objective's batched argmax
+    // runs a non-virtual inner loop with the same first-maximum tie-break
+    // the serial loop used.
+    return objective.best_of(graph.neighbors(v)).vertex;
 }
 
 }  // namespace smallworld

@@ -1,5 +1,6 @@
 #include "experiments/runner.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/thread_pool.h"
@@ -57,6 +58,17 @@ std::vector<Vertex> eligible_vertices(const Graph& graph, const Components& comp
     return all;
 }
 
+/// Sources routed per Phase-B work item. Small enough that the slowest
+/// target's pairs spread across threads, large enough to amortize the
+/// per-block objective construction.
+constexpr std::size_t kSourcesPerBlock = 16;
+
+/// Per-target state produced by Phase A and shared read-only by Phase B.
+struct TargetContext {
+    Vertex target = kNoVertex;
+    std::vector<std::int32_t> dist;
+};
+
 TrialStats run_trials_impl(const Graph& graph, const Router& router,
                            const GraphObjectiveFactory& factory, const TrialConfig& config,
                            std::uint64_t seed) {
@@ -68,21 +80,47 @@ TrialStats run_trials_impl(const Graph& graph, const Router& router,
         eligible_vertices(graph, components, config.restrict_to_giant);
     if (pool.size() < 2) throw std::invalid_argument("run_trials: vertex pool too small");
 
-    std::vector<TrialStats> per_target(config.targets);
-    // Each target draws from its own counter-seeded stream, so the dynamic
-    // assignment of trials to threads never changes the results.
+    // Two-phase pipeline with counter-seeded streams, so the dynamic
+    // assignment of work items to threads never changes the results:
+    // Phase A (stream t): pick target t and run its BFS. Phase B (stream
+    // targets + item): route a block of sources toward its target, with a
+    // private objective instance per block — objectives memoize phi behind
+    // const, so they must not be shared across workers.
     const RngStreams streams(seed);
+
+    std::vector<TargetContext> contexts(config.targets);
     parallel_for(
         config.targets,
         [&](std::size_t target_index) {
             Rng rng = streams.stream(target_index);
-            TrialStats& stats = per_target[target_index];
+            TargetContext& ctx = contexts[target_index];
+            ctx.target = pool[rng.uniform_index(pool.size())];
+            // Nested parallel_for runs inline when the pool is busy with the
+            // target loop, so BFS parallelism kicks in exactly when there
+            // are fewer targets than workers.
+            ctx.dist = bfs_distances(graph, ctx.target, config.threads);
+        },
+        config.threads);
 
-            const Vertex target = pool[rng.uniform_index(pool.size())];
+    const std::size_t blocks_per_target =
+        (config.sources_per_target + kSourcesPerBlock - 1) / kSourcesPerBlock;
+    std::vector<TrialStats> per_block(config.targets * blocks_per_target);
+    parallel_for(
+        per_block.size(),
+        [&](std::size_t item) {
+            const std::size_t target_index = item / blocks_per_target;
+            const std::size_t block = item % blocks_per_target;
+            const TargetContext& ctx = contexts[target_index];
+            const Vertex target = ctx.target;
+            const std::vector<std::int32_t>& dist = ctx.dist;
+            Rng rng = streams.stream(config.targets + item);
+            TrialStats& stats = per_block[item];
             const auto objective = factory(target);
-            const auto dist = bfs_distances(graph, target);
 
-            for (std::size_t k = 0; k < config.sources_per_target; ++k) {
+            const std::size_t first = block * kSourcesPerBlock;
+            const std::size_t last =
+                std::min(first + kSourcesPerBlock, config.sources_per_target);
+            for (std::size_t k = first; k < last; ++k) {
                 // Rejection-sample a source: distinct from the target and
                 // satisfying the distance constraint when one is set.
                 Vertex source = target;
@@ -137,8 +175,11 @@ TrialStats run_trials_impl(const Graph& graph, const Router& router,
         },
         config.threads);
 
+    // Merge in fixed (target, block) order: RunningStats::merge is not
+    // commutative in floating point, so the order must not depend on the
+    // thread schedule.
     TrialStats total;
-    for (const TrialStats& stats : per_target) total.merge(stats);
+    for (const TrialStats& stats : per_block) total.merge(stats);
     return total;
 }
 

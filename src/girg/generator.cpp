@@ -5,6 +5,7 @@
 #include "geometry/torus.h"
 #include "girg/fast_sampler.h"
 #include "girg/naive_sampler.h"
+#include "girg/relabel.h"
 #include "random/power_law.h"
 
 namespace smallworld {
@@ -58,8 +59,16 @@ Girg generate_girg(const GirgParams& params, std::uint64_t seed,
         }
     }
 
-    const auto edges =
+    auto edges =
         sample_edges(params, girg.weights, girg.positions, rng, options.sampler);
+    // Relabeling happens after edge sampling (the samplers' output depends
+    // on vertex order) and before the CSR build, so the only cost is one
+    // permutation pass over the attributes and endpoints.
+    if (options.morton_relabel && options.weights.empty()) {
+        const std::size_t movable = girg.weights.size() - options.planted.size();
+        const auto new_ids = morton_order(girg.positions, movable);
+        apply_relabeling(new_ids, girg.weights, girg.positions, edges);
+    }
     girg.graph = Graph(girg.num_vertices(), edges);
     return girg;
 }

@@ -34,6 +34,14 @@ struct GenerateOptions {
     /// positions are still random and edges follow the kernel.
     std::vector<double> weights;
     std::vector<PlantedVertex> planted;
+    /// Relabel vertices in Morton (z-order) of their grid cell after edge
+    /// sampling, so CSR neighbor lists of geometrically-close vertices share
+    /// cache lines (see girg/relabel.h). A pure permutation applied to
+    /// weights, positions, and edge endpoints together — the sampled graph
+    /// is the same up to labels. Planted vertices keep their
+    /// appended-at-the-end ids; ignored when `weights` is supplied (the
+    /// caller pinned per-index attributes).
+    bool morton_relabel = true;
 };
 
 /// Samples a complete GIRG: vertex set (Poisson point process of intensity

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geometry/torus.h"
+#include "girg/girg.h"
+
+namespace smallworld {
+
+/// Result of a batched argmax over a neighbor list: the first maximizer in
+/// list order and its objective value (kNoVertex / 0.0 for an empty list).
+struct BestNeighbor {
+    Vertex vertex = kNoVertex;
+    double value = 0.0;
+};
+
+/// Non-virtual, memoizing evaluator of the canonical objective
+///
+///   phi(v) = wv / (wmin * n * ||xv - xt||^d)
+///
+/// bound to one target. This is the SoA hot-path kernel behind
+/// GirgObjective and its derived objectives: raw pointers into the Girg's
+/// flat weight/coordinate arrays, the target position copied into the
+/// evaluator (no pointer chase per call), an integer-d distance-power loop
+/// instead of std::pow, and a per-vertex memo so the phi of a vertex visited
+/// through several neighbor lists is computed once per (target, query) pair.
+///
+/// Bit-identical to Girg::objective(v, position(target)): the division
+/// groups as weights[v] / ((wmin * n) * dist^d) with wmin * n precomputed,
+/// which is exactly the expression the original evaluated.
+///
+/// The memo makes evaluation non-thread-safe: use one evaluator (one
+/// objective instance) per worker. Memoized values are pure functions of the
+/// vertex attributes, so independent memos always agree.
+class PhiEvaluator {
+public:
+    PhiEvaluator(const Girg& girg, Vertex target)
+        : weights_(girg.weights.data()),
+          coords_(girg.positions.coords.data()),
+          wn_(girg.params.wmin * girg.params.n),
+          dim_(girg.params.dim),
+          norm_(girg.params.norm),
+          target_(target),
+          memo_(girg.weights.size(), kUnset) {
+        const double* t = girg.position(target);
+        for (int axis = 0; axis < dim_; ++axis) target_position_[axis] = t[axis];
+    }
+
+    [[nodiscard]] Vertex target() const noexcept { return target_; }
+    [[nodiscard]] double weight(Vertex v) const noexcept { return weights_[v]; }
+
+    /// phi(v), memoized; +infinity iff v is the target (or collides with it).
+    [[nodiscard]] double value(Vertex v) const noexcept {
+        double& slot = memo_[v];
+        if (std::isnan(slot)) slot = compute(v);
+        return slot;
+    }
+
+    /// Fills out[i] = value(vertices[i]) — one pass over a neighbor list.
+    void values(std::span<const Vertex> vertices, double* out) const noexcept {
+        for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
+    }
+
+    /// First maximizer of phi over `vertices` in list order (ties toward the
+    /// earlier entry, i.e. the smaller id on sorted CSR neighbor lists).
+    [[nodiscard]] BestNeighbor best_of(std::span<const Vertex> vertices) const noexcept {
+        BestNeighbor best;
+        for (const Vertex u : vertices) {
+            const double value_u = value(u);
+            if (best.vertex == kNoVertex || value_u > best.value) {
+                best.vertex = u;
+                best.value = value_u;
+            }
+        }
+        return best;
+    }
+
+private:
+    static constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+
+    [[nodiscard]] double compute(Vertex v) const noexcept {
+        if (v == target_) return std::numeric_limits<double>::infinity();
+        const double* x = coords_ + static_cast<std::size_t>(v) * dim_;
+        const double dist = torus_distance(x, target_position_, dim_, norm_);
+        double dist_pow_d = dist;
+        for (int i = 1; i < dim_; ++i) dist_pow_d *= dist;
+        if (dist_pow_d == 0.0) return std::numeric_limits<double>::infinity();
+        return weights_[v] / (wn_ * dist_pow_d);
+    }
+
+    const double* weights_;
+    const double* coords_;
+    double target_position_[kMaxDim] = {0.0, 0.0, 0.0, 0.0};
+    double wn_;  // wmin * n, the grouping Girg::objective uses
+    int dim_;
+    Norm norm_;
+    Vertex target_;
+    mutable std::vector<double> memo_;
+};
+
+}  // namespace smallworld

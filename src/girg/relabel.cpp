@@ -1,0 +1,81 @@
+#include "girg/relabel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "geometry/morton.h"
+
+namespace smallworld {
+
+namespace {
+
+/// Cell level with ~1 expected vertex per cell: 2^{dl} <= n, capped at the
+/// Morton code's bit budget. Finer levels would only reshuffle singleton
+/// cells; coarser ones leave unsorted clumps.
+int level_for(std::size_t count, int dim) noexcept {
+    if (count < 2) return 0;
+    const int level = static_cast<int>(std::log2(static_cast<double>(count)) /
+                                       static_cast<double>(dim));
+    return std::clamp(level, 0, kMaxLevel);
+}
+
+}  // namespace
+
+std::vector<Vertex> morton_order(const PointCloud& positions, std::size_t movable_prefix) {
+    const std::size_t n = positions.count();
+    assert(movable_prefix <= n);
+    const int level = level_for(movable_prefix, positions.dim);
+
+    std::vector<std::pair<std::uint64_t, Vertex>> keyed(movable_prefix);
+    for (std::size_t v = 0; v < movable_prefix; ++v) {
+        keyed[v] = {morton_of_point(positions.point(v), positions.dim, level),
+                    static_cast<Vertex>(v)};
+    }
+    // The id is part of the key, so equal Morton codes keep their original
+    // relative order and the permutation is a deterministic function of the
+    // positions alone.
+    std::sort(keyed.begin(), keyed.end());
+
+    std::vector<Vertex> new_ids(n);
+    for (std::size_t rank = 0; rank < keyed.size(); ++rank) {
+        new_ids[keyed[rank].second] = static_cast<Vertex>(rank);
+    }
+    for (std::size_t v = movable_prefix; v < n; ++v) new_ids[v] = static_cast<Vertex>(v);
+    return new_ids;
+}
+
+void apply_relabeling(const std::vector<Vertex>& new_ids, std::vector<double>& weights,
+                      PointCloud& positions, std::vector<Edge>& edges) {
+    const std::size_t n = new_ids.size();
+    assert(weights.size() == n && positions.count() == n);
+    const int dim = positions.dim;
+
+    std::vector<double> new_weights(n);
+    std::vector<double> new_coords(positions.coords.size());
+    for (std::size_t old_id = 0; old_id < n; ++old_id) {
+        const std::size_t new_id = new_ids[old_id];
+        new_weights[new_id] = weights[old_id];
+        const double* src = positions.point(old_id);
+        double* dst = new_coords.data() + new_id * static_cast<std::size_t>(dim);
+        for (int axis = 0; axis < dim; ++axis) dst[axis] = src[axis];
+    }
+    weights = std::move(new_weights);
+    positions.coords = std::move(new_coords);
+
+    for (Edge& edge : edges) {
+        edge.first = new_ids[edge.first];
+        edge.second = new_ids[edge.second];
+    }
+}
+
+void morton_relabel(Girg& girg, std::size_t movable_prefix) {
+    const std::size_t n = girg.num_vertices();
+    if (movable_prefix > n) movable_prefix = n;
+    const std::vector<Vertex> new_ids = morton_order(girg.positions, movable_prefix);
+    std::vector<Edge> edges = girg.graph.edge_list();
+    apply_relabeling(new_ids, girg.weights, girg.positions, edges);
+    girg.graph = Graph(static_cast<Vertex>(n), edges);
+}
+
+}  // namespace smallworld

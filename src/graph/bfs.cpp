@@ -1,17 +1,67 @@
 #include "graph/bfs.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <deque>
+
+#include "core/thread_pool.h"
 
 namespace smallworld {
 
-std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source) {
-    return bfs_distances_bounded(graph, source, std::numeric_limits<std::int32_t>::max());
+namespace {
+
+/// Frontier width below which a level expands serially: forking the pool
+/// costs more than scanning a few thousand adjacency entries. Small-world
+/// graphs reach this within a couple of hops from any source in the giant.
+constexpr std::size_t kParallelFrontier = 1024;
+
+/// Frontier vertices per parallel work block.
+constexpr std::size_t kFrontierBlock = 512;
+
+/// Expands one BFS level in parallel. Workers claim unvisited vertices with
+/// a CAS on the distance slot; whichever worker wins writes the same depth,
+/// so the distance array is identical to the serial expansion's. The next
+/// frontier is concatenated in block order (worker-order independent).
+void expand_level_parallel(const Graph& graph, std::vector<std::int32_t>& dist,
+                           const std::vector<Vertex>& frontier, std::int32_t depth,
+                           std::vector<Vertex>& next, unsigned threads) {
+    const std::size_t blocks = (frontier.size() + kFrontierBlock - 1) / kFrontierBlock;
+    std::vector<std::vector<Vertex>> per_block(blocks);
+    parallel_for(
+        blocks,
+        [&](std::size_t block) {
+            const std::size_t begin = block * kFrontierBlock;
+            const std::size_t end = std::min(begin + kFrontierBlock, frontier.size());
+            std::vector<Vertex>& local = per_block[block];
+            for (std::size_t i = begin; i < end; ++i) {
+                for (const Vertex v : graph.neighbors(frontier[i])) {
+                    std::atomic_ref<std::int32_t> slot(dist[v]);
+                    std::int32_t expected = kUnreachable;
+                    if (slot.load(std::memory_order_relaxed) == kUnreachable &&
+                        slot.compare_exchange_strong(expected, depth,
+                                                     std::memory_order_relaxed)) {
+                        local.push_back(v);
+                    }
+                }
+            }
+        },
+        threads);
+    next.clear();
+    for (const std::vector<Vertex>& local : per_block) {
+        next.insert(next.end(), local.begin(), local.end());
+    }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source,
+                                        unsigned threads) {
+    return bfs_distances_bounded(graph, source, std::numeric_limits<std::int32_t>::max(),
+                                 threads);
 }
 
 std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
-                                                std::int32_t max_depth) {
+                                                std::int32_t max_depth, unsigned threads) {
     assert(source < graph.num_vertices());
     std::vector<std::int32_t> dist(graph.num_vertices(), kUnreachable);
     std::vector<Vertex> frontier{source};
@@ -20,12 +70,16 @@ std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex sourc
     std::int32_t depth = 0;
     while (!frontier.empty() && depth < max_depth) {
         ++depth;
-        next.clear();
-        for (const Vertex u : frontier) {
-            for (const Vertex v : graph.neighbors(u)) {
-                if (dist[v] == kUnreachable) {
-                    dist[v] = depth;
-                    next.push_back(v);
+        if (threads != 1 && frontier.size() >= kParallelFrontier) {
+            expand_level_parallel(graph, dist, frontier, depth, next, threads);
+        } else {
+            next.clear();
+            for (const Vertex u : frontier) {
+                for (const Vertex v : graph.neighbors(u)) {
+                    if (dist[v] == kUnreachable) {
+                        dist[v] = depth;
+                        next.push_back(v);
+                    }
                 }
             }
         }
@@ -91,11 +145,13 @@ std::vector<Vertex> shortest_path(const Graph& graph, Vertex s, Vertex t) {
     if (s == t) return {s};
     std::vector<Vertex> parent(graph.num_vertices(), kNoVertex);
     std::vector<std::int32_t> dist(graph.num_vertices(), kUnreachable);
-    std::deque<Vertex> queue{s};
+    // A vector with a read head is queue enough for BFS: nothing is ever
+    // removed from the middle and the visited set bounds the growth.
+    std::vector<Vertex> queue{s};
+    std::size_t head = 0;
     dist[s] = 0;
-    while (!queue.empty()) {
-        const Vertex u = queue.front();
-        queue.pop_front();
+    while (head < queue.size()) {
+        const Vertex u = queue[head++];
         for (const Vertex v : graph.neighbors(u)) {
             if (dist[v] != kUnreachable) continue;
             dist[v] = dist[u] + 1;

@@ -13,12 +13,20 @@ inline constexpr std::int32_t kUnreachable = -1;
 
 /// Single-source BFS: hop distance from `source` to every vertex
 /// (kUnreachable where there is no path). O(n + m).
-[[nodiscard]] std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source);
+///
+/// `threads` controls the level-synchronous parallel frontier expansion:
+/// 1 forces the serial loop, 0 uses the shared pool once a frontier is wide
+/// enough to amortize the fork. Distances are byte-identical at any thread
+/// count: workers claim vertices with a CAS, and every vertex claimed in a
+/// level gets the same depth regardless of which worker wins.
+[[nodiscard]] std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source,
+                                                      unsigned threads = 0);
 
 /// BFS truncated at `max_depth` hops; vertices further away stay
 /// kUnreachable. Useful when only a neighborhood matters.
 [[nodiscard]] std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
-                                                              std::int32_t max_depth);
+                                                              std::int32_t max_depth,
+                                                              unsigned threads = 0);
 
 /// Exact s-t hop distance by bidirectional BFS; kUnreachable if disconnected.
 /// Typically explores O(sqrt) of what a full BFS would on small-world graphs.

@@ -1,53 +1,195 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+
+#include "core/thread_pool.h"
 
 namespace smallworld {
 
-Graph::Graph(Vertex num_vertices, std::span<const Edge> edges) {
-    offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+namespace {
 
-    // Count half-edges per vertex (skipping self-loops), prefix-sum into
-    // offsets, then scatter; classic two-pass CSR construction.
-    for (const auto& [u, v] : edges) {
-        assert(u < num_vertices && v < num_vertices);
-        if (u == v) continue;
-        ++offsets_[u + 1];
-        ++offsets_[v + 1];
+/// Items per parallel work block: large enough that the per-block dispatch
+/// (one std::function call, one fetch_add) is noise, small enough to load
+/// balance skewed degree distributions.
+constexpr std::size_t kBlockSize = 8192;
+
+[[nodiscard]] std::size_t block_count(std::size_t items) noexcept {
+    return (items + kBlockSize - 1) / kBlockSize;
+}
+
+}  // namespace
+
+Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads) {
+    // The parallel build only pays off once the atomics and the fork are
+    // amortized over enough work; below the threshold (or when the caller
+    // pins threads = 1) run the classic serial two-pass construction.
+    const bool parallel =
+        threads != 1 && (threads > 1 || edges.size() >= 2 * kBlockSize ||
+                         num_vertices >= 2 * kBlockSize);
+
+    if (!parallel) {
+        offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+        // Count half-edges per vertex (skipping self-loops), prefix-sum into
+        // offsets, then scatter; classic two-pass CSR construction.
+        for (const auto& [u, v] : edges) {
+            assert(u < num_vertices && v < num_vertices);
+            if (u == v) continue;
+            ++offsets_[u + 1];
+            ++offsets_[v + 1];
+        }
+        for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+        adjacency_.resize(offsets_.back());
+        std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+        for (const auto& [u, v] : edges) {
+            if (u == v) continue;
+            adjacency_[cursor[u]++] = v;
+            adjacency_[cursor[v]++] = u;
+        }
+
+        // Sort each adjacency list and drop duplicates (parallel edges).
+        bool had_duplicates = false;
+        for (Vertex v = 0; v < num_vertices; ++v) {
+            auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+            auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+            std::sort(begin, end);
+            if (std::adjacent_find(begin, end) != end) had_duplicates = true;
+        }
+        if (had_duplicates) {
+            std::vector<std::size_t> new_offsets(offsets_.size(), 0);
+            std::vector<Vertex> compact;
+            compact.reserve(adjacency_.size());
+            for (Vertex v = 0; v < num_vertices; ++v) {
+                const auto begin =
+                    adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+                const auto end =
+                    adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+                Vertex last = kNoVertex;
+                for (auto it = begin; it != end; ++it) {
+                    if (*it != last) compact.push_back(*it);
+                    last = *it;
+                }
+                new_offsets[v + 1] = compact.size();
+            }
+            offsets_ = std::move(new_offsets);
+            adjacency_ = std::move(compact);
+        }
+        return;
     }
-    for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+    // Parallel build: atomic degree count, serial prefix sum, atomic-cursor
+    // scatter, then chunked per-vertex sort/dedup. The scatter writes each
+    // list in a nondeterministic order, but sorting normalizes it — and
+    // duplicates are equal values — so the final CSR is byte-identical to
+    // the serial build for any thread count.
+    const std::size_t n = num_vertices;
+    std::vector<std::atomic<std::size_t>> counts(n);  // value-initialized to 0
+
+    const std::size_t edge_blocks = block_count(edges.size());
+    parallel_for(
+        edge_blocks,
+        [&](std::size_t block) {
+            const std::size_t begin = block * kBlockSize;
+            const std::size_t end = std::min(begin + kBlockSize, edges.size());
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto& [u, v] = edges[i];
+                assert(u < num_vertices && v < num_vertices);
+                if (u == v) continue;
+                counts[u].fetch_add(1, std::memory_order_relaxed);
+                counts[v].fetch_add(1, std::memory_order_relaxed);
+            }
+        },
+        threads);
+
+    offsets_.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        offsets_[v + 1] = offsets_[v] + counts[v].load(std::memory_order_relaxed);
+    }
 
     adjacency_.resize(offsets_.back());
-    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (const auto& [u, v] : edges) {
-        if (u == v) continue;
-        adjacency_[cursor[u]++] = v;
-        adjacency_[cursor[v]++] = u;
+    // Reuse the count slots as scatter cursors.
+    for (std::size_t v = 0; v < n; ++v) {
+        counts[v].store(offsets_[v], std::memory_order_relaxed);
     }
-
-    // Sort each adjacency list and drop duplicates (parallel edges).
-    bool had_duplicates = false;
-    for (Vertex v = 0; v < num_vertices; ++v) {
-        auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
-        auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
-        std::sort(begin, end);
-        if (std::adjacent_find(begin, end) != end) had_duplicates = true;
-    }
-    if (had_duplicates) {
-        std::vector<std::size_t> new_offsets(offsets_.size(), 0);
-        std::vector<Vertex> compact;
-        compact.reserve(adjacency_.size());
-        for (Vertex v = 0; v < num_vertices; ++v) {
-            const auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
-            const auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
-            Vertex last = kNoVertex;
-            for (auto it = begin; it != end; ++it) {
-                if (*it != last) compact.push_back(*it);
-                last = *it;
+    parallel_for(
+        edge_blocks,
+        [&](std::size_t block) {
+            const std::size_t begin = block * kBlockSize;
+            const std::size_t end = std::min(begin + kBlockSize, edges.size());
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto& [u, v] = edges[i];
+                if (u == v) continue;
+                adjacency_[counts[u].fetch_add(1, std::memory_order_relaxed)] = v;
+                adjacency_[counts[v].fetch_add(1, std::memory_order_relaxed)] = u;
             }
-            new_offsets[v + 1] = compact.size();
-        }
+        },
+        threads);
+
+    std::atomic<bool> had_duplicates{false};
+    const std::size_t vertex_blocks = block_count(n);
+    parallel_for(
+        vertex_blocks,
+        [&](std::size_t block) {
+            const std::size_t begin = block * kBlockSize;
+            const std::size_t end = std::min(begin + kBlockSize, n);
+            bool local_duplicates = false;
+            for (std::size_t v = begin; v < end; ++v) {
+                auto first = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+                auto last = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+                std::sort(first, last);
+                if (std::adjacent_find(first, last) != last) local_duplicates = true;
+            }
+            if (local_duplicates) had_duplicates.store(true, std::memory_order_relaxed);
+        },
+        threads);
+
+    if (had_duplicates.load(std::memory_order_relaxed)) {
+        // Compact in parallel: per-vertex unique counts, prefix sum, then a
+        // second pass copies each deduplicated list into its final slot.
+        std::vector<std::size_t> unique(n, 0);
+        parallel_for(
+            vertex_blocks,
+            [&](std::size_t block) {
+                const std::size_t begin = block * kBlockSize;
+                const std::size_t end = std::min(begin + kBlockSize, n);
+                for (std::size_t v = begin; v < end; ++v) {
+                    const Vertex* first = adjacency_.data() + offsets_[v];
+                    const Vertex* last = adjacency_.data() + offsets_[v + 1];
+                    std::size_t kept = 0;
+                    Vertex prev = kNoVertex;
+                    for (const Vertex* it = first; it != last; ++it) {
+                        if (*it != prev) ++kept;
+                        prev = *it;
+                    }
+                    unique[v] = kept;
+                }
+            },
+            threads);
+
+        std::vector<std::size_t> new_offsets(n + 1, 0);
+        for (std::size_t v = 0; v < n; ++v) new_offsets[v + 1] = new_offsets[v] + unique[v];
+
+        std::vector<Vertex> compact(new_offsets.back());
+        parallel_for(
+            vertex_blocks,
+            [&](std::size_t block) {
+                const std::size_t begin = block * kBlockSize;
+                const std::size_t end = std::min(begin + kBlockSize, n);
+                for (std::size_t v = begin; v < end; ++v) {
+                    const Vertex* first = adjacency_.data() + offsets_[v];
+                    const Vertex* last = adjacency_.data() + offsets_[v + 1];
+                    Vertex* out = compact.data() + new_offsets[v];
+                    Vertex prev = kNoVertex;
+                    for (const Vertex* it = first; it != last; ++it) {
+                        if (*it != prev) *out++ = *it;
+                        prev = *it;
+                    }
+                }
+            },
+            threads);
         offsets_ = std::move(new_offsets);
         adjacency_ = std::move(compact);
     }
@@ -56,6 +198,17 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges) {
 bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
     const auto nbrs = neighbors(u);
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+    std::vector<Edge> edges;
+    edges.reserve(num_edges());
+    for (Vertex u = 0; u < num_vertices(); ++u) {
+        for (const Vertex v : neighbors(u)) {
+            if (u < v) edges.emplace_back(u, v);
+        }
+    }
+    return edges;
 }
 
 }  // namespace smallworld

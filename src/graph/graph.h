@@ -23,7 +23,15 @@ public:
     /// Builds from an undirected edge list. Self-loops are dropped and
     /// parallel edges are collapsed (the model never produces either, but
     /// test inputs might).
-    Graph(Vertex num_vertices, std::span<const Edge> edges);
+    ///
+    /// `threads` selects the construction strategy: 1 forces the serial
+    /// two-pass build, 0 picks automatically (parallel once the edge list is
+    /// large enough to amortize the fork), any other value runs the parallel
+    /// build with that many workers. Both paths produce byte-identical
+    /// offsets and adjacency: the scatter order differs across threads, but
+    /// every list is then sorted, and duplicates are equal values, so the
+    /// sorted/deduped result is a pure function of the edge multiset.
+    Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads = 0);
 
     [[nodiscard]] Vertex num_vertices() const noexcept {
         return static_cast<Vertex>(offsets_.empty() ? 0 : offsets_.size() - 1);
@@ -43,6 +51,11 @@ public:
                    ? 0.0
                    : 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_vertices());
     }
+
+    /// Reconstructs the undirected edge list (u < v, sorted lexicographically)
+    /// from the CSR form — the inverse of construction after self-loop and
+    /// duplicate cleanup. Used to rebuild a graph under a vertex relabeling.
+    [[nodiscard]] std::vector<Edge> edge_list() const;
 
 private:
     std::vector<std::size_t> offsets_;  // size num_vertices + 1

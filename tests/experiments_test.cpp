@@ -10,6 +10,7 @@
 #include "experiments/table.h"
 #include "experiments/trajectory_profile.h"
 #include "girg/generator.h"
+#include "girg/relabel.h"
 
 namespace smallworld {
 namespace {
@@ -100,25 +101,74 @@ TEST_F(RunnerTest, CountsAddUp) {
     EXPECT_GT(stats.attempts, 100u);
 }
 
+/// Full byte-level comparison of two trial aggregates, including the order
+/// of the per-attempt step samples.
+void expect_identical_stats(const TrialStats& a, const TrialStats& b) {
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.dead_end, b.dead_end);
+    EXPECT_EQ(a.exhausted, b.exhausted);
+    EXPECT_EQ(a.step_limit, b.step_limit);
+    EXPECT_EQ(a.same_component, b.same_component);
+    EXPECT_EQ(a.delivered_in_component, b.delivered_in_component);
+    EXPECT_DOUBLE_EQ(a.hops.mean(), b.hops.mean());
+    EXPECT_DOUBLE_EQ(a.hops.variance(), b.hops.variance());
+    EXPECT_DOUBLE_EQ(a.stretch.mean(), b.stretch.mean());
+    EXPECT_DOUBLE_EQ(a.bfs_distance.mean(), b.bfs_distance.mean());
+    EXPECT_DOUBLE_EQ(a.steps_all.mean(), b.steps_all.mean());
+    EXPECT_DOUBLE_EQ(a.distinct_visited.mean(), b.distinct_visited.mean());
+    EXPECT_EQ(a.step_samples, b.step_samples);
+}
+
 TEST_F(RunnerTest, DeterministicAcrossThreadCounts) {
     TrialConfig config;
     config.targets = 6;
     config.sources_per_target = 16;
+    config.collect_step_samples = true;
     config.threads = 1;
     const auto seq = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
                                      config, 7);
-    config.threads = 8;
-    const auto par = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
-                                     config, 7);
-    EXPECT_EQ(seq.attempts, par.attempts);
-    EXPECT_EQ(seq.delivered, par.delivered);
-    EXPECT_DOUBLE_EQ(seq.hops.mean(), par.hops.mean());
-    EXPECT_DOUBLE_EQ(seq.stretch.mean(), par.stretch.mean());
+    EXPECT_FALSE(seq.step_samples.empty());
+    for (const unsigned threads : {2u, 8u}) {
+        config.threads = threads;
+        const auto par = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
+                                         config, 7);
+        expect_identical_stats(seq, par);
+    }
+}
+
+TEST_F(RunnerTest, StatsUnchangedByRelabelingConstructionOrder) {
+    // Morton relabeling at generation time is a pure permutation applied
+    // before the CSR is built; relabeling an unrelabeled graph afterwards
+    // must land on the same labeled instance, so every trial statistic —
+    // including the step-sample order — is invariant to when the
+    // permutation is applied.
+    GirgParams params{.n = 2000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 2.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg relabeled = generate_girg(params, 77);
+    GenerateOptions plain_options;
+    plain_options.morton_relabel = false;
+    Girg plain = generate_girg(params, 77, plain_options);
+    morton_relabel(plain);
+
+    TrialConfig config;
+    config.targets = 6;
+    config.sources_per_target = 16;
+    config.collect_step_samples = true;
+    const auto a = run_girg_trials(relabeled, GreedyRouter{}, girg_objective_factory(),
+                                   config, 13);
+    const auto b = run_girg_trials(plain, GreedyRouter{}, girg_objective_factory(),
+                                   config, 13);
+    expect_identical_stats(a, b);
 }
 
 TEST_F(RunnerTest, GiantRestrictionRaisesSuccess) {
     TrialConfig config;
-    config.targets = 8;
+    // Success rates correlate strongly within a target, so the effective
+    // sample size is the target count; 48 keeps the expected gap (giant
+    // filtering removes unreachable pairs) well above the noise floor.
+    config.targets = 48;
     config.sources_per_target = 32;
     const auto all = run_girg_trials(*girg_, GreedyRouter{}, girg_objective_factory(),
                                      config, 3);

@@ -12,6 +12,7 @@
 #include "girg/generator.h"
 #include "girg/naive_sampler.h"
 #include "girg/params.h"
+#include "girg/relabel.h"
 #include "graph/components.h"
 #include "graph/graph_stats.h"
 #include "random/stats.h"
@@ -182,6 +183,84 @@ TEST(Generator, PlantedBelowWminRejected) {
     GenerateOptions options;
     options.planted.push_back(PlantedVertex{.weight = 0.5, .position = {0, 0, 0, 0}});
     EXPECT_THROW(generate_girg(p, 1, options), std::invalid_argument);
+}
+
+// ------------------------------------------------------ Morton relabeling
+
+TEST(MortonRelabel, PermutationValidAndDeterministic) {
+    GenerateOptions plain;
+    plain.morton_relabel = false;
+    const Girg g = generate_girg(small_params(), 91, plain);
+    const auto ids_a = morton_order(g.positions, g.num_vertices());
+    const auto ids_b = morton_order(g.positions, g.num_vertices());
+    EXPECT_EQ(ids_a, ids_b);
+    std::vector<Vertex> sorted = ids_a;
+    std::sort(sorted.begin(), sorted.end());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) ASSERT_EQ(sorted[v], v);
+}
+
+TEST(MortonRelabel, GenerationMatchesPostHocRelabel) {
+    // The generator applies the permutation before the CSR is first built;
+    // relabeling an unrelabeled instance afterwards must produce the same
+    // bytes, which is what makes generation-time relabeling a pure
+    // permutation (and keeps every downstream seed-determinism guarantee).
+    const GirgParams p = small_params();
+    const Girg relabeled = generate_girg(p, 99);
+    GenerateOptions plain_options;
+    plain_options.morton_relabel = false;
+    Girg plain = generate_girg(p, 99, plain_options);
+    morton_relabel(plain);
+
+    ASSERT_EQ(plain.num_vertices(), relabeled.num_vertices());
+    EXPECT_EQ(plain.weights, relabeled.weights);
+    EXPECT_EQ(plain.positions.coords, relabeled.positions.coords);
+    ASSERT_EQ(plain.graph.num_edges(), relabeled.graph.num_edges());
+    for (Vertex v = 0; v < plain.num_vertices(); ++v) {
+        const auto a = plain.graph.neighbors(v);
+        const auto b = relabeled.graph.neighbors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    }
+}
+
+TEST(MortonRelabel, RelabelingIsAnIsomorphism) {
+    const GirgParams p = small_params();
+    GenerateOptions plain_options;
+    plain_options.morton_relabel = false;
+    const Girg plain = generate_girg(p, 17, plain_options);
+    Girg relabeled = plain;
+    morton_relabel(relabeled);
+
+    const auto new_ids = morton_order(plain.positions, plain.num_vertices());
+    for (Vertex v = 0; v < plain.num_vertices(); ++v) {
+        const Vertex mapped = new_ids[v];
+        EXPECT_DOUBLE_EQ(relabeled.weight(mapped), plain.weight(v));
+        for (int axis = 0; axis < p.dim; ++axis) {
+            EXPECT_DOUBLE_EQ(relabeled.position(mapped)[axis], plain.position(v)[axis]);
+        }
+        std::vector<Vertex> mapped_neighbors;
+        for (const Vertex u : plain.graph.neighbors(v)) {
+            mapped_neighbors.push_back(new_ids[u]);
+        }
+        std::sort(mapped_neighbors.begin(), mapped_neighbors.end());
+        const auto actual = relabeled.graph.neighbors(mapped);
+        ASSERT_TRUE(std::equal(mapped_neighbors.begin(), mapped_neighbors.end(),
+                               actual.begin(), actual.end()))
+            << v;
+    }
+}
+
+TEST(MortonRelabel, PlantedSuffixKeepsIds) {
+    GenerateOptions plain;
+    plain.morton_relabel = false;
+    const Girg g = generate_girg(small_params(), 23, plain);
+    const std::size_t n = g.num_vertices();
+    const auto ids = morton_order(g.positions, n - 3);
+    for (std::size_t v = n - 3; v < n; ++v) {
+        EXPECT_EQ(ids[v], static_cast<Vertex>(v));
+    }
+    for (std::size_t v = 0; v + 3 < n; ++v) {
+        EXPECT_LT(ids[v], static_cast<Vertex>(n - 3));
+    }
 }
 
 TEST(Girg, ObjectiveFormula) {

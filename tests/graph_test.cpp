@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "graph/bfs.h"
 #include "graph/components.h"
@@ -31,6 +32,19 @@ Graph complete_graph(Vertex n) {
         for (Vertex v = u + 1; v < n; ++v) edges.emplace_back(u, v);
     }
     return Graph(n, edges);
+}
+
+/// Multigraph with `edge_count` uniformly random endpoint pairs: duplicate
+/// edges, reversed duplicates, and self-loops all occur with high
+/// probability — the inputs the CSR cleanup paths must normalize.
+std::vector<Edge> random_multigraph_edges(Vertex n, std::size_t edge_count, Rng& rng) {
+    std::vector<Edge> edges;
+    edges.reserve(edge_count);
+    for (std::size_t i = 0; i < edge_count; ++i) {
+        edges.emplace_back(static_cast<Vertex>(rng.uniform_index(n)),
+                           static_cast<Vertex>(rng.uniform_index(n)));
+    }
+    return edges;
 }
 
 // ---------------------------------------------------------------- Graph
@@ -82,6 +96,71 @@ TEST(Graph, ParallelEdgesCollapsed) {
     EXPECT_EQ(g.degree(1), 1u);
 }
 
+TEST(Graph, MatchesNaiveReferenceOnRandomMultigraphs) {
+    // Property test of the full cleanup pipeline (self-loop drop, sort,
+    // duplicate collapse) against an adjacency-set reference.
+    Rng rng(811);
+    for (int round = 0; round < 20; ++round) {
+        const Vertex n = static_cast<Vertex>(2 + rng.uniform_index(60));
+        const std::size_t m = rng.uniform_index(4 * static_cast<std::size_t>(n) + 1);
+        const auto edges = random_multigraph_edges(n, m, rng);
+
+        std::vector<std::set<Vertex>> reference(n);
+        for (const auto& [u, v] : edges) {
+            if (u == v) continue;
+            reference[u].insert(v);
+            reference[v].insert(u);
+        }
+
+        const Graph g(n, edges, 1);
+        ASSERT_EQ(g.num_vertices(), n);
+        std::size_t half_edges = 0;
+        for (Vertex v = 0; v < n; ++v) {
+            const auto nbrs = g.neighbors(v);
+            ASSERT_TRUE(std::equal(nbrs.begin(), nbrs.end(), reference[v].begin(),
+                                   reference[v].end()))
+                << "round " << round << " vertex " << v;
+            half_edges += nbrs.size();
+        }
+        EXPECT_EQ(g.num_edges(), half_edges / 2);
+    }
+}
+
+TEST(Graph, ParallelBuildByteIdenticalToSerial) {
+    Rng rng(911);
+    // Large enough to cross the auto-parallel threshold, messy enough to
+    // exercise the parallel dedup-compaction path.
+    const Vertex n = 20000;
+    const auto edges = random_multigraph_edges(n, 120000, rng);
+    const Graph serial(n, edges, 1);
+    for (const unsigned threads : {2u, 8u}) {
+        const Graph parallel(n, edges, threads);
+        ASSERT_EQ(parallel.num_vertices(), serial.num_vertices()) << threads;
+        ASSERT_EQ(parallel.num_edges(), serial.num_edges()) << threads;
+        for (Vertex v = 0; v < n; ++v) {
+            const auto a = serial.neighbors(v);
+            const auto b = parallel.neighbors(v);
+            ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+                << "threads " << threads << " vertex " << v;
+        }
+    }
+}
+
+TEST(Graph, EdgeListRoundTrips) {
+    Rng rng(1011);
+    const Vertex n = 200;
+    const auto edges = random_multigraph_edges(n, 600, rng);
+    const Graph g(n, edges);
+    const auto exported = g.edge_list();
+    EXPECT_EQ(exported.size(), g.num_edges());
+    const Graph rebuilt(n, exported);
+    for (Vertex v = 0; v < n; ++v) {
+        const auto a = g.neighbors(v);
+        const auto b = rebuilt.neighbors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    }
+}
+
 TEST(Graph, AverageDegree) {
     const Graph g = cycle_graph(10);
     EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
@@ -108,6 +187,31 @@ TEST(Bfs, BoundedDepthStops) {
     const auto dist = bfs_distances_bounded(g, 0, 3);
     EXPECT_EQ(dist[3], 3);
     EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(Bfs, ParallelMatchesSerial) {
+    // A sparse random graph wide enough that middle BFS levels exceed the
+    // parallel-frontier threshold, plus isolated vertices to keep the
+    // kUnreachable path covered.
+    Rng rng(1111);
+    const Vertex n = 30000;
+    std::vector<Edge> edges;
+    for (std::size_t i = 0; i < 4 * static_cast<std::size_t>(n); ++i) {
+        const auto u = static_cast<Vertex>(rng.uniform_index(n - 100));
+        const auto v = static_cast<Vertex>(rng.uniform_index(n - 100));
+        if (u != v) edges.emplace_back(u, v);
+    }
+    const Graph g(n, edges);
+    for (const Vertex source : {Vertex{0}, Vertex{12345}}) {
+        const auto serial = bfs_distances(g, source, 1);
+        for (const unsigned threads : {2u, 8u}) {
+            const auto parallel = bfs_distances(g, source, threads);
+            ASSERT_EQ(serial, parallel) << "source " << source << " threads " << threads;
+        }
+        const auto bounded_serial = bfs_distances_bounded(g, source, 3, 1);
+        const auto bounded_parallel = bfs_distances_bounded(g, source, 3, 8);
+        ASSERT_EQ(bounded_serial, bounded_parallel) << source;
+    }
 }
 
 TEST(Bfs, BidirectionalMatchesFull) {

@@ -148,6 +148,52 @@ TEST(BestNeighbor, NoNeighbors) {
     EXPECT_EQ(best_neighbor(g.graph, obj, s), kNoVertex);
 }
 
+TEST(BestNeighbor, BatchedPathsAgreeWithScalarValues) {
+    // The memoized PhiEvaluator behind GirgObjective, its batched values(),
+    // and best_of() must all reproduce the scalar virtual value() bit for
+    // bit on a real instance — including the first-maximum tie-break.
+    GirgParams p;
+    p.n = 400;
+    p.dim = 2;
+    p.edge_scale = calibrated_edge_scale(p);
+    const Girg g = generate_girg(p, 303);
+    const Vertex target = g.num_vertices() / 2;
+    const GirgObjective obj(g, target);
+    const PhiEvaluator evaluator(g, target);
+    std::vector<double> batch;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const auto nbrs = g.graph.neighbors(v);
+        batch.resize(nbrs.size());
+        obj.values(nbrs, batch.data());
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const double direct = g.weights[nbrs[i]] /
+                                  (p.wmin * p.n *
+                                   torus_distance_pow_d(g.position(nbrs[i]),
+                                                        g.position(target), p.dim));
+            if (nbrs[i] != target) {
+                ASSERT_DOUBLE_EQ(batch[i], direct) << v << "," << i;
+            }
+            ASSERT_DOUBLE_EQ(batch[i], obj.value(nbrs[i]));
+            ASSERT_DOUBLE_EQ(batch[i], evaluator.value(nbrs[i]));
+        }
+        // best_of agrees with a scalar first-maximum scan.
+        Vertex expect_best = kNoVertex;
+        double expect_value = 0.0;
+        for (const Vertex u : nbrs) {
+            const double value = obj.value(u);
+            if (expect_best == kNoVertex || value > expect_value) {
+                expect_best = u;
+                expect_value = value;
+            }
+        }
+        const BestNeighbor best = obj.best_of(nbrs);
+        ASSERT_EQ(best.vertex, expect_best) << v;
+        if (expect_best != kNoVertex) {
+            ASSERT_DOUBLE_EQ(best.value, expect_value) << v;
+        }
+    }
+}
+
 // ---------------------------------------------------------------- greedy
 
 TEST(Greedy, SourceEqualsTarget) {
