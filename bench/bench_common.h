@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/thread_pool.h"
+#include "experiments/memory.h"
 #include "experiments/runner.h"
 #include "girg/generator.h"
 
@@ -108,6 +109,11 @@ public:
 
     void close() {
         if (closed_ || !out_) return;
+        // Stamp process-wide memory counters last, so they reflect the whole
+        // run that produced this file (ru_maxrss is a lifetime high-water
+        // mark; nonzero major faults flag a swap-polluted measurement).
+        field("peak_rss_bytes", static_cast<double>(peak_rss_bytes()));
+        field("major_page_faults", static_cast<double>(major_page_faults()));
         out_ << "\n}\n";
         closed_ = true;
     }

@@ -22,6 +22,7 @@
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -149,7 +150,7 @@ CellResult run_cell(const SweepWorkload& workload, const MakeObjective& make_obj
 /// permutation, so the relabeled cells route exactly the same routing
 /// problems.
 SweepWorkload relabel_workload(const SweepWorkload& plain, const Girg& relabeled,
-                               const std::vector<Vertex>& new_ids) {
+                               std::span<const Vertex> new_ids) {
     SweepWorkload out;
     out.girg = &relabeled;
     out.pairs.reserve(plain.pairs.size());

@@ -1,0 +1,77 @@
+#include "experiments/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#define SMALLWORLD_HAVE_RUSAGE 1
+#include <sys/resource.h>
+#else
+#define SMALLWORLD_HAVE_RUSAGE 0
+#endif
+
+namespace smallworld {
+
+namespace {
+
+#if SMALLWORLD_HAVE_RUSAGE
+rusage self_usage() noexcept {
+    rusage usage{};
+    ::getrusage(RUSAGE_SELF, &usage);
+    return usage;
+}
+#endif
+
+/// Parses a "<key>:  <value> kB" line from /proc/self/status; returns bytes
+/// or 0 when the file or key is missing (non-Linux, restricted /proc).
+std::size_t proc_status_kb(const char* key) noexcept {
+#if defined(__linux__)
+    std::FILE* file = std::fopen("/proc/self/status", "r");
+    if (file == nullptr) return 0;
+    const std::size_t key_len = std::strlen(key);
+    char line[256];
+    std::size_t bytes = 0;
+    while (std::fgets(line, sizeof(line), file) != nullptr) {
+        if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') continue;
+        unsigned long long kb = 0;
+        if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+            bytes = static_cast<std::size_t>(kb) * 1024;
+        }
+        break;
+    }
+    std::fclose(file);
+    return bytes;
+#else
+    (void)key;
+    return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() noexcept {
+#if SMALLWORLD_HAVE_RUSAGE
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(self_usage().ru_maxrss);
+#else
+    return static_cast<std::size_t>(self_usage().ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+std::size_t major_page_faults() noexcept {
+#if SMALLWORLD_HAVE_RUSAGE
+    return static_cast<std::size_t>(self_usage().ru_majflt);
+#else
+    return 0;
+#endif
+}
+
+std::size_t peak_vm_bytes() noexcept { return proc_status_kb("VmPeak"); }
+
+std::size_t current_rss_bytes() noexcept { return proc_status_kb("VmRSS"); }
+
+}  // namespace smallworld

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+
+namespace smallworld {
+
+/// Process-level memory observability for experiments, benchmarks, and the
+/// CI memory smoke: thin wrappers over getrusage(2) and /proc/self/status.
+/// All functions return 0 on platforms (or sandboxes) where the underlying
+/// source is unavailable, so callers can stamp the values unconditionally.
+
+/// Lifetime peak resident set size in bytes (ru_maxrss). Note this is a
+/// high-water mark for the whole process — to measure one pipeline's peak,
+/// run it in a child process (bench_generator_memory does).
+[[nodiscard]] std::size_t peak_rss_bytes() noexcept;
+
+/// Major page faults since process start (ru_majflt) — nonzero values mean
+/// the measurement was polluted by swapping or mmap'd file reads.
+[[nodiscard]] std::size_t major_page_faults() noexcept;
+
+/// Peak virtual address space in bytes (/proc/self/status VmPeak) — what a
+/// `ulimit -v` cap is compared against.
+[[nodiscard]] std::size_t peak_vm_bytes() noexcept;
+
+/// Current resident set size in bytes (/proc/self/status VmRSS).
+[[nodiscard]] std::size_t current_rss_bytes() noexcept;
+
+}  // namespace smallworld

@@ -9,16 +9,20 @@
 #include "geometry/cells.h"
 #include "geometry/morton.h"
 #include "girg/edge_probability.h"
+#include "graph/edge_stream.h"
 
 namespace smallworld {
 
 namespace {
 
 /// One weight layer: its vertices sorted by Morton code at the deepest
-/// level, with the codes kept alongside for range extraction.
+/// level, with the codes kept alongside for range extraction. Page-backed
+/// (PageVector) because the layers together hold 12 bytes per vertex and
+/// die before the CSR build — malloc free lists would keep that resident
+/// straight through the generation pipeline's peak-memory window.
 struct Layer {
-    std::vector<std::uint64_t> codes;
-    std::vector<Vertex> vertices;
+    PageVector<std::uint64_t> codes;
+    PageVector<Vertex> vertices;
     double weight_upper = 0.0;  // exclusive upper bound of the layer's weights
 
     [[nodiscard]] bool empty() const noexcept { return vertices.empty(); }
@@ -55,12 +59,22 @@ struct Task {
     Slice a_i, a_j, b_i, b_j;
 };
 
-/// Per-task mutable state: its own counter-seeded RNG stream and edge
-/// buffer. Buffers are concatenated in task order afterwards, which makes
-/// the full edge list byte-identical at any thread count.
+/// Sink for the legacy buffered path: plain vector append. The streaming
+/// path substitutes ChunkedEdgeSink; both see the same emit() calls in the
+/// same order, which is what keeps the two pipelines byte-identical.
+struct VectorSink {
+    std::vector<Edge> edges;
+    void emit(Vertex u, Vertex v) { edges.emplace_back(u, v); }
+    void finish() {}  // ChunkedEdgeSink reclaims chunk tails here; no-op.
+};
+
+/// Per-task mutable state: its own counter-seeded RNG stream and edge sink.
+/// Sinks are concatenated in task order afterwards, which makes the full
+/// edge sequence byte-identical at any thread count.
+template <typename Sink>
 struct TaskContext {
     Rng rng;
-    std::vector<Edge> edges;
+    Sink& sink;
 };
 
 class FastSampler {
@@ -69,31 +83,46 @@ public:
                 const PointCloud& positions, Rng& rng)
         : params_(params), weights_(weights), positions_(positions), rng_(rng) {}
 
-    std::vector<Edge> run() {
-        if (weights_.empty()) return {};
+    /// Runs the parallel recursion, giving every task its own sink from
+    /// make_sink(task_index); returns the per-task sinks in task order.
+    /// The RNG draw sequence (streams() after collect_tasks(), skipped on an
+    /// empty instance) is independent of the sink type, so every sink sees
+    /// the identical emit() sequence for a fixed seed.
+    template <typename Sink, typename MakeSink>
+    std::vector<Sink> run(MakeSink&& make_sink) {
+        std::vector<Sink> sinks;
+        if (weights_.empty()) return sinks;
         build_layers();
         collect_tasks();
         // Counter-seeded streams: task t's randomness depends only on the
         // parent generator's state and t, so the dynamic assignment of
         // tasks to threads cannot perturb the output.
         const RngStreams streams = rng_.streams();
-        std::vector<std::vector<Edge>> buffers(tasks_.size());
+        sinks.reserve(tasks_.size());
+        for (std::size_t t = 0; t < tasks_.size(); ++t) sinks.push_back(make_sink(t));
         parallel_for(
             tasks_.size(),
             [&](std::size_t t) {
-                TaskContext ctx{streams.stream(t), {}};
+                TaskContext<Sink> ctx{streams.stream(t), sinks[t]};
                 const Task& task = tasks_[t];
                 process(task.i, task.j, task.target, task.a, task.code_a, task.b,
                         task.code_b, task.a_i, task.a_j, task.b_i, task.b_j, ctx);
-                buffers[t] = std::move(ctx.edges);
+                // Still on the producing thread: give the final chunk's
+                // unused tail back while it is reclaimable (see finish()).
+                ctx.sink.finish();
             },
             params_.threads, /*chunk=*/8);
+        return sinks;
+    }
+
+    std::vector<Edge> run_to_vector() {
+        auto sinks = run<VectorSink>([](std::size_t) { return VectorSink{}; });
         std::size_t total = 0;
-        for (const auto& buffer : buffers) total += buffer.size();
+        for (const auto& sink : sinks) total += sink.edges.size();
         std::vector<Edge> edges;
         edges.reserve(total);
-        for (const auto& buffer : buffers) {
-            edges.insert(edges.end(), buffer.begin(), buffer.end());
+        for (const auto& sink : sinks) {
+            edges.insert(edges.end(), sink.edges.begin(), sink.edges.end());
         }
         return edges;
     }
@@ -125,13 +154,13 @@ private:
             layer.vertices.push_back(v);
         }
         for (auto& layer : layers_) {
-            std::vector<std::size_t> order(layer.vertices.size());
+            PageVector<std::size_t> order(layer.vertices.size());
             for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
             std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
                 return layer.codes[a] < layer.codes[b];
             });
-            std::vector<std::uint64_t> codes(order.size());
-            std::vector<Vertex> vertices(order.size());
+            PageVector<std::uint64_t> codes(order.size());
+            PageVector<Vertex> vertices(order.size());
             for (std::size_t k = 0; k < order.size(); ++k) {
                 codes[k] = layer.codes[order[k]];
                 vertices[k] = layer.vertices[order[k]];
@@ -246,8 +275,9 @@ private:
                                      positions_.point(v));
     }
 
-    void check_pair(Vertex u, Vertex v, TaskContext& ctx) const {
-        if (ctx.rng.bernoulli(exact_probability(u, v))) ctx.edges.emplace_back(u, v);
+    template <typename Sink>
+    void check_pair(Vertex u, Vertex v, TaskContext<Sink>& ctx) const {
+        if (ctx.rng.bernoulli(exact_probability(u, v))) ctx.sink.emit(u, v);
     }
 
     // ---- recursion per layer pair ---------------------------------------
@@ -256,9 +286,10 @@ private:
     /// Morton codes threaded through to avoid re-encoding), where a_i/a_j
     /// are layer i/j's vertices in a and b_i/b_j in b. Invariant on entry:
     /// the chain of ancestors of (a, b) all touch.
+    template <typename Sink>
     void process(int i, int j, int target, const Cell& a, std::uint64_t code_a,  // NOLINT
                  const Cell& b, std::uint64_t code_b, const Slice& a_i, const Slice& a_j,
-                 const Slice& b_i, const Slice& b_j, TaskContext& ctx) const {
+                 const Slice& b_i, const Slice& b_j, TaskContext<Sink>& ctx) const {
         const bool same_cell = code_a == code_b;
         // A candidate pair needs a layer-i vertex on one side and a layer-j
         // vertex on the other (for same_cell both live in a).
@@ -312,7 +343,8 @@ private:
 
     // ---- type I: exhaustive at the target level -------------------------
 
-    void cross_check(const Slice& ra, const Slice& rb, TaskContext& ctx) const {
+    template <typename Sink>
+    void cross_check(const Slice& ra, const Slice& rb, TaskContext<Sink>& ctx) const {
         for (std::size_t p = 0; p < ra.count; ++p) {
             for (std::size_t q = 0; q < rb.count; ++q) {
                 check_pair(ra.vertices[p], rb.vertices[q], ctx);
@@ -320,8 +352,9 @@ private:
         }
     }
 
+    template <typename Sink>
     void sample_type1(bool same_cell, int i, int j, const Slice& a_i, const Slice& a_j,
-                      const Slice& b_i, const Slice& b_j, TaskContext& ctx) const {
+                      const Slice& b_i, const Slice& b_j, TaskContext<Sink>& ctx) const {
         if (same_cell && i == j) {
             for (std::size_t p = 0; p < a_i.count; ++p) {
                 for (std::size_t q = p + 1; q < a_i.count; ++q) {
@@ -337,8 +370,9 @@ private:
 
     // ---- type II: geometric jumps over distant cell pairs ---------------
 
+    template <typename Sink>
     void sample_type2_direction(const Slice& ra, const Slice& rb, double pbar,
-                                TaskContext& ctx) const {
+                                TaskContext<Sink>& ctx) const {
         const std::uint64_t total =
             static_cast<std::uint64_t>(ra.count) * static_cast<std::uint64_t>(rb.count);
         std::uint64_t k = ctx.rng.geometric_skip(pbar);
@@ -348,7 +382,7 @@ private:
             const double p = exact_probability(u, v);
             // p <= pbar by construction (weights below the layer bound,
             // distance above the cell bound).
-            if (ctx.rng.bernoulli(p / pbar)) ctx.edges.emplace_back(u, v);
+            if (ctx.rng.bernoulli(p / pbar)) ctx.sink.emit(u, v);
             k += 1 + ctx.rng.geometric_skip(pbar);
         }
     }
@@ -371,7 +405,22 @@ std::vector<Edge> sample_edges_fast(const GirgParams& params,
                                     const PointCloud& positions, Rng& rng) {
     assert(weights.size() == positions.count());
     assert(positions.dim == params.dim);
-    return FastSampler(params, weights, positions, rng).run();
+    return FastSampler(params, weights, positions, rng).run_to_vector();
+}
+
+ChunkedEdgeList sample_edges_fast_stream(const GirgParams& params,
+                                         const std::vector<double>& weights,
+                                         const PointCloud& positions, Rng& rng,
+                                         const Vertex* relabel) {
+    assert(weights.size() == positions.count());
+    assert(positions.dim == params.dim);
+    auto arena = std::make_shared<EdgeArena>();
+    FastSampler sampler(params, weights, positions, rng);
+    auto sinks = sampler.run<ChunkedEdgeSink>(
+        [&](std::size_t) { return ChunkedEdgeSink(arena, relabel); });
+    ChunkedEdgeList edges(arena);
+    for (ChunkedEdgeSink& sink : sinks) edges.splice(sink.take());
+    return edges;
 }
 
 }  // namespace smallworld

@@ -39,4 +39,15 @@ namespace smallworld {
                                                   const std::vector<double>& weights,
                                                   const PointCloud& positions, Rng& rng);
 
+/// Streaming variant: identical algorithm and RNG consumption, but every
+/// task emits into a ChunkedEdgeSink and the per-task chunk sequences are
+/// spliced in task order — `result.to_vector()` equals the vector returned
+/// by sample_edges_fast for the same seed at any thread count. When
+/// `relabel` is non-null, endpoints are remapped through it at emission
+/// (fused Morton relabeling; relabel[v] must be a permutation of [0, n)).
+[[nodiscard]] ChunkedEdgeList sample_edges_fast_stream(const GirgParams& params,
+                                                       const std::vector<double>& weights,
+                                                       const PointCloud& positions, Rng& rng,
+                                                       const Vertex* relabel = nullptr);
+
 }  // namespace smallworld

@@ -6,6 +6,7 @@
 #include "girg/fast_sampler.h"
 #include "girg/naive_sampler.h"
 #include "girg/relabel.h"
+#include "graph/edge_stream.h"
 #include "random/power_law.h"
 
 namespace smallworld {
@@ -21,6 +22,19 @@ std::vector<Edge> sample_edges(const GirgParams& params, const std::vector<doubl
             return sample_edges_naive(params, weights, positions, rng);
     }
     throw std::logic_error("sample_edges: unknown sampler kind");
+}
+
+ChunkedEdgeList sample_edges_stream(const GirgParams& params,
+                                    const std::vector<double>& weights,
+                                    const PointCloud& positions, Rng& rng, SamplerKind kind,
+                                    const Vertex* relabel) {
+    switch (kind) {
+        case SamplerKind::kFast:
+            return sample_edges_fast_stream(params, weights, positions, rng, relabel);
+        case SamplerKind::kNaive:
+            return sample_edges_naive_stream(params, weights, positions, rng, relabel);
+    }
+    throw std::logic_error("sample_edges_stream: unknown sampler kind");
 }
 
 }  // namespace
@@ -59,24 +73,42 @@ Girg generate_girg(const GirgParams& params, std::uint64_t seed,
         }
     }
 
-    auto edges =
-        sample_edges(params, girg.weights, girg.positions, rng, options.sampler);
-    // Relabeling happens after edge sampling (the samplers' output depends
-    // on vertex order) and before the CSR build, so the only cost is one
-    // permutation pass over the attributes and endpoints.
-    if (options.morton_relabel && options.weights.empty()) {
+    // The Morton permutation is a function of the positions alone and
+    // consumes no randomness, so it can be computed *before* edge sampling;
+    // the samplers still read attributes in original id order (their output
+    // depends on vertex order), and the permutation is applied to the
+    // attributes afterwards — or, on the streaming path, to each edge as it
+    // is emitted.
+    const bool relabel = options.morton_relabel && options.weights.empty();
+    PageVector<Vertex> new_ids;
+    if (relabel) {
         const std::size_t movable = girg.weights.size() - options.planted.size();
-        const auto new_ids = morton_order(girg.positions, movable);
-        apply_relabeling(new_ids, girg.weights, girg.positions, edges);
+        new_ids = morton_order(girg.positions, movable);
     }
-    girg.graph = Graph(girg.num_vertices(), edges);
+
+    if (options.streaming_csr) {
+        ChunkedEdgeList edges =
+            sample_edges_stream(params, girg.weights, girg.positions, rng, options.sampler,
+                                relabel ? new_ids.data() : nullptr);
+        if (relabel) apply_relabeling(new_ids, girg.weights, girg.positions);
+        // The permutation is fully applied; unmap it before the CSR build so
+        // it does not sit in the peak-memory window. (swap, not `= {}`: the
+        // initializer-list assignment keeps the old capacity allocated.)
+        PageVector<Vertex>().swap(new_ids);
+        girg.graph = Graph(girg.num_vertices(), std::move(edges), params.threads);
+    } else {
+        auto edges = sample_edges(params, girg.weights, girg.positions, rng, options.sampler);
+        if (relabel) apply_relabeling(new_ids, girg.weights, girg.positions, edges);
+        girg.graph = Graph(girg.num_vertices(), edges);
+    }
     return girg;
 }
 
 Graph resample_edges(const Girg& girg, std::uint64_t seed, SamplerKind sampler) {
     Rng rng(seed);
-    const auto edges = sample_edges(girg.params, girg.weights, girg.positions, rng, sampler);
-    return Graph(girg.num_vertices(), edges);
+    ChunkedEdgeList edges =
+        sample_edges_stream(girg.params, girg.weights, girg.positions, rng, sampler, nullptr);
+    return Graph(girg.num_vertices(), std::move(edges), girg.params.threads);
 }
 
 }  // namespace smallworld

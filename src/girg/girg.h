@@ -32,6 +32,14 @@ struct Girg {
 
     /// Torus distance between two vertices.
     [[nodiscard]] double distance(Vertex u, Vertex v) const noexcept;
+
+    /// Heap bytes of the finished instance (weights + coordinates + CSR) —
+    /// the denominator of the generation peak-memory ratio reported by
+    /// bench_generator_memory.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return weights.capacity() * sizeof(double) +
+               positions.coords.capacity() * sizeof(double) + graph.memory_bytes();
+    }
 };
 
 }  // namespace smallworld

@@ -3,10 +3,13 @@
 #include <cmath>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "graph/edge_stream.h"
 
 namespace smallworld {
 
@@ -109,16 +112,17 @@ Girg read_girg(std::istream& is) {
     expect_token(is, "edges");
     std::size_t edge_count = 0;
     if (!(is >> edge_count)) fail("malformed edge count");
-    std::vector<Edge> edges;
-    edges.reserve(edge_count);
+    // Stream parsed edges into chunks so the file's edge list never exists
+    // as one contiguous buffer next to the CSR being built.
+    ChunkedEdgeSink sink(std::make_shared<EdgeArena>());
     for (std::size_t i = 0; i < edge_count; ++i) {
         Vertex u = 0;
         Vertex v = 0;
         if (!(is >> u >> v)) fail("malformed edge line");
         if (u >= vertex_count || v >= vertex_count) fail("edge endpoint out of range");
-        edges.emplace_back(u, v);
+        sink.emit(u, v);
     }
-    girg.graph = Graph(static_cast<Vertex>(vertex_count), edges);
+    girg.graph = Graph(static_cast<Vertex>(vertex_count), sink.take());
     return girg;
 }
 

@@ -1,26 +1,49 @@
 #include "girg/naive_sampler.h"
 
 #include <cassert>
+#include <memory>
 
 #include "girg/edge_probability.h"
+#include "graph/edge_stream.h"
 
 namespace smallworld {
 
-std::vector<Edge> sample_edges_naive(const GirgParams& params,
-                                     const std::vector<double>& weights,
-                                     const PointCloud& positions, Rng& rng) {
+namespace {
+
+template <typename Emit>
+void sample_pairs(const GirgParams& params, const std::vector<double>& weights,
+                  const PointCloud& positions, Rng& rng, Emit&& emit) {
     assert(weights.size() == positions.count());
     assert(positions.dim == params.dim);
     const auto n = static_cast<Vertex>(weights.size());
-    std::vector<Edge> edges;
     for (Vertex u = 0; u < n; ++u) {
         for (Vertex v = u + 1; v < n; ++v) {
             const double p = girg_edge_probability(params, weights[u], weights[v],
                                                    positions.point(u), positions.point(v));
-            if (rng.bernoulli(p)) edges.emplace_back(u, v);
+            if (rng.bernoulli(p)) emit(u, v);
         }
     }
+}
+
+}  // namespace
+
+std::vector<Edge> sample_edges_naive(const GirgParams& params,
+                                     const std::vector<double>& weights,
+                                     const PointCloud& positions, Rng& rng) {
+    std::vector<Edge> edges;
+    sample_pairs(params, weights, positions, rng,
+                 [&](Vertex u, Vertex v) { edges.emplace_back(u, v); });
     return edges;
+}
+
+ChunkedEdgeList sample_edges_naive_stream(const GirgParams& params,
+                                          const std::vector<double>& weights,
+                                          const PointCloud& positions, Rng& rng,
+                                          const Vertex* relabel) {
+    ChunkedEdgeSink sink(std::make_shared<EdgeArena>(), relabel);
+    sample_pairs(params, weights, positions, rng,
+                 [&](Vertex u, Vertex v) { sink.emit(u, v); });
+    return sink.take();
 }
 
 }  // namespace smallworld

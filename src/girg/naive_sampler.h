@@ -14,4 +14,12 @@ namespace smallworld {
                                                    const std::vector<double>& weights,
                                                    const PointCloud& positions, Rng& rng);
 
+/// Streaming variant with the same coin-flip sequence; endpoints are
+/// remapped through `relabel` at emission when it is non-null. Exists so
+/// every SamplerKind feeds the CSR-direct Graph build (see generator.cpp).
+[[nodiscard]] ChunkedEdgeList sample_edges_naive_stream(const GirgParams& params,
+                                                        const std::vector<double>& weights,
+                                                        const PointCloud& positions, Rng& rng,
+                                                        const Vertex* relabel = nullptr);
+
 }  // namespace smallworld

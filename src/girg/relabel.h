@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "girg/girg.h"
+#include "graph/edge_stream.h"
 
 namespace smallworld {
 
@@ -24,11 +26,22 @@ namespace smallworld {
 /// original id, so the permutation is deterministic); ids at and beyond
 /// `movable_prefix` keep their original labels. The prefix cut keeps the
 /// generator's planted-vertices-are-last contract intact.
-[[nodiscard]] std::vector<Vertex> morton_order(const PointCloud& positions,
-                                               std::size_t movable_prefix);
+/// Page-backed return type (and span parameters below): the permutation is
+/// generation-lifetime scratch that must not linger in malloc free lists
+/// inside the pipeline's peak-memory window.
+[[nodiscard]] PageVector<Vertex> morton_order(const PointCloud& positions,
+                                              std::size_t movable_prefix);
+
+/// Applies `new_ids` in place to per-vertex attributes only — a
+/// cycle-following permutation, so the transient footprint is one bit per
+/// vertex, not a second copy of the attributes. The streaming pipeline uses
+/// this together with endpoint remapping *at emission* (the relabel pointer
+/// of ChunkedEdgeSink), so no edge-rewrite pass exists.
+void apply_relabeling(std::span<const Vertex> new_ids, std::vector<double>& weights,
+                      PointCloud& positions);
 
 /// Applies `new_ids` in place to per-vertex attributes and edge endpoints.
-void apply_relabeling(const std::vector<Vertex>& new_ids, std::vector<double>& weights,
+void apply_relabeling(std::span<const Vertex> new_ids, std::vector<double>& weights,
                       PointCloud& positions, std::vector<Edge>& edges);
 
 /// Relabels a fully-built Girg in place (attributes, edges, CSR rebuild).

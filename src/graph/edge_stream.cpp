@@ -1,0 +1,149 @@
+#include "graph/edge_stream.h"
+
+#include <atomic>
+#include <new>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#define SMALLWORLD_EDGE_STREAM_MMAP 1
+#include <sys/mman.h>
+#else
+#define SMALLWORLD_EDGE_STREAM_MMAP 0
+#endif
+
+namespace smallworld {
+
+namespace {
+
+/// Slabs go through mmap directly (not operator new) so that retiring one
+/// is a guaranteed munmap — glibc's dynamic mmap threshold otherwise starts
+/// serving 1 MiB blocks from sbrk after the first few frees, and RSS would
+/// stop shrinking exactly when the scatter pass needs it to.
+std::byte* map_slab(std::size_t bytes) {
+#if SMALLWORLD_EDGE_STREAM_MMAP
+    void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc();
+    return static_cast<std::byte*>(mem);
+#else
+    return static_cast<std::byte*>(::operator new(bytes));
+#endif
+}
+
+void unmap_slab(std::byte* mem, std::size_t bytes) noexcept {
+#if SMALLWORLD_EDGE_STREAM_MMAP
+    ::munmap(mem, bytes);
+#else
+    ::operator delete(mem);
+    (void)bytes;
+#endif
+}
+
+}  // namespace
+
+namespace detail {
+
+std::byte* map_pages(std::size_t bytes) { return map_slab(bytes); }
+
+void unmap_pages(std::byte* mem, std::size_t bytes) noexcept { unmap_slab(mem, bytes); }
+
+}  // namespace detail
+
+EdgeArena::~EdgeArena() {
+    for (Slab& slab : slabs_) release_slab(slab);
+}
+
+void EdgeArena::release_slab(Slab& slab) noexcept {
+    if (slab.mem != nullptr) {
+        unmap_slab(slab.mem, slab.bytes);
+        slab.mem = nullptr;
+    }
+}
+
+EdgeArena::Chunk EdgeArena::allocate(std::uint32_t capacity) {
+    const std::size_t bytes = static_cast<std::size_t>(capacity) * sizeof(Edge);
+    // Sequentially-assigned thread lane: guarantees distinct lanes for up to
+    // kLanes allocating threads (a thread-id hash would collide at random,
+    // silently interleaving two producers' chunks and defeating
+    // shrink_to_fit's bump-tip check).
+    static std::atomic<unsigned> lane_counter{0};
+    thread_local const unsigned thread_lane =
+        lane_counter.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t lane = thread_lane % kLanes;
+    const std::lock_guard<std::mutex> lock(mutex_);
+
+    std::size_t& current = current_[lane];
+    if (current == kNoSlab || slabs_[current].bytes - slabs_[current].used < bytes) {
+        // Close the lane's previous bump target; if everything carved from
+        // it has already been retired it can go back to the OS right now.
+        if (current != kNoSlab) {
+            Slab& old = slabs_[current];
+            old.open = false;
+            if (old.live_chunks == 0) release_slab(old);
+        }
+        Slab slab;
+        slab.bytes = std::max(kSlabBytes, bytes);
+        slab.mem = map_slab(slab.bytes);
+        slabs_.push_back(slab);
+        current = slabs_.size() - 1;
+    }
+
+    Slab& slab = slabs_[current];
+    Chunk chunk;
+    chunk.data = reinterpret_cast<Edge*>(slab.mem + slab.used);
+    chunk.capacity = capacity;
+    chunk.size = 0;
+    chunk.slab = static_cast<std::uint32_t>(current);
+    slab.used += bytes;
+    ++slab.live_chunks;
+    return chunk;
+}
+
+void EdgeArena::shrink_to_fit(Chunk& chunk) noexcept {
+    if (chunk.data == nullptr || chunk.size == chunk.capacity) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slab& slab = slabs_[chunk.slab];
+    const std::size_t chunk_end =
+        static_cast<std::size_t>(reinterpret_cast<std::byte*>(chunk.data) - slab.mem) +
+        static_cast<std::size_t>(chunk.capacity) * sizeof(Edge);
+    if (slab.used == chunk_end) {
+        slab.used -= static_cast<std::size_t>(chunk.capacity - chunk.size) * sizeof(Edge);
+        chunk.capacity = chunk.size;
+    }
+}
+
+void EdgeArena::retire(const Chunk& chunk) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Slab& slab = slabs_[chunk.slab];
+    --slab.live_chunks;
+    if (slab.live_chunks == 0 && !slab.open) release_slab(slab);
+}
+
+std::size_t EdgeArena::mapped_bytes() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const Slab& slab : slabs_) {
+        if (slab.mem != nullptr) total += slab.bytes;
+    }
+    return total;
+}
+
+void ChunkedEdgeSink::grow() {
+    std::uint32_t next = kFirstChunkEdges;
+    if (open_.data != nullptr) {
+        next = std::min(open_.capacity * 2U, kMaxChunkEdges);
+        seal();
+    }
+    open_ = list_.arena()->allocate(next);
+}
+
+void ChunkedEdgeSink::seal() {
+    if (open_.data == nullptr) return;
+    // Chunks sealed by grow() are always full; the one sealed by take() is
+    // the task's final, usually underfull chunk — hand its tail back.
+    list_.arena()->shrink_to_fit(open_);
+    list_.size_ += open_.size;
+    list_.chunks_.push_back(open_);
+    open_ = {};
+}
+
+}  // namespace smallworld

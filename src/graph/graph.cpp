@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "core/thread_pool.h"
+#include "graph/edge_stream.h"
 
 namespace smallworld {
 
@@ -60,7 +61,7 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads)
         }
         if (had_duplicates) {
             std::vector<std::size_t> new_offsets(offsets_.size(), 0);
-            std::vector<Vertex> compact;
+            AdjacencyVector compact;
             compact.reserve(adjacency_.size());
             for (Vertex v = 0; v < num_vertices; ++v) {
                 const auto begin =
@@ -85,49 +86,89 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads)
     // list in a nondeterministic order, but sorting normalizes it — and
     // duplicates are equal values — so the final CSR is byte-identical to
     // the serial build for any thread count.
-    const std::size_t n = num_vertices;
-    std::vector<std::atomic<std::size_t>> counts(n);  // value-initialized to 0
-
+    //
+    // Counts and cursors live *inside* offsets_ via std::atomic_ref (see
+    // count_into_offsets / finish_offsets_after_scatter), so no n-sized
+    // scratch array exists — at 2^22 vertices that scratch would cost as
+    // much as the offsets array itself.
     const std::size_t edge_blocks = block_count(edges.size());
+    count_into_offsets(num_vertices, threads, edge_blocks, [&](std::size_t block, auto&& tally) {
+        const std::size_t begin = block * kBlockSize;
+        const std::size_t end = std::min(begin + kBlockSize, edges.size());
+        for (std::size_t i = begin; i < end; ++i) tally(edges[i]);
+    });
+
     parallel_for(
         edge_blocks,
         [&](std::size_t block) {
             const std::size_t begin = block * kBlockSize;
             const std::size_t end = std::min(begin + kBlockSize, edges.size());
-            for (std::size_t i = begin; i < end; ++i) {
-                const auto& [u, v] = edges[i];
-                assert(u < num_vertices && v < num_vertices);
-                if (u == v) continue;
-                counts[u].fetch_add(1, std::memory_order_relaxed);
-                counts[v].fetch_add(1, std::memory_order_relaxed);
-            }
+            for (std::size_t i = begin; i < end; ++i) scatter_edge(edges[i]);
         },
         threads);
 
+    finish_offsets_after_scatter();
+    sort_rows_and_dedup(threads);
+}
+
+Graph::Graph(Vertex num_vertices, ChunkedEdgeList&& edges, unsigned threads) {
+    // Streaming CSR-direct build. Same structure as the parallel span build
+    // (count, prefix sum, atomic-cursor scatter, sort/dedup), but the passes
+    // iterate the chunk stream instead of a contiguous array, and the
+    // scatter pass retires each chunk right after draining it — edge storage
+    // shrinks chunk by chunk while the adjacency array grows, so the two
+    // never fully coexist and peak memory stays near max(edges, adjacency)
+    // instead of their sum.
+    const std::size_t chunks = edges.chunk_count();
+    count_into_offsets(num_vertices, threads, chunks, [&](std::size_t ci, auto&& tally) {
+        for (const auto& edge : edges.chunk(ci)) tally(edge);
+    });
+
+    parallel_for(
+        chunks,
+        [&](std::size_t ci) {
+            for (const auto& edge : edges.chunk(ci)) scatter_edge(edge);
+            edges.retire_chunk(ci);
+        },
+        threads);
+
+    finish_offsets_after_scatter();
+    sort_rows_and_dedup(threads);
+}
+
+template <typename ForEachItem>
+void Graph::count_into_offsets(Vertex num_vertices, unsigned threads, std::size_t items,
+                               ForEachItem&& for_each_item) {
+    const std::size_t n = num_vertices;
     offsets_.assign(n + 1, 0);
-    for (std::size_t v = 0; v < n; ++v) {
-        offsets_[v + 1] = offsets_[v] + counts[v].load(std::memory_order_relaxed);
-    }
-
-    adjacency_.resize(offsets_.back());
-    // Reuse the count slots as scatter cursors.
-    for (std::size_t v = 0; v < n; ++v) {
-        counts[v].store(offsets_[v], std::memory_order_relaxed);
-    }
     parallel_for(
-        edge_blocks,
-        [&](std::size_t block) {
-            const std::size_t begin = block * kBlockSize;
-            const std::size_t end = std::min(begin + kBlockSize, edges.size());
-            for (std::size_t i = begin; i < end; ++i) {
-                const auto& [u, v] = edges[i];
-                if (u == v) continue;
-                adjacency_[counts[u].fetch_add(1, std::memory_order_relaxed)] = v;
-                adjacency_[counts[v].fetch_add(1, std::memory_order_relaxed)] = u;
-            }
+        items,
+        [&](std::size_t item) {
+            for_each_item(item, [&](const Edge& edge) {
+                const auto& [u, v] = edge;
+                assert(u < n && v < n);
+                if (u == v) return;
+                std::atomic_ref<std::size_t>(offsets_[u + 1])
+                    .fetch_add(1, std::memory_order_relaxed);
+                std::atomic_ref<std::size_t>(offsets_[v + 1])
+                    .fetch_add(1, std::memory_order_relaxed);
+            });
         },
         threads);
+    for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+    adjacency_.resize(offsets_.back());
+}
 
+void Graph::finish_offsets_after_scatter() noexcept {
+    // scatter_edge used offsets_[v] as vertex v's write cursor, so each slot
+    // has advanced to the end of its row — which is the start of row v + 1.
+    // Shifting one slot right restores the offsets invariant in place.
+    for (std::size_t v = offsets_.size() - 1; v > 0; --v) offsets_[v] = offsets_[v - 1];
+    offsets_[0] = 0;
+}
+
+void Graph::sort_rows_and_dedup(unsigned threads) {
+    const std::size_t n = num_vertices();
     std::atomic<bool> had_duplicates{false};
     const std::size_t vertex_blocks = block_count(n);
     parallel_for(
@@ -172,7 +213,7 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads)
         std::vector<std::size_t> new_offsets(n + 1, 0);
         for (std::size_t v = 0; v < n; ++v) new_offsets[v + 1] = new_offsets[v] + unique[v];
 
-        std::vector<Vertex> compact(new_offsets.back());
+        AdjacencyVector compact(new_offsets.back());
         parallel_for(
             vertex_blocks,
             [&](std::size_t block) {

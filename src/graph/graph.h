@@ -1,16 +1,47 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace smallworld {
 
+class ChunkedEdgeList;
+
 using Vertex = std::uint32_t;
 using Edge = std::pair<Vertex, Vertex>;
 
 inline constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+/// std::allocator variant whose value-less construct() default-initializes,
+/// so `resize(n)` on a vector of trivial elements leaves the new elements
+/// uninitialized instead of zero-filling them. For the adjacency array this
+/// is a peak-RSS property, not a speed hack: a 2*m-element zero-fill would
+/// touch every page *before* the streaming CSR scatter starts retiring edge
+/// chunks, forcing edge storage and adjacency to fully coexist. Left
+/// untouched, pages become resident only as the scatter claims slots — and
+/// every slot is written exactly once (counts and scatter skip the same
+/// self-loops), so no code ever reads an uninitialized element.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+    template <typename U>
+    struct rebind {
+        using other = DefaultInitAllocator<U>;
+    };
+
+    template <typename U>
+    void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+        ::new (static_cast<void*>(p)) U;
+    }
+    template <typename U, typename... Args>
+    void construct(U* p, Args&&... args) {
+        ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+};
 
 /// Immutable undirected graph in compressed sparse row form. Each undirected
 /// edge {u,v} is stored twice (as u->v and v->u); neighbor lists are sorted,
@@ -32,6 +63,16 @@ public:
     /// every list is then sorted, and duplicates are equal values, so the
     /// sorted/deduped result is a pure function of the edge multiset.
     Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads = 0);
+
+    /// CSR-direct construction from a chunked edge stream (see
+    /// graph/edge_stream.h): a count pass over the chunks, a prefix sum, and
+    /// a scatter pass that *retires each chunk as it is consumed*, so the
+    /// contiguous edge list of the span constructor never exists and edge
+    /// storage drains while the adjacency array fills. Produces a CSR
+    /// byte-identical to `Graph(n, stream.to_vector(), threads)` — the CSR
+    /// is a pure function of the edge multiset (rows are sorted, duplicates
+    /// collapsed), independent of chunk boundaries and thread count.
+    Graph(Vertex num_vertices, ChunkedEdgeList&& edges, unsigned threads = 0);
 
     [[nodiscard]] Vertex num_vertices() const noexcept {
         return static_cast<Vertex>(offsets_.empty() ? 0 : offsets_.size() - 1);
@@ -57,9 +98,47 @@ public:
     /// duplicate cleanup. Used to rebuild a graph under a vertex relabeling.
     [[nodiscard]] std::vector<Edge> edge_list() const;
 
+    /// Heap bytes held by the CSR arrays (offsets + adjacency) — the
+    /// denominator of the generation peak-memory ratio in
+    /// bench_generator_memory.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return offsets_.capacity() * sizeof(std::size_t) +
+               adjacency_.capacity() * sizeof(Vertex);
+    }
+
 private:
+    // Shared machinery of the parallel and streaming builds. Degree counts
+    // and scatter cursors live inside offsets_ itself (std::atomic_ref), so
+    // construction needs no n-sized scratch array:
+    //   1. count_into_offsets — atomically tally degrees into offsets_[v+1],
+    //      prefix-sum, and size the adjacency array;
+    //   2. scatter_edge (parallel, any order) — offsets_[v] is v's cursor;
+    //   3. finish_offsets_after_scatter — shift the advanced cursors back
+    //      into row offsets;
+    //   4. sort_rows_and_dedup.
+    template <typename ForEachItem>
+    void count_into_offsets(Vertex num_vertices, unsigned threads, std::size_t items,
+                            ForEachItem&& for_each_item);
+
+    void scatter_edge(const Edge& edge) noexcept {
+        const auto& [u, v] = edge;
+        if (u == v) return;
+        adjacency_[std::atomic_ref<std::size_t>(offsets_[u])
+                       .fetch_add(1, std::memory_order_relaxed)] = v;
+        adjacency_[std::atomic_ref<std::size_t>(offsets_[v])
+                       .fetch_add(1, std::memory_order_relaxed)] = u;
+    }
+
+    void finish_offsets_after_scatter() noexcept;
+
+    /// Sorts every adjacency row and collapses duplicates (parallel over
+    /// vertex blocks); shared tail of the parallel and streaming builds.
+    void sort_rows_and_dedup(unsigned threads);
+
+    using AdjacencyVector = std::vector<Vertex, DefaultInitAllocator<Vertex>>;
+
     std::vector<std::size_t> offsets_;  // size num_vertices + 1
-    std::vector<Vertex> adjacency_;     // size 2 * num_edges
+    AdjacencyVector adjacency_;         // size 2 * num_edges
 };
 
 }  // namespace smallworld

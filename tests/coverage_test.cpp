@@ -94,7 +94,7 @@ TEST(Coverage, DiagnosticsOnEmptyGirg) {
     g.params = GirgParams{.n = 10, .dim = 1, .alpha = 2.0, .beta = 2.5, .wmin = 1.0,
                           .edge_scale = 1.0, .norm = Norm::kMax};
     g.positions.dim = 1;
-    g.graph = Graph(0, {});
+    g.graph = Graph(0, std::span<const Edge>{});
     const auto diag = diagnose(g, 1);
     EXPECT_DOUBLE_EQ(diag.mean_degree, 0.0);
 }

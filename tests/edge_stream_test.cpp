@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace smallworld {
+namespace {
+
+std::vector<Edge> emit_sequence(ChunkedEdgeSink& sink, std::size_t count,
+                                Vertex modulus) {
+    std::vector<Edge> expected;
+    expected.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto u = static_cast<Vertex>(i % modulus);
+        const auto v = static_cast<Vertex>((i * 7 + 3) % modulus);
+        sink.emit(u, v);
+        expected.emplace_back(u, v);
+    }
+    return expected;
+}
+
+// ------------------------------------------------------------------- sink
+
+// Edge counts straddling every chunk-growth boundary: empty, one, exactly
+// the first chunk, one past it, and far enough to reach the capacity cap.
+TEST(EdgeStream, SinkPreservesEmissionOrderAcrossChunkBoundaries) {
+    for (const std::size_t count :
+         {std::size_t{0}, std::size_t{1}, std::size_t{8}, std::size_t{9},
+          std::size_t{64}, std::size_t{65}, std::size_t{10000}, std::size_t{200000}}) {
+        ChunkedEdgeSink sink(std::make_shared<EdgeArena>());
+        const std::vector<Edge> expected = emit_sequence(sink, count, 1000);
+        const ChunkedEdgeList list = sink.take();
+        EXPECT_EQ(list.size(), count);
+        EXPECT_EQ(list.to_vector(), expected);
+    }
+}
+
+TEST(EdgeStream, SinkAppliesRelabelingAtEmission) {
+    const Vertex n = 100;
+    std::vector<Vertex> relabel(n);
+    for (Vertex v = 0; v < n; ++v) relabel[v] = n - 1 - v;
+
+    ChunkedEdgeSink plain(std::make_shared<EdgeArena>());
+    ChunkedEdgeSink mapped(std::make_shared<EdgeArena>(), relabel.data());
+    std::vector<Edge> expected;
+    for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = u + 1; v < n; v += 3) {
+            plain.emit(u, v);
+            mapped.emit(u, v);
+            expected.emplace_back(relabel[u], relabel[v]);
+        }
+    }
+    const auto plain_edges = plain.take().to_vector();
+    EXPECT_EQ(mapped.take().to_vector(), expected);
+    ASSERT_EQ(plain_edges.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].first, relabel[plain_edges[i].first]);
+        EXPECT_EQ(expected[i].second, relabel[plain_edges[i].second]);
+    }
+}
+
+TEST(EdgeStream, SpliceConcatenatesInOrder) {
+    auto arena = std::make_shared<EdgeArena>();
+    ChunkedEdgeList combined(arena);
+    std::vector<Edge> expected;
+    // Several sinks of varying sizes sharing one arena, spliced in sequence
+    // — the layout the parallel sampler produces.
+    for (const std::size_t count : {std::size_t{5}, std::size_t{0}, std::size_t{200},
+                                    std::size_t{64}, std::size_t{1}}) {
+        ChunkedEdgeSink sink(arena);
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto u = static_cast<Vertex>(expected.size());
+            const auto v = static_cast<Vertex>(expected.size() + 1);
+            sink.emit(u, v);
+            expected.emplace_back(u, v);
+        }
+        combined.splice(sink.take());
+    }
+    EXPECT_EQ(combined.size(), expected.size());
+    EXPECT_EQ(combined.to_vector(), expected);
+}
+
+// ------------------------------------------------------------------ arena
+
+TEST(EdgeStream, RetiringChunksReleasesSlabs) {
+    auto arena = std::make_shared<EdgeArena>();
+    ChunkedEdgeSink sink(arena);
+    // ~3 MB of edges: several full slabs behind the bump target.
+    emit_sequence(sink, 400000, 5000);
+    ChunkedEdgeList list = sink.take();
+    const std::size_t mapped_full = arena->mapped_bytes();
+    EXPECT_GE(mapped_full, list.size() * sizeof(Edge));
+
+    for (std::size_t c = 0; c < list.chunk_count(); ++c) list.retire_chunk(c);
+    EXPECT_EQ(list.size(), 0u);
+    // Every slab is retired and none is the open bump target anymore except
+    // possibly the last; at most one slab's worth may linger.
+    EXPECT_LE(arena->mapped_bytes(), EdgeArena::kSlabBytes);
+}
+
+TEST(EdgeStream, ListDestructorRetiresRemainingChunks) {
+    auto arena = std::make_shared<EdgeArena>();
+    {
+        ChunkedEdgeSink sink(arena);
+        emit_sequence(sink, 300000, 5000);
+        const ChunkedEdgeList list = sink.take();
+        EXPECT_GT(arena->mapped_bytes(), EdgeArena::kSlabBytes);
+    }
+    EXPECT_LE(arena->mapped_bytes(), EdgeArena::kSlabBytes);
+}
+
+// ---------------------------------------------------- CSR-direct Graph build
+
+ChunkedEdgeList to_chunks(const std::vector<Edge>& edges) {
+    ChunkedEdgeSink sink(std::make_shared<EdgeArena>());
+    for (const auto& [u, v] : edges) sink.emit(u, v);
+    return sink.take();
+}
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+    ASSERT_EQ(a.num_vertices(), b.num_vertices());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (Vertex v = 0; v < a.num_vertices(); ++v) {
+        const auto na = a.neighbors(v);
+        const auto nb = b.neighbors(v);
+        ASSERT_EQ(std::vector<Vertex>(na.begin(), na.end()),
+                  std::vector<Vertex>(nb.begin(), nb.end()))
+            << "row " << v;
+    }
+}
+
+// Property test: random multigraphs with self-loops and duplicates — the
+// chunk-stream constructor must match the span constructor row for row at
+// every thread count, since both are pure functions of the edge multiset.
+TEST(EdgeStream, ChunkGraphMatchesSpanGraph) {
+    Rng rng(4242);
+    for (int round = 0; round < 20; ++round) {
+        const Vertex n = 1 + static_cast<Vertex>(rng.uniform() * 400.0);
+        const std::size_t m = static_cast<std::size_t>(rng.uniform() * 3000.0);
+        std::vector<Edge> edges;
+        edges.reserve(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            const auto u = static_cast<Vertex>(rng.uniform() * n);
+            const auto v = static_cast<Vertex>(rng.uniform() * n);
+            edges.emplace_back(std::min(u, static_cast<Vertex>(n - 1)),
+                               std::min(v, static_cast<Vertex>(n - 1)));
+        }
+        const Graph reference(n, edges);
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            const Graph streamed(n, to_chunks(edges), threads);
+            expect_same_graph(reference, streamed);
+        }
+    }
+}
+
+TEST(EdgeStream, ChunkGraphHandlesEmptyAndIsolated) {
+    const Graph empty(0, to_chunks({}));
+    EXPECT_EQ(empty.num_vertices(), 0u);
+    EXPECT_EQ(empty.num_edges(), 0u);
+
+    const Graph isolated(5, to_chunks({}));
+    EXPECT_EQ(isolated.num_vertices(), 5u);
+    EXPECT_EQ(isolated.num_edges(), 0u);
+    for (Vertex v = 0; v < 5; ++v) EXPECT_TRUE(isolated.neighbors(v).empty());
+
+    // Self-loops only: all dropped.
+    const Graph loops(3, to_chunks({{0, 0}, {1, 1}, {2, 2}}), 2);
+    EXPECT_EQ(loops.num_edges(), 0u);
+}
+
+TEST(EdgeStream, ChunkGraphConsumesChunksDuringScatter) {
+    auto arena = std::make_shared<EdgeArena>();
+    ChunkedEdgeSink sink(arena);
+    const Vertex n = 2000;
+    emit_sequence(sink, 300000, n);
+    const Graph graph(n, sink.take(), 2);
+    EXPECT_GT(graph.num_edges(), 0u);
+    // The build retired every chunk; only the arena's open slab may remain.
+    EXPECT_LE(arena->mapped_bytes(), EdgeArena::kSlabBytes);
+}
+
+}  // namespace
+}  // namespace smallworld

@@ -13,9 +13,9 @@ namespace smallworld {
 namespace {
 
 TEST(Embedder, EmptyAndSingletonGraphs) {
-    const auto empty = embed_graph(Graph(0, {}), {});
+    const auto empty = embed_graph(Graph(0, std::span<const Edge>{}), {});
     EXPECT_EQ(empty.num_vertices(), 0u);
-    const auto one = embed_graph(Graph(1, {}), {});
+    const auto one = embed_graph(Graph(1, std::span<const Edge>{}), {});
     ASSERT_EQ(one.num_vertices(), 1u);
     EXPECT_GE(one.radii[0], 0.0);
 }

@@ -283,7 +283,7 @@ TEST(TrajectoryProfileEdge, EmptyGraphYieldsNoPaths) {
     g.params = GirgParams{.n = 10, .dim = 1, .alpha = 2.0, .beta = 2.5, .wmin = 1.0,
                           .edge_scale = 1.0};
     g.positions.dim = 1;
-    g.graph = Graph(0, {});
+    g.graph = Graph(0, std::span<const Edge>{});
     const auto profile = collect_trajectory_profile(g, {}, 1);
     EXPECT_EQ(profile.paths, 0u);
 }

@@ -156,6 +156,80 @@ TEST(Generator, DeterministicForSeed) {
     EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
 }
 
+// The streaming CSR-direct pipeline (chunked sinks + fused relabel) and the
+// legacy buffer-everything pipeline must agree byte for byte: same weights,
+// same coordinates, same CSR rows — at every thread count, with and without
+// Morton relabeling, and with planted vertices.
+TEST(Generator, StreamingMatchesLegacyPipeline) {
+    GirgParams p = small_params();
+    for (const bool relabel : {true, false}) {
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            p.threads = threads;
+            GenerateOptions legacy_options;
+            legacy_options.streaming_csr = false;
+            legacy_options.morton_relabel = relabel;
+            GenerateOptions streaming_options;
+            streaming_options.streaming_csr = true;
+            streaming_options.morton_relabel = relabel;
+            PlantedVertex planted;
+            planted.weight = 4.0;
+            planted.position[0] = 0.5;
+            legacy_options.planted.push_back(planted);
+            streaming_options.planted.push_back(planted);
+
+            const Girg legacy = generate_girg(p, 1234, legacy_options);
+            const Girg streaming = generate_girg(p, 1234, streaming_options);
+            ASSERT_EQ(legacy.num_vertices(), streaming.num_vertices());
+            EXPECT_EQ(legacy.weights, streaming.weights);
+            EXPECT_EQ(legacy.positions.coords, streaming.positions.coords);
+            ASSERT_EQ(legacy.graph.num_edges(), streaming.graph.num_edges());
+            for (Vertex v = 0; v < legacy.num_vertices(); ++v) {
+                const auto a = legacy.graph.neighbors(v);
+                const auto b = streaming.graph.neighbors(v);
+                ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+                    << "relabel=" << relabel << " threads=" << threads << " v=" << v;
+            }
+        }
+    }
+}
+
+TEST(Generator, StreamingMatchesLegacyWithNaiveSampler) {
+    GirgParams p = small_params();
+    GenerateOptions legacy_options;
+    legacy_options.sampler = SamplerKind::kNaive;
+    legacy_options.streaming_csr = false;
+    GenerateOptions streaming_options;
+    streaming_options.sampler = SamplerKind::kNaive;
+    streaming_options.streaming_csr = true;
+    const Girg legacy = generate_girg(p, 77, legacy_options);
+    const Girg streaming = generate_girg(p, 77, streaming_options);
+    EXPECT_EQ(legacy.weights, streaming.weights);
+    EXPECT_EQ(legacy.positions.coords, streaming.positions.coords);
+    ASSERT_EQ(legacy.graph.num_edges(), streaming.graph.num_edges());
+    for (Vertex v = 0; v < legacy.num_vertices(); ++v) {
+        const auto a = legacy.graph.neighbors(v);
+        const auto b = streaming.graph.neighbors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    }
+}
+
+// resample_edges goes through the sink path; it must still equal a CSR built
+// from the buffered sampler's edge list for the same seed.
+TEST(Generator, ResampleEdgesMatchesBufferedSampler) {
+    const GirgParams p = small_params();
+    const Girg base = generate_girg(p, 55);
+    const Graph resampled = resample_edges(base, 1001, SamplerKind::kFast);
+    Rng rng(1001);
+    const auto buffered = sample_edges_fast(base.params, base.weights, base.positions, rng);
+    const Graph reference(base.num_vertices(), buffered);
+    ASSERT_EQ(resampled.num_edges(), reference.num_edges());
+    for (Vertex v = 0; v < reference.num_vertices(); ++v) {
+        const auto a = reference.neighbors(v);
+        const auto b = resampled.neighbors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    }
+}
+
 TEST(Generator, WeightsRespectMinimum) {
     GirgParams p = small_params();
     p.wmin = 2.5;
@@ -194,7 +268,7 @@ TEST(MortonRelabel, PermutationValidAndDeterministic) {
     const auto ids_a = morton_order(g.positions, g.num_vertices());
     const auto ids_b = morton_order(g.positions, g.num_vertices());
     EXPECT_EQ(ids_a, ids_b);
-    std::vector<Vertex> sorted = ids_a;
+    std::vector<Vertex> sorted(ids_a.begin(), ids_a.end());
     std::sort(sorted.begin(), sorted.end());
     for (Vertex v = 0; v < g.num_vertices(); ++v) ASSERT_EQ(sorted[v], v);
 }

@@ -50,14 +50,14 @@ std::vector<Edge> random_multigraph_edges(Vertex n, std::size_t edge_count, Rng&
 // ---------------------------------------------------------------- Graph
 
 TEST(Graph, EmptyGraph) {
-    const Graph g(0, {});
+    const Graph g(0, std::span<const Edge>{});
     EXPECT_EQ(g.num_vertices(), 0u);
     EXPECT_EQ(g.num_edges(), 0u);
     EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
 }
 
 TEST(Graph, IsolatedVertices) {
-    const Graph g(5, {});
+    const Graph g(5, std::span<const Edge>{});
     EXPECT_EQ(g.num_vertices(), 5u);
     for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
 }
@@ -290,7 +290,7 @@ TEST(Components, MultipleComponentsAndGiant) {
 }
 
 TEST(Components, AllIsolated) {
-    const Graph g(4, {});
+    const Graph g(4, std::span<const Edge>{});
     const auto comps = connected_components(g);
     EXPECT_EQ(comps.count(), 4u);
     EXPECT_EQ(comps.giant_size(), 1u);
@@ -366,7 +366,7 @@ TEST(CoreDecomposition, PathAndCycle) {
 TEST(CoreDecomposition, CliqueAndIsolated) {
     const Graph clique = complete_graph(5);
     for (const auto c : core_decomposition(clique)) EXPECT_EQ(c, 4u);
-    const Graph empty(4, {});
+    const Graph empty(4, std::span<const Edge>{});
     for (const auto c : core_decomposition(empty)) EXPECT_EQ(c, 0u);
     EXPECT_EQ(degeneracy(clique), 4u);
     EXPECT_EQ(degeneracy(empty), 0u);

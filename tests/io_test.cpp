@@ -87,7 +87,7 @@ TEST(GirgIo, EmptyGraphRoundTrip) {
     Girg girg;
     girg.params = io_params();
     girg.positions.dim = girg.params.dim;
-    girg.graph = Graph(0, {});
+    girg.graph = Graph(0, std::span<const Edge>{});
     std::stringstream stream;
     write_girg(stream, girg);
     const Girg loaded = read_girg(stream);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/greedy.h"
 #include "graph/components.h"
@@ -209,6 +211,55 @@ TEST(NoisyKleinberg, LocalDegreeMatches) {
     p.q = 0;
     const NoisyKleinbergGraph g = generate_noisy_kleinberg(p, 9);
     EXPECT_NEAR(g.graph.average_degree(), 4.0, 0.5);
+}
+
+// The grid-bucketed local-edge enumeration must produce exactly the edge
+// set of the all-pairs loop. With q = 0 the graph *is* the local edge set,
+// so compare the generated CSR against a brute-force reference rebuilt from
+// the same positions.
+TEST(NoisyKleinberg, BucketedLocalEdgesMatchBruteForce) {
+    // n = 800: radius = sqrt(4/1598) ≈ 0.05, grid ≈ 20 — deep in the
+    // bucketed regime, small enough for the O(n^2) reference.
+    NoisyKleinbergParams p;
+    p.n = 800;
+    p.local_degree = 4.0;
+    p.q = 0;
+    const NoisyKleinbergGraph g = generate_noisy_kleinberg(p, 31);
+    const double radius = p.local_radius();
+
+    std::vector<Edge> reference;
+    const auto n = static_cast<Vertex>(p.n);
+    for (Vertex u = 0; u < n; ++u) {
+        for (Vertex v = u + 1; v < n; ++v) {
+            if (g.distance(u, v) <= radius) reference.emplace_back(u, v);
+        }
+    }
+    const Graph expected(n, reference);
+    ASSERT_EQ(g.graph.num_edges(), expected.num_edges());
+    for (Vertex v = 0; v < n; ++v) {
+        const auto a = expected.neighbors(v);
+        const auto b = g.graph.neighbors(v);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+    }
+}
+
+TEST(NoisyKleinberg, CoarseGridFallsBackToAllPairs) {
+    // n = 20: radius ≈ 0.32, grid = 3 would still work but n = 5 gives
+    // radius ≈ 0.7, grid = 1 — the wrapped stencil would alias, so the
+    // generator must take the all-pairs branch and stay correct.
+    NoisyKleinbergParams p;
+    p.n = 5;
+    p.local_degree = 4.0;
+    p.q = 0;
+    const NoisyKleinbergGraph g = generate_noisy_kleinberg(p, 32);
+    const double radius = p.local_radius();
+    std::size_t expected = 0;
+    for (Vertex u = 0; u < 5; ++u) {
+        for (Vertex v = u + 1; v < 5; ++v) {
+            if (g.distance(u, v) <= radius) ++expected;
+        }
+    }
+    EXPECT_EQ(g.graph.num_edges(), expected);
 }
 
 TEST(NoisyKleinberg, GreedyFailsOftenWithoutLattice) {

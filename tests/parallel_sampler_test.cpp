@@ -8,6 +8,7 @@
 #include "girg/fast_sampler.h"
 #include "girg/generator.h"
 #include "girg/naive_sampler.h"
+#include "graph/edge_stream.h"
 #include "random/stats.h"
 
 namespace smallworld {
@@ -55,6 +56,42 @@ TEST(ParallelSampler, HigherDimensionIdenticalAcrossThreadCounts) {
     const std::vector<Edge> eight = sample_with_threads(8);
     ASSERT_FALSE(one.empty());
     EXPECT_EQ(one, eight);
+}
+
+// The streaming sink path consumes the identical RNG sequence, so splicing
+// the per-task chunk lists in task order must reproduce the vector path's
+// edge sequence byte for byte — at every thread count.
+TEST(ParallelSampler, StreamMatchesVectorPathAcrossThreadCounts) {
+    GirgParams params{.n = 3000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 1.5, .edge_scale = 1.0};
+    const Girg base = generate_girg(params, 321);
+
+    Rng reference_rng(99);
+    const std::vector<Edge> reference =
+        sample_edges_fast(base.params, base.weights, base.positions, reference_rng);
+    ASSERT_FALSE(reference.empty());
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        GirgParams p = base.params;
+        p.threads = threads;
+        Rng rng(99);
+        const ChunkedEdgeList streamed =
+            sample_edges_fast_stream(p, base.weights, base.positions, rng);
+        EXPECT_EQ(streamed.to_vector(), reference) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelSampler, NaiveStreamMatchesNaiveVector) {
+    GirgParams params{.n = 300, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 1.5, .edge_scale = 1.0};
+    const Girg base = generate_girg(params, 88);
+    Rng rng_a(7);
+    Rng rng_b(7);
+    const auto buffered = sample_edges_naive(base.params, base.weights, base.positions, rng_a);
+    const auto streamed =
+        sample_edges_naive_stream(base.params, base.weights, base.positions, rng_b);
+    ASSERT_FALSE(buffered.empty());
+    EXPECT_EQ(streamed.to_vector(), buffered);
 }
 
 TEST(ParallelSampler, DistinctSeedsDiffer) {
