@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// Contract-check macros for the determinism/reproducibility-critical seams
+/// (CSR build, edge arena, relabeling, RNG draws). Two tiers:
+///
+///   GIRG_CHECK(cond, msg...)   — always on, in every build type. For
+///       once-per-call preconditions and cheap structural postconditions at
+///       module seams, where a violation means the caller handed us garbage
+///       and continuing would corrupt output silently. Failure prints the
+///       condition, location, and the streamed message, then aborts — so
+///       death tests can pin the contract in Release builds too.
+///
+///   GIRG_DCHECK(cond, msg...)  — compiled to nothing under NDEBUG. For
+///       per-element checks inside hot loops (per edge, per draw, per
+///       distance evaluation) that would otherwise show up in profiles.
+///
+/// The message arguments are streamed (operator<<) into the failure report
+/// and are not evaluated unless the check fires. Prefer GIRG_CHECK at seams;
+/// reach for GIRG_DCHECK only when the check sits on a measured hot path.
+namespace smallworld::check_detail {
+
+// Inline (header-only) so the lower layers (sw_graph, sw_geometry, ...) can
+// use the macros without linking against sw_core.
+[[noreturn]] inline void check_fail(const char* macro, const char* condition,
+                                    const char* file, int line,
+                                    const std::string& message) noexcept {
+    std::fprintf(stderr, "%s failed: %s at %s:%d%s%s\n", macro, condition, file, line,
+                 message.empty() ? "" : ": ", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+template <typename... Args>
+[[nodiscard]] std::string format_message(const Args&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << args);
+        return os.str();
+    }
+}
+
+}  // namespace smallworld::check_detail
+
+#define GIRG_CHECK(cond, ...)                                                         \
+    (static_cast<bool>(cond)                                                          \
+         ? (void)0                                                                    \
+         : ::smallworld::check_detail::check_fail(                                    \
+               "GIRG_CHECK", #cond, __FILE__, __LINE__,                               \
+               ::smallworld::check_detail::format_message(__VA_ARGS__)))
+
+// The disabled branch still parses and type-checks its arguments (dead
+// `false ?` arm), so variables used only in checks never trigger
+// -Wunused-but-set-variable and the condition cannot rot while NDEBUG is on.
+#ifdef NDEBUG
+#define GIRG_DCHECK(cond, ...) (true ? (void)0 : GIRG_CHECK(cond, __VA_ARGS__))
+#else
+#define GIRG_DCHECK(cond, ...) GIRG_CHECK(cond, __VA_ARGS__)
+#endif

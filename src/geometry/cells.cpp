@@ -1,7 +1,8 @@
 #include "geometry/cells.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.h"
 
 namespace smallworld {
 
@@ -12,7 +13,7 @@ std::uint32_t cell_axis_distance(std::uint32_t a, std::uint32_t b, int level) no
 }
 
 bool cells_touch(const Cell& a, const Cell& b, int dim) noexcept {
-    assert(a.level == b.level);
+    GIRG_DCHECK(a.level == b.level, "levels ", a.level, " vs ", b.level);
     if (a.level == 0) return true;  // the root cell touches itself
     for (int axis = 0; axis < dim; ++axis) {
         if (cell_axis_distance(a.coords[axis], b.coords[axis], a.level) > 1) return false;
@@ -21,7 +22,7 @@ bool cells_touch(const Cell& a, const Cell& b, int dim) noexcept {
 }
 
 double cell_min_distance(const Cell& a, const Cell& b, int dim) noexcept {
-    assert(a.level == b.level);
+    GIRG_DCHECK(a.level == b.level, "levels ", a.level, " vs ", b.level);
     const double side = cell_side(a.level);
     std::uint32_t max_axis_gap = 0;
     for (int axis = 0; axis < dim; ++axis) {
@@ -33,7 +34,7 @@ double cell_min_distance(const Cell& a, const Cell& b, int dim) noexcept {
 }
 
 Cell cell_child(const Cell& parent, int dim, unsigned k) noexcept {
-    assert(k < (1U << dim));
+    GIRG_DCHECK(k < (1U << dim), "child k=", k, " dim=", dim);
     Cell child;
     child.level = parent.level + 1;
     for (int axis = 0; axis < dim; ++axis) {

@@ -1,12 +1,14 @@
 #include "geometry/morton.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.h"
 
 namespace smallworld {
 
 std::uint64_t morton_encode(const std::uint32_t* coords, int dim, int level) noexcept {
-    assert(dim >= 1 && dim <= 4 && level >= 0 && level <= kMaxLevel);
+    GIRG_DCHECK(dim >= 1 && dim <= 4 && level >= 0 && level <= kMaxLevel,
+                "dim=", dim, " level=", level);
     std::uint64_t code = 0;
     for (int bit = level - 1; bit >= 0; --bit) {
         for (int axis = 0; axis < dim; ++axis) {
@@ -17,7 +19,8 @@ std::uint64_t morton_encode(const std::uint32_t* coords, int dim, int level) noe
 }
 
 void morton_decode(std::uint64_t code, int dim, int level, std::uint32_t* coords) noexcept {
-    assert(dim >= 1 && dim <= 4 && level >= 0 && level <= kMaxLevel);
+    GIRG_DCHECK(dim >= 1 && dim <= 4 && level >= 0 && level <= kMaxLevel,
+                "dim=", dim, " level=", level);
     for (int axis = 0; axis < dim; ++axis) coords[axis] = 0;
     for (int bit = 0; bit < level; ++bit) {
         for (int axis = dim - 1; axis >= 0; --axis) {

@@ -1,11 +1,12 @@
 #include "geometry/torus.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace smallworld {
 
 double unit_ball_volume(int dim, Norm norm) noexcept {
-    assert(dim >= 1 && dim <= kMaxDim);
+    GIRG_CHECK(dim >= 1 && dim <= kMaxDim, "dim=", dim);
     if (norm == Norm::kMax) return std::pow(2.0, dim);
     // V_d = pi^{d/2} / Gamma(d/2 + 1) for d = 1..4: 2, pi, 4pi/3, pi^2/2.
     switch (dim) {
@@ -17,7 +18,7 @@ double unit_ball_volume(int dim, Norm norm) noexcept {
 }
 
 double torus_ball_volume(double radius, int dim) noexcept {
-    assert(dim >= 1 && dim <= kMaxDim);
+    GIRG_CHECK(dim >= 1 && dim <= kMaxDim, "dim=", dim);
     if (radius <= 0.0) return 0.0;
     double vol = 1.0;
     const double side = std::min(1.0, 2.0 * radius);
@@ -26,7 +27,7 @@ double torus_ball_volume(double radius, int dim) noexcept {
 }
 
 double torus_ball_radius(double volume, int dim) noexcept {
-    assert(dim >= 1 && dim <= kMaxDim);
+    GIRG_CHECK(dim >= 1 && dim <= kMaxDim, "dim=", dim);
     if (volume <= 0.0) return 0.0;
     const double side = std::min(1.0, std::pow(volume, 1.0 / dim));
     return side / 2.0;

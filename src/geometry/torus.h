@@ -1,7 +1,8 @@
 #pragma once
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.h"
 
 namespace smallworld {
 
@@ -18,7 +19,7 @@ inline double torus_coord_distance(double a, double b) noexcept {
 /// L-infinity distance on the torus T^d = R^d/Z^d (Section 2.1):
 /// ||x - y|| = max_i min{|x_i - y_i|, 1 - |x_i - y_i|}.
 inline double torus_distance(const double* x, const double* y, int dim) noexcept {
-    assert(dim >= 1 && dim <= kMaxDim);
+    GIRG_DCHECK(dim >= 1 && dim <= kMaxDim, "dim=", dim);
     double dist = 0.0;
     for (int i = 0; i < dim; ++i) {
         const double di = torus_coord_distance(x[i], y[i]);
@@ -46,7 +47,7 @@ enum class Norm {
 
 /// Euclidean distance on the torus (coordinate-wise shortest wrap).
 inline double torus_distance_l2(const double* x, const double* y, int dim) noexcept {
-    assert(dim >= 1 && dim <= kMaxDim);
+    GIRG_DCHECK(dim >= 1 && dim <= kMaxDim, "dim=", dim);
     double sum = 0.0;
     for (int i = 0; i < dim; ++i) {
         const double di = torus_coord_distance(x[i], y[i]);

@@ -1,10 +1,12 @@
 #include "girg/fast_sampler.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "core/check.h"
 #include "core/thread_pool.h"
 #include "geometry/cells.h"
 #include "geometry/morton.h"
@@ -144,6 +146,7 @@ private:
 
         layers_.assign(static_cast<std::size_t>(num_layers_), Layer{});
         for (int i = 0; i < num_layers_; ++i) {
+            // LINT-ALLOW(pow): once per layer at construction, not per edge
             layers_[static_cast<std::size_t>(i)].weight_upper =
                 wmin * std::pow(2.0, static_cast<double>(i + 1));
         }
@@ -182,6 +185,7 @@ private:
 
     /// Threshold volume of a layer pair using the layers' upper weights.
     [[nodiscard]] double pair_volume(int i, int j) const noexcept {
+        // LINT-ALLOW(pow): once per layer pair (O(log^2 n) calls), not per edge
         const double wi = params_.wmin * std::pow(2.0, static_cast<double>(i + 1));
         const double wj = params_.wmin * std::pow(2.0, static_cast<double>(j + 1));
         return std::min(1.0, params_.edge_scale * wi * wj / (params_.wmin * params_.n));
@@ -403,8 +407,9 @@ private:
 std::vector<Edge> sample_edges_fast(const GirgParams& params,
                                     const std::vector<double>& weights,
                                     const PointCloud& positions, Rng& rng) {
-    assert(weights.size() == positions.count());
-    assert(positions.dim == params.dim);
+    GIRG_CHECK(weights.size() == positions.count(), "weights ", weights.size(),
+               " vs positions ", positions.count());
+    GIRG_CHECK(positions.dim == params.dim, "dim mismatch");
     return FastSampler(params, weights, positions, rng).run_to_vector();
 }
 
@@ -412,8 +417,9 @@ ChunkedEdgeList sample_edges_fast_stream(const GirgParams& params,
                                          const std::vector<double>& weights,
                                          const PointCloud& positions, Rng& rng,
                                          const Vertex* relabel) {
-    assert(weights.size() == positions.count());
-    assert(positions.dim == params.dim);
+    GIRG_CHECK(weights.size() == positions.count(), "weights ", weights.size(),
+               " vs positions ", positions.count());
+    GIRG_CHECK(positions.dim == params.dim, "dim mismatch");
     auto arena = std::make_shared<EdgeArena>();
     FastSampler sampler(params, weights, positions, rng);
     auto sinks = sampler.run<ChunkedEdgeSink>(

@@ -1,7 +1,9 @@
 #include "girg/generator.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "core/check.h"
 #include "geometry/torus.h"
 #include "girg/fast_sampler.h"
 #include "girg/naive_sampler.h"
@@ -72,6 +74,10 @@ Girg generate_girg(const GirgParams& params, std::uint64_t seed,
             girg.positions.coords.push_back(torus_wrap(planted.position[axis]));
         }
     }
+
+    GIRG_CHECK(girg.weights.size() == girg.positions.count(),
+               "attribute arrays diverged: ", girg.weights.size(), " weights vs ",
+               girg.positions.count(), " positions");
 
     // The Morton permutation is a function of the positions alone and
     // consumes no randomness, so it can be computed *before* edge sampling;

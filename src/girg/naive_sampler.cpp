@@ -1,7 +1,9 @@
 #include "girg/naive_sampler.h"
 
-#include <cassert>
 #include <memory>
+#include <vector>
+
+#include "core/check.h"
 
 #include "girg/edge_probability.h"
 #include "graph/edge_stream.h"
@@ -13,8 +15,9 @@ namespace {
 template <typename Emit>
 void sample_pairs(const GirgParams& params, const std::vector<double>& weights,
                   const PointCloud& positions, Rng& rng, Emit&& emit) {
-    assert(weights.size() == positions.count());
-    assert(positions.dim == params.dim);
+    GIRG_CHECK(weights.size() == positions.count(), "weights ", weights.size(),
+               " vs positions ", positions.count());
+    GIRG_CHECK(positions.dim == params.dim, "dim mismatch");
     const auto n = static_cast<Vertex>(weights.size());
     for (Vertex u = 0; u < n; ++u) {
         for (Vertex v = u + 1; v < n; ++v) {

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/check.h"
 #include "geometry/torus.h"
 #include "girg/girg.h"
 
@@ -46,6 +47,8 @@ public:
           norm_(girg.params.norm),
           target_(target),
           memo_(girg.weights.size(), kUnset) {
+        GIRG_CHECK(target < girg.weights.size(), "phi target ", target, " >= n=",
+                   girg.weights.size());
         const double* t = girg.position(target);
         for (int axis = 0; axis < dim_; ++axis) target_position_[axis] = t[axis];
     }
@@ -55,6 +58,7 @@ public:
 
     /// phi(v), memoized; +infinity iff v is the target (or collides with it).
     [[nodiscard]] double value(Vertex v) const noexcept {
+        GIRG_DCHECK(v < memo_.size(), "phi of out-of-range vertex ", v);
         double& slot = memo_[v];
         if (std::isnan(slot)) slot = compute(v);
         return slot;

@@ -1,10 +1,12 @@
 #include "girg/relabel.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <memory>
+#include <span>
+#include <vector>
 
+#include "core/check.h"
 #include "geometry/morton.h"
 #include "geometry/torus.h"
 #include "graph/edge_stream.h"
@@ -27,7 +29,7 @@ int level_for(std::size_t count, int dim) noexcept {
 
 PageVector<Vertex> morton_order(const PointCloud& positions, std::size_t movable_prefix) {
     const std::size_t n = positions.count();
-    assert(movable_prefix <= n);
+    GIRG_CHECK(movable_prefix <= n, "movable_prefix ", movable_prefix, " > n=", n);
     const int level = level_for(movable_prefix, positions.dim);
 
     // Pack (code, id) into one u64: the cell level satisfies
@@ -37,7 +39,8 @@ PageVector<Vertex> morton_order(const PointCloud& positions, std::size_t movable
     // relative order and the permutation is a deterministic function of the
     // positions alone. Half the footprint of a pair<u64, Vertex> array,
     // which sat in the generator's peak-memory window.
-    assert(positions.dim * level <= 32);
+    GIRG_CHECK(positions.dim * level <= 32, "packed key overflow: dim*level=",
+               positions.dim * level);
     PageVector<std::uint64_t> keyed(movable_prefix);
     for (std::size_t v = 0; v < movable_prefix; ++v) {
         keyed[v] = (morton_of_point(positions.point(v), positions.dim, level) << 32) |
@@ -56,7 +59,8 @@ PageVector<Vertex> morton_order(const PointCloud& positions, std::size_t movable
 void apply_relabeling(std::span<const Vertex> new_ids, std::vector<double>& weights,
                       PointCloud& positions) {
     const std::size_t n = new_ids.size();
-    assert(weights.size() == n && positions.count() == n);
+    GIRG_CHECK(weights.size() == n && positions.count() == n,
+               "attribute arrays disagree with permutation size ", n);
     const std::size_t dim = static_cast<std::size_t>(positions.dim);
 
     // In-place cycle-following permutation: vertex old_id's attributes move
@@ -69,7 +73,7 @@ void apply_relabeling(std::span<const Vertex> new_ids, std::vector<double>& weig
     // out-of-place version.
     std::vector<bool> placed(n, false);
     double held_coords[kMaxDim];
-    assert(dim <= kMaxDim);
+    GIRG_CHECK(dim <= kMaxDim, "dim=", dim);
     for (std::size_t start = 0; start < n; ++start) {
         if (placed[start] || new_ids[start] == start) continue;
         double held_weight = weights[start];
@@ -78,6 +82,7 @@ void apply_relabeling(std::span<const Vertex> new_ids, std::vector<double>& weig
         }
         std::size_t dst = new_ids[start];
         while (dst != start) {
+            GIRG_DCHECK(dst < n, "new_ids is not a permutation: slot ", dst);
             std::swap(held_weight, weights[dst]);
             for (std::size_t axis = 0; axis < dim; ++axis) {
                 std::swap(held_coords[axis], positions.coords[dst * dim + axis]);

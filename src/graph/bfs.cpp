@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/check.h"
 
 #include "core/thread_pool.h"
 
@@ -27,6 +30,11 @@ void expand_level_parallel(const Graph& graph, std::vector<std::int32_t>& dist,
                            std::vector<Vertex>& next, unsigned threads) {
     const std::size_t blocks = (frontier.size() + kFrontierBlock - 1) / kFrontierBlock;
     std::vector<std::vector<Vertex>> per_block(blocks);
+    static_assert(std::atomic_ref<std::int32_t>::required_alignment <= alignof(std::int32_t),
+                  "distance slots are not aligned for std::atomic_ref");
+    // LINT-ALLOW(relaxed): every CAS racer writes the same depth value, and the
+    // per-level parallel_for join publishes distances to the next level.
+    constexpr auto relaxed = std::memory_order_relaxed;
     parallel_for(
         blocks,
         [&](std::size_t block) {
@@ -37,9 +45,8 @@ void expand_level_parallel(const Graph& graph, std::vector<std::int32_t>& dist,
                 for (const Vertex v : graph.neighbors(frontier[i])) {
                     std::atomic_ref<std::int32_t> slot(dist[v]);
                     std::int32_t expected = kUnreachable;
-                    if (slot.load(std::memory_order_relaxed) == kUnreachable &&
-                        slot.compare_exchange_strong(expected, depth,
-                                                     std::memory_order_relaxed)) {
+                    if (slot.load(relaxed) == kUnreachable &&
+                        slot.compare_exchange_strong(expected, depth, relaxed)) {
                         local.push_back(v);
                     }
                 }
@@ -62,7 +69,8 @@ std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source,
 
 std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
                                                 std::int32_t max_depth, unsigned threads) {
-    assert(source < graph.num_vertices());
+    GIRG_CHECK(source < graph.num_vertices(), "bfs source ", source, " >= n=",
+               graph.num_vertices());
     std::vector<std::int32_t> dist(graph.num_vertices(), kUnreachable);
     std::vector<Vertex> frontier{source};
     std::vector<Vertex> next;
@@ -120,7 +128,8 @@ std::int32_t expand(const Graph& graph, Side& self, const Side& other,
 }  // namespace
 
 std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t) {
-    assert(s < graph.num_vertices() && t < graph.num_vertices());
+    GIRG_CHECK(s < graph.num_vertices() && t < graph.num_vertices(), "s=", s,
+               " t=", t, " n=", graph.num_vertices());
     if (s == t) return 0;
     Side fwd{std::vector<std::int32_t>(graph.num_vertices(), kUnreachable), {s}, 0};
     Side bwd{std::vector<std::int32_t>(graph.num_vertices(), kUnreachable), {t}, 0};
@@ -141,7 +150,8 @@ std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t) {
 }
 
 std::vector<Vertex> shortest_path(const Graph& graph, Vertex s, Vertex t) {
-    assert(s < graph.num_vertices() && t < graph.num_vertices());
+    GIRG_CHECK(s < graph.num_vertices() && t < graph.num_vertices(), "s=", s,
+               " t=", t, " n=", graph.num_vertices());
     if (s == t) return {s};
     std::vector<Vertex> parent(graph.num_vertices(), kNoVertex);
     std::vector<std::int32_t> dist(graph.num_vertices(), kUnreachable);

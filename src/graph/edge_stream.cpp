@@ -1,6 +1,7 @@
 #include "graph/edge_stream.h"
 
 #include <atomic>
+#include <mutex>
 #include <new>
 
 #if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
@@ -66,6 +67,7 @@ EdgeArena::Chunk EdgeArena::allocate(std::uint32_t capacity) {
     // silently interleaving two producers' chunks and defeating
     // shrink_to_fit's bump-tip check).
     static std::atomic<unsigned> lane_counter{0};
+    // LINT-ALLOW(relaxed): lane ids only need to be distinct, not ordered
     thread_local const unsigned thread_lane =
         lane_counter.fetch_add(1, std::memory_order_relaxed);
     const std::size_t lane = thread_lane % kLanes;
@@ -114,6 +116,8 @@ void EdgeArena::shrink_to_fit(Chunk& chunk) noexcept {
 void EdgeArena::retire(const Chunk& chunk) noexcept {
     const std::lock_guard<std::mutex> lock(mutex_);
     Slab& slab = slabs_[chunk.slab];
+    GIRG_CHECK(slab.live_chunks > 0, "retire on slab ", chunk.slab,
+               " with no live chunks (double retire?)");
     --slab.live_chunks;
     if (slab.live_chunks == 0 && !slab.open) release_slab(slab);
 }

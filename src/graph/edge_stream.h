@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -8,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "core/check.h"
 #include "graph/graph.h"
 
 namespace smallworld {
@@ -196,7 +196,9 @@ public:
         if (!arena_) {
             arena_ = other.arena_;
         }
-        assert(arena_ == other.arena_);
+        // Chunks index into their owning arena's slabs; mixing arenas would
+        // let retire_chunk free through the wrong slab table.
+        GIRG_CHECK(arena_ == other.arena_, "splice across distinct arenas");
         chunks_.insert(chunks_.end(), other.chunks_.begin(), other.chunks_.end());
         size_ += other.size_;
         other.chunks_.clear();
@@ -220,6 +222,14 @@ public:
     }
 
     [[nodiscard]] const std::shared_ptr<EdgeArena>& arena() const noexcept { return arena_; }
+
+    /// Structural invariant: the recorded total equals the sum of live chunk
+    /// sizes. The CSR build checks this before trusting the stream.
+    [[nodiscard]] bool chunk_sizes_consistent() const noexcept {
+        std::size_t total = 0;
+        for (const EdgeArena::Chunk& c : chunks_) total += c.size;
+        return total == size_;
+    }
 
 private:
     friend class ChunkedEdgeSink;

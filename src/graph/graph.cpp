@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
 
 #include "core/thread_pool.h"
 #include "graph/edge_stream.h"
@@ -36,7 +39,8 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads)
         // Count half-edges per vertex (skipping self-loops), prefix-sum into
         // offsets, then scatter; classic two-pass CSR construction.
         for (const auto& [u, v] : edges) {
-            assert(u < num_vertices && v < num_vertices);
+            GIRG_CHECK(u < num_vertices && v < num_vertices, "edge (", u, ",", v,
+                       ") out of range for n=", num_vertices);
             if (u == v) continue;
             ++offsets_[u + 1];
             ++offsets_[v + 1];
@@ -78,6 +82,8 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads)
             offsets_ = std::move(new_offsets);
             adjacency_ = std::move(compact);
         }
+        GIRG_CHECK(offsets_.front() == 0 && offsets_.back() == adjacency_.size(),
+                   "CSR invariant broken after serial build");
         return;
     }
 
@@ -109,9 +115,17 @@ Graph::Graph(Vertex num_vertices, std::span<const Edge> edges, unsigned threads)
 
     finish_offsets_after_scatter();
     sort_rows_and_dedup(threads);
+    GIRG_CHECK(offsets_.front() == 0 && offsets_.back() == adjacency_.size(),
+               "CSR invariant broken after parallel build");
 }
 
 Graph::Graph(Vertex num_vertices, ChunkedEdgeList&& edges, unsigned threads) {
+    // A chunk stream whose recorded total disagrees with its chunks (e.g. a
+    // chunk retired or mutated between production and the build) would make
+    // the count and scatter passes see different edge multisets and corrupt
+    // the CSR silently; fail loudly instead.
+    GIRG_CHECK(edges.chunk_sizes_consistent(),
+               "chunk totals mismatch: list size ", edges.size());
     // Streaming CSR-direct build. Same structure as the parallel span build
     // (count, prefix sum, atomic-cursor scatter, sort/dedup), but the passes
     // iterate the chunk stream instead of a contiguous array, and the
@@ -134,6 +148,8 @@ Graph::Graph(Vertex num_vertices, ChunkedEdgeList&& edges, unsigned threads) {
 
     finish_offsets_after_scatter();
     sort_rows_and_dedup(threads);
+    GIRG_CHECK(offsets_.front() == 0 && offsets_.back() == adjacency_.size(),
+               "CSR invariant broken after streaming build");
 }
 
 template <typename ForEachItem>
@@ -141,17 +157,21 @@ void Graph::count_into_offsets(Vertex num_vertices, unsigned threads, std::size_
                                ForEachItem&& for_each_item) {
     const std::size_t n = num_vertices;
     offsets_.assign(n + 1, 0);
+    static_assert(std::atomic_ref<std::size_t>::required_alignment <= alignof(std::size_t),
+                  "offsets_ elements are not aligned for std::atomic_ref");
+    // LINT-ALLOW(relaxed): degree tallies are independent increments; the
+    // parallel_for join is the only ordering the prefix-sum pass needs.
+    constexpr auto relaxed = std::memory_order_relaxed;
     parallel_for(
         items,
         [&](std::size_t item) {
             for_each_item(item, [&](const Edge& edge) {
                 const auto& [u, v] = edge;
-                assert(u < n && v < n);
+                GIRG_CHECK(u < n && v < n, "edge (", u, ",", v,
+                           ") out of range for n=", n);
                 if (u == v) return;
-                std::atomic_ref<std::size_t>(offsets_[u + 1])
-                    .fetch_add(1, std::memory_order_relaxed);
-                std::atomic_ref<std::size_t>(offsets_[v + 1])
-                    .fetch_add(1, std::memory_order_relaxed);
+                std::atomic_ref<std::size_t>(offsets_[u + 1]).fetch_add(1, relaxed);
+                std::atomic_ref<std::size_t>(offsets_[v + 1]).fetch_add(1, relaxed);
             });
         },
         threads);
@@ -183,10 +203,12 @@ void Graph::sort_rows_and_dedup(unsigned threads) {
                 std::sort(first, last);
                 if (std::adjacent_find(first, last) != last) local_duplicates = true;
             }
+            // LINT-ALLOW(relaxed): single write-once flag, read only after the barrier
             if (local_duplicates) had_duplicates.store(true, std::memory_order_relaxed);
         },
         threads);
 
+    // LINT-ALLOW(relaxed): the parallel_for join ordered every store above
     if (had_duplicates.load(std::memory_order_relaxed)) {
         // Compact in parallel: per-vertex unique counts, prefix sum, then a
         // second pass copies each deduplicated list into its final slot.

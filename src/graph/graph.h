@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/check.h"
+
 namespace smallworld {
 
 class ChunkedEdgeList;
@@ -80,9 +82,11 @@ public:
     [[nodiscard]] std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
 
     [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+        GIRG_DCHECK(v < num_vertices(), "neighbors(", v, ") with n=", num_vertices());
         return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
     }
     [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+        GIRG_DCHECK(v < num_vertices(), "degree(", v, ") with n=", num_vertices());
         return offsets_[v + 1] - offsets_[v];
     }
     [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
@@ -120,13 +124,25 @@ private:
     void count_into_offsets(Vertex num_vertices, unsigned threads, std::size_t items,
                             ForEachItem&& for_each_item);
 
+    // offsets_ elements double as atomic cursors during construction; the
+    // vector's allocator guarantees natural alignment, pinned here so a
+    // future element-type change cannot silently break lock-freedom.
+    static_assert(std::atomic_ref<std::size_t>::required_alignment <= alignof(std::size_t),
+                  "offsets_ elements are not aligned for std::atomic_ref");
+
+    /// Claims the next adjacency slot of vertex v's row during the scatter.
+    /// Rows are disjoint, and the pool barrier publishes every scattered
+    /// entry before any thread reads the adjacency.
+    // LINT-ALLOW(relaxed): slot claims are independent; the pool barrier publishes
+    [[nodiscard]] std::size_t claim_slot(Vertex v) noexcept {
+        return std::atomic_ref<std::size_t>(offsets_[v]).fetch_add(1, std::memory_order_relaxed);
+    }
+
     void scatter_edge(const Edge& edge) noexcept {
         const auto& [u, v] = edge;
         if (u == v) return;
-        adjacency_[std::atomic_ref<std::size_t>(offsets_[u])
-                       .fetch_add(1, std::memory_order_relaxed)] = v;
-        adjacency_[std::atomic_ref<std::size_t>(offsets_[v])
-                       .fetch_add(1, std::memory_order_relaxed)] = u;
+        adjacency_[claim_slot(u)] = v;
+        adjacency_[claim_slot(v)] = u;
     }
 
     void finish_offsets_after_scatter() noexcept;

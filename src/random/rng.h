@@ -1,9 +1,10 @@
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <random>
+
+#include "core/check.h"
 
 #include "random/splitmix64.h"
 #include "random/xoshiro.h"
@@ -34,7 +35,7 @@ public:
     /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
     /// (unbiased, typically a single 128-bit multiply per draw).
     std::uint64_t uniform_index(std::uint64_t bound) noexcept {
-        assert(bound > 0);
+        GIRG_DCHECK(bound > 0, "uniform_index bound");
         __uint128_t m = static_cast<__uint128_t>(engine_()) * bound;
         std::uint64_t low = static_cast<std::uint64_t>(m);
         if (low < bound) {
@@ -60,7 +61,7 @@ public:
     }
 
     double exponential(double rate) noexcept {
-        assert(rate > 0);
+        GIRG_DCHECK(rate > 0, "exponential rate=", rate);
         double u = uniform();
         // uniform() < 1, but guard log(0) anyway.
         if (u <= 0.0) u = 0x1.0p-53;
@@ -72,7 +73,7 @@ public:
     /// GIRG sampler expected-linear: instead of flipping a coin per candidate
     /// pair, jump directly to the next accepted candidate.
     std::uint64_t geometric_skip(double p) noexcept {
-        assert(p > 0.0 && p <= 1.0);
+        GIRG_DCHECK(p > 0.0 && p <= 1.0, "geometric_skip p=", p);
         if (p >= 1.0) return 0;
         double u = uniform();
         if (u <= 0.0) u = 0x1.0p-53;
