@@ -1,0 +1,9 @@
+// Fixture: atomic_ref without the alignment static_assert, and an
+// unannotated relaxed access.
+#include <atomic>
+#include <cstddef>
+
+void bump(std::size_t& slot) {
+    std::atomic_ref<std::size_t> ref(slot);  // flagged: no static_assert
+    ref.fetch_add(1, std::memory_order_relaxed);  // flagged: no LINT-ALLOW
+}

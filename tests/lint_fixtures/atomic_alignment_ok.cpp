@@ -1,0 +1,12 @@
+// Fixture: alignment pinned by static_assert, relaxed access justified.
+#include <atomic>
+#include <cstddef>
+
+static_assert(std::atomic_ref<std::size_t>::required_alignment <= alignof(std::size_t),
+              "slot type must be naturally aligned for atomic_ref");
+
+void bump(std::size_t& slot) {
+    std::atomic_ref<std::size_t> ref(slot);
+    // LINT-ALLOW(relaxed): pure counter; the caller's join orders the reads
+    ref.fetch_add(1, std::memory_order_relaxed);
+}

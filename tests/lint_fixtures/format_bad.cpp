@@ -1,0 +1,3 @@
+int x = 1;  
+int	y = 2;
+int z() { return 3; }

@@ -1,0 +1,2 @@
+// Fixture: clean whitespace — spaces only, trimmed lines, final newline.
+int answer() { return 42; }

@@ -1,0 +1,7 @@
+// Fixture header: missing #pragma once, using-namespace leak, and std types
+// used without their direct includes.
+#include <cstddef>
+
+using namespace std;  // flagged: leaks into every includer
+
+inline std::vector<int> make() { return std::vector<int>{1, 2, 3}; }  // flagged: <vector>

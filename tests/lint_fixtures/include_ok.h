@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture header: self-contained — pragma once, direct includes, no
+// namespace leaks.
+#include <cstddef>
+#include <vector>
+
+inline std::vector<int> make() { return std::vector<int>{1, 2, 3}; }

@@ -1,0 +1,22 @@
+// Fixture: every banned nondeterminism source in library code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+unsigned bad_seed() {
+    std::random_device rd;          // flagged: entropy seed
+    return rd() + rand();           // flagged: hidden global state
+}
+
+long bad_clock() {
+    auto t = std::chrono::steady_clock::now();  // flagged: wall clock in src/
+    (void)t;
+    return time(nullptr);           // flagged: time(...) seed
+}
+
+void bad_thread_id() {
+    auto id = std::this_thread::get_id();  // flagged: run-varying id
+    (void)id;
+}

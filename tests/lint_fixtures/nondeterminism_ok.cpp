@@ -1,0 +1,12 @@
+// Fixture: deterministic counterparts — counter-seeded RNG, no clocks,
+// and the banned names appearing only inside comments and strings.
+#include <cstdint>
+
+// std::random_device would be flagged outside this comment.
+const char* kDoc = "never call rand() or time(nullptr) in library code";
+
+std::uint64_t stream_seed(std::uint64_t trial, std::uint64_t stream) {
+    return trial * 0x9E3779B97F4A7C15ull + stream;
+}
+
+double elapsed(double t0, double t1) { return t1 - t0; }

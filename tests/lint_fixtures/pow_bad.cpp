@@ -1,0 +1,6 @@
+// Fixture: std::pow on a hot path (lexed under a hot-listed display path).
+#include <cmath>
+
+double phi(double w, double dist, int d) {
+    return w / std::pow(dist, static_cast<double>(d));  // flagged
+}

@@ -1,0 +1,14 @@
+// Fixture: repeated multiplication on the hot path; an annotated setup-time
+// pow is also accepted.
+#include <cmath>
+
+double phi(double w, double dist, int d) {
+    double dist_pow_d = dist;
+    for (int i = 1; i < d; ++i) dist_pow_d *= dist;
+    return w / dist_pow_d;
+}
+
+double setup_constant(double alpha) {
+    // LINT-ALLOW(pow): once at construction, real-valued exponent
+    return std::pow(2.0, alpha);
+}

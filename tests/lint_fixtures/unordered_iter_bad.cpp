@@ -1,0 +1,19 @@
+// Fixture: iteration over unordered containers without justification.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, int>;
+
+std::size_t walk_all() {
+    std::unordered_set<int> seen{1, 2, 3};
+    Index index{{1, 2}};
+    std::size_t acc = 0;
+    for (const int v : seen) {      // flagged: hash-order iteration
+        acc += static_cast<std::size_t>(v);
+    }
+    for (auto it = index.begin(); it != index.end(); ++it) {  // flagged
+        acc += static_cast<std::size_t>(it->second);
+    }
+    return acc;
+}

@@ -1,0 +1,16 @@
+// Fixture: lookups are fine, and an annotated order-insensitive fold passes.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+std::size_t lookups_and_annotated_fold() {
+    std::unordered_set<int> seen{1, 2, 3};
+    std::unordered_map<int, int> index{{1, 2}};
+    std::size_t acc = seen.contains(2) ? 1 : 0;
+    acc += static_cast<std::size_t>(index.at(1));
+    // LINT-ALLOW(unordered-iter): commutative sum, order cannot leak out
+    for (const auto& [k, v] : index) {
+        acc += static_cast<std::size_t>(k + v);
+    }
+    return acc;
+}

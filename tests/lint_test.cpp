@@ -1,0 +1,264 @@
+// Tests for girg-lint: lexer behavior, each rule against its violating and
+// clean fixture (tests/lint_fixtures/), and LINT-ALLOW annotation hygiene.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+using girglint::Diagnostic;
+using girglint::FileKind;
+using girglint::SourceFile;
+
+std::string read_fixture(const std::string& name) {
+    const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Lints `content` as if it lived at `display_path`; returns the rule ids hit.
+std::vector<Diagnostic> lint(const std::string& display_path, FileKind kind,
+                             const std::string& content) {
+    const SourceFile file = girglint::lex_file(display_path, kind, content);
+    std::vector<Diagnostic> out;
+    girglint::run_rules(file, out);
+    return out;
+}
+
+std::vector<Diagnostic> lint_fixture(const std::string& fixture,
+                                     const std::string& display_path,
+                                     FileKind kind = FileKind::kSrc) {
+    return lint(display_path, kind, read_fixture(fixture));
+}
+
+std::set<std::string> rules_hit(const std::vector<Diagnostic>& diagnostics) {
+    std::set<std::string> rules;
+    for (const Diagnostic& d : diagnostics) rules.insert(d.rule);
+    return rules;
+}
+
+int count_rule(const std::vector<Diagnostic>& diagnostics, const std::string& rule) {
+    return static_cast<int>(std::count_if(
+        diagnostics.begin(), diagnostics.end(),
+        [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, StripsCommentsAndStrings) {
+    const SourceFile f = girglint::lex_file(
+        "src/a.cpp", FileKind::kSrc,
+        "// rand() in a comment\n"
+        "const char* s = \"rand()\";\n"
+        "/* std::random_device */ int x = 0;\n");
+    for (const girglint::Token& t : f.tokens) {
+        EXPECT_NE(t.text, "rand");
+        EXPECT_NE(t.text, "random_device");
+    }
+    ASSERT_EQ(f.comments.size(), 2u);
+    EXPECT_EQ(f.comments[0].line, 1);
+    EXPECT_EQ(f.comments[1].line, 3);
+}
+
+TEST(LintLexer, RawStringsDoNotLeakTokens) {
+    const SourceFile f = girglint::lex_file(
+        "src/a.cpp", FileKind::kSrc,
+        "const char* s = R\"(time(nullptr) \" // not a comment)\";\nint after = 1;\n");
+    EXPECT_TRUE(std::none_of(f.tokens.begin(), f.tokens.end(),
+                             [](const girglint::Token& t) { return t.text == "time"; }));
+    // The token after the raw string still carries the right line.
+    const auto it = std::find_if(f.tokens.begin(), f.tokens.end(),
+                                 [](const girglint::Token& t) { return t.text == "after"; });
+    ASSERT_NE(it, f.tokens.end());
+    EXPECT_EQ(it->line, 2);
+}
+
+TEST(LintLexer, RecordsIncludesAndPragmaOnce) {
+    const SourceFile f = girglint::lex_file(
+        "src/a.h", FileKind::kSrc,
+        "#pragma once\n#include <vector>\n#include \"core/check.h\"\n");
+    EXPECT_TRUE(f.has_pragma_once);
+    ASSERT_EQ(f.includes.size(), 2u);
+    EXPECT_EQ(f.includes[0].header, "vector");
+    EXPECT_TRUE(f.includes[0].angled);
+    EXPECT_EQ(f.includes[1].header, "core/check.h");
+    EXPECT_FALSE(f.includes[1].angled);
+}
+
+TEST(LintLexer, ScopeResolutionIsOneToken) {
+    const SourceFile f =
+        girglint::lex_file("src/a.cpp", FileKind::kSrc, "int x = std::pow(2, 3);\n");
+    const auto it = std::find_if(f.tokens.begin(), f.tokens.end(),
+                                 [](const girglint::Token& t) { return t.text == "::"; });
+    ASSERT_NE(it, f.tokens.end());
+    EXPECT_EQ(it->kind, girglint::Token::Kind::kPunct);
+}
+
+TEST(LintLexer, ParsesAllowAnnotations) {
+    const SourceFile f = girglint::lex_file(
+        "src/a.cpp", FileKind::kSrc,
+        "// LINT-ALLOW(relaxed): pure counter\nint x = 0;\n// LINT-ALLOW broken\n");
+    ASSERT_EQ(f.allows.size(), 2u);
+    EXPECT_EQ(f.allows[0].rule, "relaxed");
+    EXPECT_EQ(f.allows[0].reason, "pure counter");
+    EXPECT_FALSE(f.allows[0].malformed);
+    EXPECT_TRUE(f.allows[1].malformed);
+}
+
+// ---------------------------------------------------------------------------
+// Rules, one fixture pair each
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, NondeterminismBad) {
+    const auto diagnostics =
+        lint_fixture("nondeterminism_bad.cpp", "src/core/fixture.cpp");
+    EXPECT_GE(count_rule(diagnostics, "nondeterminism"), 5);
+}
+
+TEST(LintRules, NondeterminismOk) {
+    const auto diagnostics = lint_fixture("nondeterminism_ok.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "nondeterminism"), 0) << diagnostics[0].message;
+}
+
+TEST(LintRules, BenchMayReadClocks) {
+    const std::string timing =
+        "#include <chrono>\nauto t0() { return std::chrono::steady_clock::now(); }\n";
+    EXPECT_EQ(count_rule(lint("bench/bench_x.cpp", FileKind::kBench, timing),
+                         "nondeterminism"),
+              0);
+    EXPECT_EQ(count_rule(lint("src/core/x.cpp", FileKind::kSrc, timing), "nondeterminism"),
+              1);
+}
+
+TEST(LintRules, UnorderedIterBad) {
+    const auto diagnostics =
+        lint_fixture("unordered_iter_bad.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "unordered-iter"), 2);
+}
+
+TEST(LintRules, UnorderedIterOk) {
+    const auto diagnostics = lint_fixture("unordered_iter_ok.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "unordered-iter"), 0);
+}
+
+TEST(LintRules, PowBadOnHotPath) {
+    const auto diagnostics = lint_fixture("pow_bad.cpp", "src/core/phi_dfs.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "pow"), 1);
+    // The same file outside the hot list is not flagged.
+    EXPECT_EQ(count_rule(lint("src/experiments/cold.cpp", FileKind::kSrc,
+                              read_fixture("pow_bad.cpp")),
+                         "pow"),
+              0);
+}
+
+TEST(LintRules, PowOkOnHotPath) {
+    const auto diagnostics = lint_fixture("pow_ok.cpp", "src/core/phi_dfs.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "pow"), 0);
+}
+
+TEST(LintRules, AtomicAlignmentBad) {
+    const auto diagnostics =
+        lint_fixture("atomic_alignment_bad.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "atomic-alignment"), 1);
+    EXPECT_EQ(count_rule(diagnostics, "relaxed"), 1);
+}
+
+TEST(LintRules, AtomicAlignmentOk) {
+    const auto diagnostics =
+        lint_fixture("atomic_alignment_ok.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "atomic-alignment"), 0);
+    EXPECT_EQ(count_rule(diagnostics, "relaxed"), 0);
+}
+
+TEST(LintRules, IncludeBadHeader) {
+    const auto diagnostics = lint_fixture("include_bad.h", "src/core/fixture.h");
+    const auto rules = rules_hit(diagnostics);
+    EXPECT_TRUE(rules.count("include"));
+    // pragma once + using-namespace + missing <vector>.
+    EXPECT_EQ(count_rule(diagnostics, "include"), 3);
+}
+
+TEST(LintRules, IncludeOkHeader) {
+    const auto diagnostics = lint_fixture("include_ok.h", "src/core/fixture.h");
+    EXPECT_EQ(count_rule(diagnostics, "include"), 0);
+}
+
+TEST(LintRules, FormatBad) {
+    const auto diagnostics = lint_fixture("format_bad.cpp", "src/core/fixture.cpp");
+    // trailing whitespace, tab, and missing final newline.
+    EXPECT_EQ(count_rule(diagnostics, "format"), 3);
+}
+
+TEST(LintRules, FormatOk) {
+    const auto diagnostics = lint_fixture("format_ok.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "format"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// LINT-ALLOW hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintAllows, SuppressionWindowIsThreeLines) {
+    const std::string near =
+        "// LINT-ALLOW(relaxed): counter\n"
+        "auto x =\n"
+        "    std::memory_order_relaxed;\n";
+    EXPECT_EQ(count_rule(lint("src/a.cpp", FileKind::kSrc, near), "relaxed"), 0);
+
+    const std::string far =
+        "// LINT-ALLOW(relaxed): counter\n"
+        "int a = 0;\n"
+        "int b = 0;\n"
+        "auto x = std::memory_order_relaxed;\n";
+    const auto diagnostics = lint("src/a.cpp", FileKind::kSrc, far);
+    EXPECT_EQ(count_rule(diagnostics, "relaxed"), 1);
+    // The allow suppressed nothing and is reported stale.
+    EXPECT_EQ(count_rule(diagnostics, "allow-syntax"), 1);
+}
+
+TEST(LintAllows, ReasonIsMandatory) {
+    const std::string no_reason =
+        "// LINT-ALLOW(relaxed):\nauto x = std::memory_order_relaxed;\n";
+    const auto diagnostics = lint("src/a.cpp", FileKind::kSrc, no_reason);
+    EXPECT_EQ(count_rule(diagnostics, "relaxed"), 1);  // not suppressed
+    EXPECT_EQ(count_rule(diagnostics, "allow-syntax"), 1);
+}
+
+TEST(LintAllows, UnknownRuleIsReported) {
+    const auto diagnostics = lint("src/a.cpp", FileKind::kSrc,
+                                  "// LINT-ALLOW(no-such-rule): whatever\nint x = 0;\n");
+    ASSERT_EQ(count_rule(diagnostics, "allow-syntax"), 1);
+    EXPECT_NE(diagnostics[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(LintAllows, WrongRuleDoesNotSuppress) {
+    const std::string wrong =
+        "// LINT-ALLOW(pow): misfiled\nauto x = std::memory_order_relaxed;\n";
+    const auto diagnostics = lint("src/a.cpp", FileKind::kSrc, wrong);
+    EXPECT_EQ(count_rule(diagnostics, "relaxed"), 1);
+}
+
+TEST(LintRegistry, AllRulesHaveIdAndSummary) {
+    const auto& rules = girglint::all_rules();
+    EXPECT_GE(rules.size(), 7u);
+    std::set<std::string> ids;
+    for (const girglint::Rule& rule : rules) {
+        EXPECT_NE(std::string(rule.id), "");
+        EXPECT_NE(std::string(rule.summary), "");
+        EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
+    }
+}
+
+}  // namespace

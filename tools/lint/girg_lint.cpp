@@ -1,0 +1,117 @@
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+/// girg-lint CLI. Usage:
+///
+///   girg-lint [--list-rules] <dir-or-file>...
+///
+/// Directories are walked recursively in sorted order; every .h/.hpp/.hh/
+/// .cpp/.cc file is lexed and run through the rule registry. A path
+/// containing a `bench` component is classified FileKind::kBench (clock
+/// reads permitted), everything else is kSrc. Output is one
+/// `path:line: [rule] message` per diagnostic; exit status 1 iff any
+/// diagnostic was emitted, 2 on I/O errors.
+namespace {
+
+namespace fs = std::filesystem;
+using girglint::Diagnostic;
+using girglint::FileKind;
+
+[[nodiscard]] bool lintable_extension(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".cpp" || ext == ".cc";
+}
+
+[[nodiscard]] FileKind classify(const fs::path& p) {
+    for (const fs::path& part : p) {
+        if (part == "bench") return FileKind::kBench;
+    }
+    return FileKind::kSrc;
+}
+
+/// Reads a file fully; returns false on I/O failure.
+[[nodiscard]] bool read_file(const fs::path& p, std::string& out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const girglint::Rule& rule : girglint::all_rules()) {
+                std::printf("%-18s %s\n", rule.id, rule.summary);
+            }
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: girg-lint [--list-rules] <dir-or-file>...\n");
+            return 0;
+        }
+        roots.emplace_back(arg);
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr, "girg-lint: no inputs (try --help)\n");
+        return 2;
+    }
+
+    // Collect the work list up front and sort it so diagnostics are stable
+    // regardless of directory-entry order.
+    std::vector<fs::path> files;
+    for (const fs::path& root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+                 it.increment(ec)) {
+                if (ec) break;
+                if (it->is_regular_file() && lintable_extension(it->path())) {
+                    files.push_back(it->path());
+                }
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(root);
+        } else {
+            std::fprintf(stderr, "girg-lint: cannot open %s\n", root.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Diagnostic> diagnostics;
+    for (const fs::path& path : files) {
+        std::string content;
+        if (!read_file(path, content)) {
+            std::fprintf(stderr, "girg-lint: cannot read %s\n", path.string().c_str());
+            return 2;
+        }
+        const girglint::SourceFile file =
+            girglint::lex_file(path.generic_string(), classify(path), content);
+        girglint::run_rules(file, diagnostics);
+    }
+
+    for (const Diagnostic& d : diagnostics) {
+        std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                    d.message.c_str());
+    }
+    if (!diagnostics.empty()) {
+        std::fprintf(stderr, "girg-lint: %zu diagnostic(s)\n", diagnostics.size());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,289 @@
+#include "lint.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace girglint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Cursor over the raw file contents with line tracking.
+struct Cursor {
+    std::string_view text;
+    std::size_t pos = 0;
+    int line = 1;
+
+    [[nodiscard]] bool done() const noexcept { return pos >= text.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+        return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+    }
+    char advance() noexcept {
+        const char c = text[pos++];
+        if (c == '\n') ++line;
+        return c;
+    }
+    [[nodiscard]] bool starts_with(std::string_view s) const noexcept {
+        return text.substr(pos, s.size()) == s;
+    }
+};
+
+/// Parses every LINT-ALLOW(<rule>): <reason> occurrence inside one comment.
+/// `first_line` is the line the comment starts on; embedded newlines advance
+/// the annotation's anchor line so multi-line block comments work.
+void parse_allows(const std::string& comment, int first_line, std::vector<Allow>& out) {
+    constexpr std::string_view kTag = "LINT-ALLOW";
+    std::size_t search = 0;
+    while (true) {
+        const std::size_t at = comment.find(kTag, search);
+        if (at == std::string::npos) return;
+        search = at + kTag.size();
+
+        Allow allow;
+        allow.line = first_line;
+        for (std::size_t i = 0; i < at; ++i) {
+            if (comment[i] == '\n') ++allow.line;
+        }
+
+        std::size_t i = at + kTag.size();
+        if (i >= comment.size() || comment[i] != '(') {
+            allow.malformed = true;
+            out.push_back(std::move(allow));
+            continue;
+        }
+        const std::size_t close = comment.find(')', ++i);
+        if (close == std::string::npos) {
+            allow.malformed = true;
+            out.push_back(std::move(allow));
+            continue;
+        }
+        allow.rule = comment.substr(i, close - i);
+        i = close + 1;
+        if (i < comment.size() && comment[i] == ':') {
+            ++i;
+            const std::size_t reason_end = comment.find('\n', i);
+            std::string reason = comment.substr(
+                i, reason_end == std::string::npos ? std::string::npos : reason_end - i);
+            // Trim surrounding whitespace.
+            const std::size_t b = reason.find_first_not_of(" \t");
+            const std::size_t e = reason.find_last_not_of(" \t");
+            allow.reason = b == std::string::npos ? "" : reason.substr(b, e - b + 1);
+        }
+        if (allow.rule.empty()) allow.malformed = true;
+        out.push_back(std::move(allow));
+    }
+}
+
+/// Consumes a raw string literal body after the opening R" has been seen
+/// (cursor sits right after the '"'). Returns the literal's text.
+void consume_raw_string(Cursor& c) {
+    std::string delim;
+    while (!c.done() && c.peek() != '(') delim.push_back(c.advance());
+    if (!c.done()) c.advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    while (!c.done() && !c.starts_with(closer)) c.advance();
+    for (std::size_t i = 0; i < closer.size() && !c.done(); ++i) c.advance();
+}
+
+/// Consumes a quoted literal ('\'' or '"') with escape handling; the opening
+/// quote has already been consumed.
+void consume_quoted(Cursor& c, char quote) {
+    while (!c.done()) {
+        const char ch = c.advance();
+        if (ch == '\\' && !c.done()) {
+            c.advance();
+        } else if (ch == quote || ch == '\n') {
+            return;  // newline: unterminated literal, recover at line end
+        }
+    }
+}
+
+/// Handles one preprocessor line (cursor sits on '#'). Records includes and
+/// `#pragma once`; everything else is skipped, honoring backslash splices.
+void consume_preprocessor(Cursor& c, SourceFile& out) {
+    const int line = c.line;
+    c.advance();  // '#'
+    std::string directive;
+    while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.advance();
+    while (!c.done() && ident_char(c.peek())) directive.push_back(c.advance());
+
+    std::string rest;
+    while (!c.done()) {
+        if (c.peek() == '\\' && (c.peek(1) == '\n' || (c.peek(1) == '\r' && c.peek(2) == '\n'))) {
+            c.advance();
+            while (!c.done() && c.peek(0) != '\n') c.advance();
+            if (!c.done()) c.advance();
+            rest.push_back(' ');
+            continue;
+        }
+        if (c.peek() == '\n') break;
+        // Comments may trail the directive; leave them to the main loop.
+        if (c.peek() == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) break;
+        rest.push_back(c.advance());
+    }
+
+    if (directive == "include") {
+        const std::size_t open = rest.find_first_of("<\"");
+        if (open != std::string::npos) {
+            const char closer = rest[open] == '<' ? '>' : '"';
+            const std::size_t close = rest.find(closer, open + 1);
+            if (close != std::string::npos) {
+                out.includes.push_back(
+                    {line, rest.substr(open + 1, close - open - 1), rest[open] == '<'});
+            }
+        }
+    } else if (directive == "pragma") {
+        if (rest.find("once") != std::string::npos) out.has_pragma_once = true;
+    }
+}
+
+}  // namespace
+
+SourceFile lex_file(std::string display_path, FileKind kind, std::string_view content) {
+    SourceFile out;
+    out.display_path = std::move(display_path);
+    out.kind = kind;
+    const std::size_t dot = out.display_path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : out.display_path.substr(dot);
+    out.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
+
+    // Raw physical lines for the whitespace/format rule.
+    {
+        std::size_t start = 0;
+        for (std::size_t i = 0; i <= content.size(); ++i) {
+            if (i == content.size() || content[i] == '\n') {
+                out.lines.emplace_back(content.substr(start, i - start));
+                start = i + 1;
+            }
+        }
+        // "a\nb\n" splits into {a, b, ""}: the trailing empty piece only
+        // signals that the file ended in a newline.
+        out.ends_with_newline = !content.empty() && content.back() == '\n';
+        if (!out.lines.empty() && out.lines.back().empty()) out.lines.pop_back();
+    }
+
+    Cursor c{content};
+    bool at_line_start = true;
+    while (!c.done()) {
+        const char ch = c.peek();
+
+        if (ch == '\n' || ch == ' ' || ch == '\t' || ch == '\r') {
+            if (ch == '\n') at_line_start = true;
+            c.advance();
+            continue;
+        }
+
+        if (at_line_start && ch == '#') {
+            consume_preprocessor(c, out);
+            continue;
+        }
+        at_line_start = false;
+
+        // Comments.
+        if (ch == '/' && c.peek(1) == '/') {
+            const int line = c.line;
+            c.advance();
+            c.advance();
+            std::string text;
+            while (!c.done() && c.peek() != '\n') text.push_back(c.advance());
+            parse_allows(text, line, out.allows);
+            out.comments.push_back({line, std::move(text)});
+            continue;
+        }
+        if (ch == '/' && c.peek(1) == '*') {
+            const int line = c.line;
+            c.advance();
+            c.advance();
+            std::string text;
+            while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+                text.push_back(c.advance());
+            }
+            if (!c.done()) {
+                c.advance();
+                c.advance();
+            }
+            parse_allows(text, line, out.allows);
+            out.comments.push_back({line, std::move(text)});
+            continue;
+        }
+
+        // String and character literals (with encoding prefixes and R"").
+        if (ch == '"' || ch == '\'') {
+            const int line = c.line;
+            c.advance();
+            consume_quoted(c, ch);
+            out.tokens.push_back({ch == '"' ? Token::Kind::kString : Token::Kind::kChar,
+                                  std::string(1, ch), line});
+            continue;
+        }
+        if (ident_start(ch)) {
+            const int line = c.line;
+            std::string word;
+            while (!c.done() && ident_char(c.peek())) word.push_back(c.advance());
+            // Literal prefixes: u8R"(...)", LR"(...)", R"(...)", u"...", L'x'.
+            const bool raw = !c.done() && c.peek() == '"' &&
+                             (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+                              word == "LR");
+            const bool prefix = !c.done() && (c.peek() == '"' || c.peek() == '\'') &&
+                                (word == "u8" || word == "u" || word == "U" || word == "L");
+            if (raw) {
+                c.advance();  // '"'
+                consume_raw_string(c);
+                out.tokens.push_back({Token::Kind::kString, "\"", line});
+            } else if (prefix) {
+                const char quote = c.advance();
+                consume_quoted(c, quote);
+                out.tokens.push_back({quote == '"' ? Token::Kind::kString
+                                                   : Token::Kind::kChar,
+                                      std::string(1, quote), line});
+            } else {
+                out.tokens.push_back({Token::Kind::kIdentifier, std::move(word), line});
+            }
+            continue;
+        }
+
+        // Numbers (incl. hex, separators, exponents with signs).
+        if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+            (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))) != 0)) {
+            const int line = c.line;
+            std::string num;
+            while (!c.done()) {
+                const char d = c.peek();
+                if (ident_char(d) || d == '.' || d == '\'') {
+                    num.push_back(c.advance());
+                    if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                        (c.peek() == '+' || c.peek() == '-')) {
+                        num.push_back(c.advance());
+                    }
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push_back({Token::Kind::kNumber, std::move(num), line});
+            continue;
+        }
+
+        // Punctuation; '::' is one token so qualified names stay matchable.
+        {
+            const int line = c.line;
+            if (ch == ':' && c.peek(1) == ':') {
+                c.advance();
+                c.advance();
+                out.tokens.push_back({Token::Kind::kPunct, "::", line});
+            } else {
+                c.advance();
+                out.tokens.push_back({Token::Kind::kPunct, std::string(1, ch), line});
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace girglint

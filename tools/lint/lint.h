@@ -1,0 +1,103 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// girg-lint: a tokenizer-level static-analysis tool enforcing the project's
+/// determinism and concurrency contract over src/ and bench/ (see DESIGN.md,
+/// "Determinism contract"). No libclang: a comment/string/raw-string-aware
+/// lexer produces a token stream per file, and a registry of rules pattern-
+/// matches it. Deliberate trade-off: the rules are conservative
+/// approximations that may require an explicit `LINT-ALLOW(<rule>): <reason>`
+/// annotation where a human has proven the flagged construct harmless — the
+/// annotation then documents *why* at the use site.
+namespace girglint {
+
+/// Where a file lives; some rules apply differently (bench timing code may
+/// read the monotonic clock, library code may not).
+enum class FileKind {
+    kSrc,    ///< library code under src/ — full rule set
+    kBench,  ///< benchmark harness — clocks and wall-time reads permitted
+};
+
+struct Token {
+    enum class Kind { kIdentifier, kNumber, kString, kChar, kPunct };
+    Kind kind;
+    std::string text;
+    int line;  // 1-based
+};
+
+/// A comment's text (delimiters stripped), anchored at the line it starts on.
+struct Comment {
+    int line;
+    std::string text;
+};
+
+/// One `#include` directive.
+struct Include {
+    int line;
+    std::string header;  // path between the delimiters
+    bool angled;         // <...> vs "..."
+};
+
+/// One parsed `LINT-ALLOW(<rule>): <reason>` annotation. An annotation
+/// suppresses diagnostics of that rule on its own line and the next two
+/// lines (so it can sit above a multi-line statement). `reason` must be
+/// non-empty — an allow without a reason is itself a diagnostic.
+struct Allow {
+    int line;
+    std::string rule;
+    std::string reason;
+    bool malformed = false;  // missing ':' separator or empty rule id
+};
+
+/// A lexed translation unit plus everything the rules need.
+struct SourceFile {
+    std::string display_path;  // used for reporting and path-based rules
+    FileKind kind = FileKind::kSrc;
+    bool is_header = false;
+    bool has_pragma_once = false;
+    bool ends_with_newline = true;
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<Include> includes;
+    std::vector<Allow> allows;
+    std::vector<std::string> lines;  // raw physical lines (no '\n')
+};
+
+struct Diagnostic {
+    std::string path;
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+/// Lexes one file's contents. `display_path` decides path-matched rules
+/// (e.g. the std::pow hot-path list) and appears in diagnostics.
+[[nodiscard]] SourceFile lex_file(std::string display_path, FileKind kind,
+                                  std::string_view content);
+
+/// One registered rule. `check` appends *candidate* hits via the context;
+/// LINT-ALLOW filtering and allow bookkeeping happen in run_rules.
+struct RuleHit {
+    int line;
+    std::string rule;  // rule id the hit belongs to (allows must match this)
+    std::string message;
+};
+
+struct Rule {
+    const char* id;       // stable id used in LINT-ALLOW annotations
+    const char* summary;  // one line for --list-rules
+    void (*check)(const SourceFile& file, std::vector<RuleHit>& hits);
+};
+
+/// The full registry, in the order rules run and report.
+[[nodiscard]] const std::vector<Rule>& all_rules();
+
+/// Runs every rule over `file`, resolves LINT-ALLOW suppressions, and
+/// appends the surviving diagnostics plus annotation-hygiene diagnostics
+/// (malformed allow, unknown rule id, allow that suppressed nothing).
+void run_rules(const SourceFile& file, std::vector<Diagnostic>& out);
+
+}  // namespace girglint

@@ -1,0 +1,498 @@
+#include <algorithm>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+namespace girglint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) noexcept {
+    return t.kind == Token::Kind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) noexcept {
+    return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+/// tokens[i - 1], or a harmless sentinel at the file start.
+[[nodiscard]] const Token& prev(const Tokens& ts, std::size_t i) noexcept {
+    static const Token kNone{Token::Kind::kPunct, ";", 0};
+    return i == 0 ? kNone : ts[i - 1];
+}
+
+[[nodiscard]] const Token& next(const Tokens& ts, std::size_t i) noexcept {
+    static const Token kNone{Token::Kind::kPunct, ";", 0};
+    return i + 1 < ts.size() ? ts[i + 1] : kNone;
+}
+
+[[nodiscard]] bool path_ends_with(const SourceFile& f, std::string_view suffix) noexcept {
+    const std::string& p = f.display_path;
+    return p.size() >= suffix.size() && p.compare(p.size() - suffix.size(),
+                                                 suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// R1 — nondeterminism: ban wall-clock, thread-id, and non-counter-seeded
+// randomness sources. Every result the repo ships is advertised as
+// byte-identical across runs and thread counts; one std::random_device or
+// time(nullptr) seed silently voids that. Bench harness files may read the
+// monotonic/system clocks (that is what a benchmark does), but still must
+// not use ambient randomness.
+// ---------------------------------------------------------------------------
+void check_nondeterminism(const SourceFile& f, std::vector<RuleHit>& hits) {
+    const Tokens& ts = f.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        const Token& t = ts[i];
+        if (t.kind != Token::Kind::kIdentifier) continue;
+
+        if (t.text == "random_device") {
+            hits.push_back({t.line, "nondeterminism",
+                            "std::random_device is entropy-seeded; derive a stream from "
+                            "the trial seed (RngStreams) instead"});
+            continue;
+        }
+        if ((t.text == "rand" || t.text == "srand") && is_punct(next(ts, i), "(") &&
+            !is_punct(prev(ts, i), ".")) {
+            hits.push_back({t.line, "nondeterminism",
+                            t.text + "() uses hidden global state; use Rng / RngStreams"});
+            continue;
+        }
+        if (t.text == "time" && is_punct(next(ts, i), "(") && i + 2 < ts.size() &&
+            (is_ident(ts[i + 2], "nullptr") || is_ident(ts[i + 2], "NULL") ||
+             (ts[i + 2].kind == Token::Kind::kNumber && ts[i + 2].text == "0")) &&
+            is_punct(next(ts, i + 2), ")")) {
+            hits.push_back({t.line, "nondeterminism",
+                            "time(...) as a seed/value makes runs unreproducible"});
+            continue;
+        }
+        if (f.kind == FileKind::kSrc) {
+            if ((t.text == "steady_clock" || t.text == "system_clock" ||
+                 t.text == "high_resolution_clock") &&
+                is_punct(next(ts, i), "::") && is_ident(next(ts, i + 1), "now")) {
+                hits.push_back({t.line, "nondeterminism",
+                                t.text + "::now() in library code; timing belongs in "
+                                         "bench/ (or pass timestamps in)"});
+                continue;
+            }
+            if (t.text == "get_id" && is_punct(next(ts, i), "(") &&
+                (is_punct(prev(ts, i), "::") || is_punct(prev(ts, i), "."))) {
+                hits.push_back({t.line, "nondeterminism",
+                                "thread ids vary run to run; key per-thread state by "
+                                "pool worker index instead"});
+                continue;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2 — unordered-iter: iteration over std::unordered_map/set. Hash-table
+// iteration order is implementation-defined and can differ across libstdc++
+// versions and ASLR runs; a loop over one that feeds routing decisions,
+// stats merges, or output ordering breaks reproducibility. Lookups
+// (find/contains/operator[]) are fine. The rule is a conservative
+// approximation: any range-for or .begin() walk over a variable declared
+// with an unordered type in the same file needs a LINT-ALLOW(unordered-iter)
+// stating why the loop body is order-insensitive.
+// ---------------------------------------------------------------------------
+void check_unordered_iter(const SourceFile& f, std::vector<RuleHit>& hits) {
+    const Tokens& ts = f.tokens;
+
+    // Pass 1: names bound to unordered container types, including local
+    // aliases (`using Slots = std::unordered_map<...>;`).
+    std::set<std::string> unordered_types{"unordered_map", "unordered_set",
+                                          "unordered_multimap", "unordered_multiset"};
+    std::set<std::string> unordered_vars;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != Token::Kind::kIdentifier ||
+            unordered_types.count(ts[i].text) == 0) {
+            continue;
+        }
+        // Alias definition: using NAME = [std ::] unordered_xxx<...>;
+        std::size_t back = i;
+        if (back >= 2 && is_punct(ts[back - 1], "::") && is_ident(ts[back - 2], "std")) {
+            back -= 2;
+        }
+        if (back >= 2 && is_punct(ts[back - 1], "=") &&
+            ts[back - 2].kind == Token::Kind::kIdentifier && back >= 3 &&
+            is_ident(ts[back - 3], "using")) {
+            unordered_types.insert(ts[back - 2].text);
+        }
+
+        // Skip the template argument list if present (an alias use like
+        // `Index index;` has none), then take the declared name.
+        std::size_t j = i + 1;
+        if (j < ts.size() && is_punct(ts[j], "<")) {
+            int depth = 0;
+            for (; j < ts.size(); ++j) {
+                if (is_punct(ts[j], "<")) ++depth;
+                if (is_punct(ts[j], ">") && --depth == 0) break;
+            }
+            ++j;
+        }
+        for (; j < ts.size(); ++j) {
+            if (is_punct(ts[j], "&") || is_punct(ts[j], "*") ||
+                is_ident(ts[j], "const")) {
+                continue;
+            }
+            break;
+        }
+        if (j < ts.size() && ts[j].kind == Token::Kind::kIdentifier) {
+            unordered_vars.insert(ts[j].text);
+        }
+    }
+
+    const auto report = [&](int line, const std::string& name) {
+        hits.push_back({line, "unordered-iter",
+                        "iteration over unordered container '" + name +
+                            "' observes hash order; use a sorted/vector-backed container "
+                            "or prove order-insensitivity in a LINT-ALLOW"});
+    };
+
+    // Pass 2a: range-for whose range expression ends in an unordered name.
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+        if (!is_ident(ts[i], "for") || !is_punct(ts[i + 1], "(")) continue;
+        int depth = 0;
+        std::size_t colon = 0;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+            if (is_punct(ts[j], "(")) ++depth;
+            if (is_punct(ts[j], ")") && --depth == 0) {
+                close = j;
+                break;
+            }
+            if (depth == 1 && is_punct(ts[j], ":") && colon == 0) colon = j;
+        }
+        if (colon == 0 || close == 0) continue;
+        // Last identifier of the range expression: covers `m`, `obj.m`,
+        // `this->m`, and `ns::m`; a trailing call like `m.keys()` ends in
+        // ')' and is out of scope for the heuristic.
+        const Token& last = ts[close - 1];
+        if (last.kind == Token::Kind::kIdentifier && unordered_vars.count(last.text) > 0) {
+            report(ts[i].line, last.text);
+        }
+    }
+
+    // Pass 2b: iterator walks (`= name.begin()` / `name.cbegin()`).
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+        if (ts[i].kind != Token::Kind::kIdentifier ||
+            unordered_vars.count(ts[i].text) == 0) {
+            continue;
+        }
+        if (is_punct(ts[i + 1], ".") &&
+            (is_ident(ts[i + 2], "begin") || is_ident(ts[i + 2], "cbegin")) &&
+            is_punct(ts[i + 3], "(")) {
+            report(ts[i].line, ts[i].text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R3 — pow: std::pow in designated hot-path files. pow() costs ~20-50x a
+// multiply and, worse, may differ in the last ulp across libm versions —
+// the repeated-multiplication forms used by PhiEvaluator and the samplers
+// are both faster and bit-stable. Setup/CDF code in these files may keep
+// pow with a LINT-ALLOW(pow) explaining why it is off the per-edge path.
+// ---------------------------------------------------------------------------
+constexpr std::string_view kPowHotFiles[] = {
+    "girg/phi_evaluator.h", "girg/edge_probability.h", "girg/fast_sampler.cpp",
+    "girg/naive_sampler.cpp", "core/objective.cpp",    "core/greedy.cpp",
+    "core/phi_dfs.cpp",      "core/router.cpp",        "graph/bfs.cpp",
+    "geometry/torus.h",
+};
+
+void check_pow(const SourceFile& f, std::vector<RuleHit>& hits) {
+    const bool hot = std::any_of(std::begin(kPowHotFiles), std::end(kPowHotFiles),
+                                 [&](std::string_view s) { return path_ends_with(f, s); });
+    if (!hot) return;
+    const Tokens& ts = f.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        const Token& t = ts[i];
+        if (t.kind != Token::Kind::kIdentifier) continue;
+        if ((t.text == "pow" || t.text == "powf" || t.text == "powl") &&
+            is_punct(next(ts, i), "(") && !is_punct(prev(ts, i), ".")) {
+            hits.push_back({t.line, "pow",
+                            "std::pow in a designated hot-path file; use repeated "
+                            "multiplication (integer exponents) or move to setup code "
+                            "with a LINT-ALLOW"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4 — atomic-alignment + relaxed: std::atomic_ref is only lock-free (and
+// on some targets, only correct) when the referenced object is aligned to
+// required_alignment; a TU using it must carry a static_assert pinning
+// that. And every memory_order_relaxed needs a LINT-ALLOW(relaxed) arguing
+// why no ordering is needed — relaxed is correct in counters and
+// write-once-same-value schemes, and silently wrong almost everywhere else.
+// ---------------------------------------------------------------------------
+void check_atomic_alignment(const SourceFile& f, std::vector<RuleHit>& hits) {
+    const Tokens& ts = f.tokens;
+    int first_use_line = 0;
+    bool has_assert = false;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (is_ident(ts[i], "atomic_ref") && first_use_line == 0) {
+            first_use_line = ts[i].line;
+        }
+        if (is_ident(ts[i], "required_alignment")) {
+            // Look back a few tokens for static_assert (the pattern is
+            // static_assert(std::atomic_ref<T>::required_alignment ...)).
+            for (std::size_t back = 1; back <= 12 && back <= i; ++back) {
+                if (is_ident(ts[i - back], "static_assert")) {
+                    has_assert = true;
+                    break;
+                }
+            }
+        }
+    }
+    if (first_use_line != 0 && !has_assert) {
+        hits.push_back({first_use_line, "atomic-alignment",
+                        "std::atomic_ref used without a static_assert on "
+                        "required_alignment of the referenced type"});
+    }
+}
+
+void check_relaxed(const SourceFile& f, std::vector<RuleHit>& hits) {
+    for (const Token& t : f.tokens) {
+        if (is_ident(t, "memory_order_relaxed")) {
+            hits.push_back({t.line, "relaxed",
+                            "memory_order_relaxed requires a LINT-ALLOW(relaxed) stating "
+                            "why no ordering is needed"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R5 — include: header self-containment and include hygiene. Headers carry
+// #pragma once (repo convention) and never open namespaces wholesale; any
+// file using a curated set of std vocabulary types must include the owning
+// header *directly* — transitive includes rot when the intermediate header
+// is cleaned up.
+// ---------------------------------------------------------------------------
+struct StdRequirement {
+    std::string_view symbol;  // identifier following `std ::` (or `assert(`)
+    std::string_view header;
+};
+
+constexpr StdRequirement kStdRequirements[] = {
+    {"vector", "vector"},
+    {"string", "string"},
+    {"unordered_map", "unordered_map"},
+    {"unordered_set", "unordered_set"},
+    {"deque", "deque"},
+    {"queue", "queue"},
+    {"priority_queue", "queue"},
+    {"array", "array"},
+    {"span", "span"},
+    {"optional", "optional"},
+    {"function", "functional"},
+    {"atomic", "atomic"},
+    {"atomic_ref", "atomic"},
+    {"mutex", "mutex"},
+    {"lock_guard", "mutex"},
+    {"unique_lock", "mutex"},
+    {"scoped_lock", "mutex"},
+    {"condition_variable", "condition_variable"},
+    {"thread", "thread"},
+    {"jthread", "thread"},
+    {"shared_ptr", "memory"},
+    {"unique_ptr", "memory"},
+    {"weak_ptr", "memory"},
+    {"make_shared", "memory"},
+    {"make_unique", "memory"},
+    {"ostringstream", "sstream"},
+    {"istringstream", "sstream"},
+    {"stringstream", "sstream"},
+    {"numeric_limits", "limits"},
+    {"sort", "algorithm"},
+    {"stable_sort", "algorithm"},
+    {"binary_search", "algorithm"},
+    {"lower_bound", "algorithm"},
+    {"upper_bound", "algorithm"},
+    {"adjacent_find", "algorithm"},
+    {"min_element", "algorithm"},
+    {"max_element", "algorithm"},
+    {"clamp", "algorithm"},
+    {"accumulate", "numeric"},
+    {"iota", "numeric"},
+    {"pow", "cmath"},
+    {"sqrt", "cmath"},
+    {"log", "cmath"},
+    {"log2", "cmath"},
+    {"log1p", "cmath"},
+    {"exp", "cmath"},
+    {"floor", "cmath"},
+    {"ceil", "cmath"},
+    {"fabs", "cmath"},
+    {"isnan", "cmath"},
+    {"isfinite", "cmath"},
+};
+
+void check_include(const SourceFile& f, std::vector<RuleHit>& hits) {
+    if (f.is_header && !f.has_pragma_once) {
+        hits.push_back({1, "include", "header is missing #pragma once"});
+    }
+
+    const Tokens& ts = f.tokens;
+    if (f.is_header) {
+        for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+            if (is_ident(ts[i], "using") && is_ident(ts[i + 1], "namespace")) {
+                hits.push_back({ts[i].line,
+                                "include",
+                                "using-namespace in a header leaks into every includer"});
+            }
+        }
+    }
+
+    std::set<std::string, std::less<>> included;
+    for (const Include& inc : f.includes) {
+        if (inc.angled) included.insert(inc.header);
+    }
+
+    std::set<std::string_view> reported;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        // assert() needs <cassert>.
+        if (is_ident(ts[i], "assert") && is_punct(next(ts, i), "(") &&
+            !is_punct(prev(ts, i), ".") && !is_punct(prev(ts, i), "::")) {
+            if (included.find("cassert") == included.end() &&
+                reported.insert("cassert").second) {
+                hits.push_back({ts[i].line, "include",
+                                "assert() used without a direct #include <cassert>"});
+            }
+            continue;
+        }
+        // std::SYMBOL needs the owning header included directly.
+        if (!is_ident(ts[i], "std") || !is_punct(next(ts, i), "::") || i + 2 >= ts.size()) {
+            continue;
+        }
+        const Token& sym = ts[i + 2];
+        if (sym.kind != Token::Kind::kIdentifier) continue;
+        for (const StdRequirement& req : kStdRequirements) {
+            if (sym.text != req.symbol) continue;
+            if (included.find(req.header) == included.end() &&
+                reported.insert(req.symbol).second) {
+                hits.push_back({sym.line, "include",
+                                "std::" + sym.text + " used without a direct #include <" +
+                                    std::string(req.header) + ">"});
+            }
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// format — mechanical whitespace invariants that do not need clang-format:
+// no tabs, no trailing whitespace, no CR, <= 100 columns, single trailing
+// newline. clang-format (CI) owns real layout; this keeps the tree clean
+// where only a text editor is available.
+// ---------------------------------------------------------------------------
+constexpr std::size_t kMaxColumns = 100;
+
+void check_format(const SourceFile& f, std::vector<RuleHit>& hits) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+        const std::string& line = f.lines[i];
+        const int lineno = static_cast<int>(i) + 1;
+        if (line.find('\t') != std::string::npos) {
+            hits.push_back({lineno, "format", "tab character; indent with spaces"});
+        }
+        if (!line.empty() && line.back() == '\r') {
+            hits.push_back({lineno, "format", "CRLF line ending"});
+        } else if (!line.empty() && (line.back() == ' ' || line.back() == '\t')) {
+            hits.push_back({lineno, "format", "trailing whitespace"});
+        }
+        if (line.size() > kMaxColumns) {
+            hits.push_back({lineno, "format",
+                            "line is " + std::to_string(line.size()) + " columns (max " +
+                                std::to_string(kMaxColumns) + ")"});
+        }
+    }
+    if (!f.lines.empty() && !f.ends_with_newline) {
+        hits.push_back({static_cast<int>(f.lines.size()), "format",
+                        "file does not end with a newline"});
+    }
+}
+
+}  // namespace
+
+const std::vector<Rule>& all_rules() {
+    static const std::vector<Rule> kRules{
+        {"nondeterminism",
+         "R1: entropy seeds, wall clocks, and thread ids are banned in library code",
+         check_nondeterminism},
+        {"unordered-iter",
+         "R2: iterating an unordered container needs proof of order-insensitivity",
+         check_unordered_iter},
+        {"pow", "R3: std::pow is banned in designated hot-path files", check_pow},
+        {"atomic-alignment",
+         "R4a: atomic_ref requires an alignment static_assert in the same TU",
+         check_atomic_alignment},
+        {"relaxed", "R4b: memory_order_relaxed requires an annotated justification",
+         check_relaxed},
+        {"include", "R5: pragma-once, no using-namespace in headers, direct std includes",
+         check_include},
+        {"format", "whitespace hygiene: tabs, trailing space, CRLF, 100 columns",
+         check_format},
+    };
+    return kRules;
+}
+
+void run_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
+    std::vector<RuleHit> hits;
+    for (const Rule& rule : all_rules()) rule.check(file, hits);
+
+    std::vector<bool> allow_used(file.allows.size(), false);
+    for (const RuleHit& hit : hits) {
+        bool suppressed = false;
+        for (std::size_t a = 0; a < file.allows.size(); ++a) {
+            const Allow& allow = file.allows[a];
+            if (allow.malformed || allow.rule != hit.rule) continue;
+            if (hit.line >= allow.line && hit.line <= allow.line + 2) {
+                // Reason-less allows do not suppress; they are flagged below.
+                if (allow.reason.empty()) continue;
+                allow_used[a] = true;
+                suppressed = true;
+            }
+        }
+        if (!suppressed) {
+            out.push_back({file.display_path, hit.line, hit.rule, hit.message});
+        }
+    }
+
+    const auto known_rule = [](const std::string& id) {
+        for (const Rule& rule : all_rules()) {
+            if (id == rule.id) return true;
+        }
+        return false;
+    };
+    for (std::size_t a = 0; a < file.allows.size(); ++a) {
+        const Allow& allow = file.allows[a];
+        if (allow.malformed) {
+            out.push_back({file.display_path, allow.line, "allow-syntax",
+                           "malformed LINT-ALLOW; expected LINT-ALLOW(<rule>): <reason>"});
+        } else if (!known_rule(allow.rule)) {
+            out.push_back({file.display_path, allow.line, "allow-syntax",
+                           "LINT-ALLOW names unknown rule '" + allow.rule + "'"});
+        } else if (allow.reason.empty()) {
+            out.push_back({file.display_path, allow.line, "allow-syntax",
+                           "LINT-ALLOW(" + allow.rule + ") must carry a reason"});
+        } else if (!allow_used[a]) {
+            out.push_back({file.display_path, allow.line, "allow-syntax",
+                           "LINT-ALLOW(" + allow.rule +
+                               ") suppresses nothing; remove the stale annotation"});
+        }
+    }
+
+    std::stable_sort(out.begin(), out.end(), [](const Diagnostic& x, const Diagnostic& y) {
+        if (x.path != y.path) return x.path < y.path;
+        return x.line < y.line;
+    });
+}
+
+}  // namespace girglint
