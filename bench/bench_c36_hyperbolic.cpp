@@ -15,6 +15,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
+#include <string>
 
 #include "bench_common.h"
 #include "core/greedy.h"

@@ -18,6 +18,8 @@
 #include <cmath>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/greedy.h"

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "girg/fast_sampler.h"

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "bench_common.h"
 #include "core/greedy.h"

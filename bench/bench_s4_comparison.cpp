@@ -9,6 +9,7 @@
 // {phi, geometric}; plus the [11]-like operating point (beta 2.1, avg
 // degree ~ internet) where phi-routing must land above 0.9.
 #include <benchmark/benchmark.h>
+#include <string>
 
 #include "bench_common.h"
 #include "core/greedy.h"

@@ -5,6 +5,7 @@
 // grows), across beta in (2,3) and across alpha including the threshold
 // model (robustness in all model parameters, third bullet of Section 1).
 #include <benchmark/benchmark.h>
+#include <string>
 
 #include "bench_common.h"
 #include "core/greedy.h"

@@ -2,6 +2,8 @@
 
 #include "core/router.h"
 
+#include <string>
+
 namespace smallworld {
 
 /// The gravity–pressure routing algorithm of Cvetkovski & Crovella [23],

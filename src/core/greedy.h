@@ -2,6 +2,8 @@
 
 #include "core/router.h"
 
+#include <string>
+
 namespace smallworld {
 
 /// Algorithm 1 — pure greedy routing. From the current vertex the message

@@ -2,6 +2,8 @@
 
 #include "core/router.h"
 
+#include <string>
+
 namespace smallworld {
 
 /// The first patching example of Section 5 (SMTP-style): the message stores

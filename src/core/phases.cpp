@@ -1,6 +1,7 @@
 #include "core/phases.h"
 
 #include <cmath>
+#include <vector>
 
 #include "geometry/torus.h"
 

@@ -2,6 +2,8 @@
 
 #include "distributed/simulation.h"
 
+#include <string>
+
 namespace smallworld {
 
 /// Algorithm 1 as a node-local handler: forward to the best neighbor if it

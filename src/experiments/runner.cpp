@@ -1,7 +1,9 @@
 #include "experiments/runner.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "core/thread_pool.h"
 #include "graph/bfs.h"

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace smallworld {
 

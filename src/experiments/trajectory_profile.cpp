@@ -1,6 +1,8 @@
 #include "experiments/trajectory_profile.h"
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/greedy.h"
 #include "core/objective.h"

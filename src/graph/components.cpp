@@ -1,6 +1,7 @@
 #include "graph/components.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace smallworld {
 

@@ -1,6 +1,7 @@
 #include "graph/core_decomposition.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace smallworld {
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
+#include <span>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace smallworld {
 

@@ -2,6 +2,8 @@
 
 #include "random/splitmix64.h"
 
+#include <array>
+
 namespace smallworld {
 
 void Xoshiro256pp::reseed(std::uint64_t seed) noexcept {
@@ -18,7 +20,7 @@ void Xoshiro256pp::jump() noexcept {
     for (const std::uint64_t word : kJump) {
         for (int bit = 0; bit < 64; ++bit) {
             if (word & (std::uint64_t{1} << bit)) {
-                for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+                for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
             }
             (*this)();
         }
