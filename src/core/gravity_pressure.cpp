@@ -12,6 +12,8 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
     const Vertex target = objective.target();
 
+    // Audited lookup-only (find/operator[]): per-vertex visit counts are
+    // only queried point-wise, never iterated.
     std::unordered_map<Vertex, std::size_t> visits;
     bool pressure = false;
     double escape_value = 0.0;  // objective of the local optimum to beat

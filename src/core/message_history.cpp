@@ -98,6 +98,8 @@ private:
     /// BFS inside the visited subgraph (always connected: it grows along
     /// traversed edges), appending the walk to the path.
     bool walk_within_visited(Vertex from, Vertex to) {
+        // Audited lookup-only (contains/at): BFS expands the deterministic
+        // visited-subgraph adjacency; the map is never iterated.
         std::unordered_map<Vertex, Vertex> parent;
         std::deque<Vertex> queue{from};
         parent[from] = from;
@@ -133,6 +135,7 @@ private:
     Vertex source_;
     std::size_t max_steps_;
 
+    // Audited lookup-only (contains/insert): membership probe, never iterated.
     std::unordered_set<Vertex> visited_;
     std::priority_queue<Candidate> frontier_;
     RoutingResult result_;

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace smallworld {
 
@@ -23,6 +25,8 @@ std::vector<PatchingViolation> check_patching_conditions(
     std::vector<PatchingViolation> violations;
     if (path.empty()) return violations;
 
+    // Audited lookup-only: first_seen_at is probed per path step and frontier
+    // only answers contains/size queries; neither is ever iterated.
     std::unordered_map<Vertex, std::size_t> first_seen_at;  // vertex -> path index
     std::unordered_set<Vertex> frontier;  // unvisited vertices adjacent to visited ones
     std::size_t steps_since_new = 0;

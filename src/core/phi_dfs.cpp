@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <unordered_map>
+#include <vector>
 
 namespace smallworld {
 
@@ -187,6 +188,8 @@ private:
     Vertex source_;
     std::size_t max_steps_;
 
+    // Audited lookup-only (operator[]/find): never iterated, so hash order
+    // cannot reach the DFS decisions or any reported statistic.
     std::unordered_map<Vertex, VertexState> state_;
     mutable std::vector<double> scratch_;  // neighbor objectives, reused per scan
     double best_seen_ = kNegInf;

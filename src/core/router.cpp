@@ -1,12 +1,17 @@
 #include "core/router.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <vector>
 
 namespace smallworld {
 
 std::size_t RoutingResult::distinct_vertices() const {
-    std::unordered_set<Vertex> seen(path.begin(), path.end());
-    return seen.size();
+    // Sort-based count instead of a hash set: no hash-order anywhere near a
+    // reported statistic, and paths are short enough that the sort is free.
+    std::vector<Vertex> seen(path.begin(), path.end());
+    std::sort(seen.begin(), seen.end());
+    const auto last = std::unique(seen.begin(), seen.end());
+    return static_cast<std::size_t>(last - seen.begin());
 }
 
 Vertex best_neighbor(const Graph& graph, const Objective& objective, Vertex v) {

@@ -1,6 +1,9 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
+#include <thread>
 
 namespace smallworld {
 
@@ -68,6 +71,8 @@ void ThreadPool::drain() {
     const bool was_inside = tls_inside_job;
     tls_inside_job = true;
     for (;;) {
+        // LINT-ALLOW(relaxed): pure ticket counter; job state was published by
+        // the mutex-guarded setup that preceded the generation wakeup
         const std::size_t begin = next_.fetch_add(job_chunk_, std::memory_order_relaxed);
         if (begin >= job_count_) break;
         const std::size_t end = std::min(begin + job_chunk_, job_count_);
@@ -77,6 +82,7 @@ void ThreadPool::drain() {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (!error_) error_ = std::current_exception();
             // Park the counter past the end so no further blocks start.
+            // LINT-ALLOW(relaxed): only stops further claims; error_ is under mutex_
             next_.store(job_count_, std::memory_order_relaxed);
         }
     }
@@ -106,6 +112,7 @@ void ThreadPool::for_each(std::size_t count, const std::function<void(std::size_
         job_chunk_ = chunk;
         job_workers_ = pool_workers;
         workers_remaining_ = pool_workers;
+        // LINT-ALLOW(relaxed): mutex_ publishes the reset with the generation bump
         next_.store(0, std::memory_order_relaxed);
         error_ = nullptr;
         ++generation_;

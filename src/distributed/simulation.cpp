@@ -39,6 +39,8 @@ DistributedResult simulate_routing(const Graph& graph, const Objective& objectiv
     result.routing.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
 
+    // Audited lookup-only (operator[]/size): one slot per woken node; the
+    // scheduler drives the order, the map is never iterated.
     std::unordered_map<Vertex, NodeSlot> slots;
     ProtocolMessage message;
     message.target = objective.target();

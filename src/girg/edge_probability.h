@@ -29,6 +29,7 @@ inline double girg_edge_probability(const GirgParams& params, double weight_prod
         const double r2 = ratio * ratio;
         return r2 * r2;
     }
+    // LINT-ALLOW(pow): alpha is a runtime real; integer fast paths are above
     return std::pow(ratio, params.alpha);
 }
 
