@@ -1,0 +1,262 @@
+// EXP-FAULT — robustness under the unified fault model (core/fault.h): how
+// greedy and the patching protocols degrade as transient link failures and
+// crashed vertices are injected into the same GIRG instance. google-benchmark
+// registrations cover steady-state faulted-routing throughput; `--sweep` runs
+// the committed grid:
+//
+//   {greedy, phi_dfs, gravity_pressure, message_history}
+//     x link_failure_prob {0, 0.1, 0.3, 0.5}
+//     x crash_fraction    {0, 0.05, 0.15}   (random crashes)
+//   + an adversarial kHighestDegree crash series per router
+//
+// on one cached instance and the same counter-seeded (s,t) pairs, reporting
+// success rate, in-component success, stretch (vs *unfaulted* BFS distances
+// — the runner's baseline, so stretch reads as "cost vs the intact graph"),
+// and wait-out retries per attempt. Every fault draw is a pure function of
+// (plan seed, source, edge, epoch), so each grid point is re-run at 1/2/8
+// threads and the outcomes are asserted identical before anything is
+// written.
+//
+// `--sweep [output.json]` writes BENCH_robustness.json; `--smoke` shrinks
+// the instance so CI can execute the full code path in seconds.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fault.h"
+#include "core/gravity_pressure.h"
+#include "core/greedy.h"
+#include "core/message_history.h"
+#include "core/phi_dfs.h"
+
+namespace smallworld::bench {
+namespace {
+
+// ------------------------------------------------------------ registrations
+
+void faulted_routing_bench(benchmark::State& state, const Router& router) {
+    const GirgParams params =
+        standard_params(static_cast<double>(state.range(0)), 2.5, 2.0, 2.0, 2);
+    const Girg& girg = cached_girg(params, 51001);
+    TrialConfig config;
+    config.targets = 8;
+    config.sources_per_target = 64;
+    config.restrict_to_giant = true;
+    config.faults.seed = 51002;
+    config.faults.link_failure_prob = 0.2;
+    config.faults.crash_fraction = 0.02;
+    std::uint64_t seed = 52001;
+    TrialStats stats;
+    for (auto _ : state) {
+        stats = run_girg_trials(girg, router, girg_objective_factory(), config, seed++);
+        benchmark::DoNotOptimize(stats.attempts);
+    }
+    report_stats(state, stats);
+    state.counters["retries_per_attempt"] =
+        static_cast<double>(stats.retries) / static_cast<double>(stats.attempts);
+}
+
+void register_all() {
+    const auto add = [](const std::string& name, auto router) {
+        auto* b = benchmark::RegisterBenchmark(
+            ("FAULT_Routing/" + name).c_str(),
+            [router](benchmark::State& state) { faulted_routing_bench(state, router); });
+        b->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+    };
+    add("greedy", GreedyRouter{});
+    add("phi_dfs", PhiDfsRouter{});
+    add("gravity_pressure", GravityPressureRouter{});
+    add("message_history", MessageHistoryRouter{});
+}
+
+// ------------------------------------------------------------------ --sweep
+
+struct RouterEntry {
+    const char* name;
+    std::unique_ptr<Router> router;
+};
+
+struct GridPoint {
+    double link_failure_prob = 0.0;
+    double crash_fraction = 0.0;
+    CrashSelection crash_selection = CrashSelection::kRandom;
+};
+
+const char* selection_name(CrashSelection s) {
+    switch (s) {
+        case CrashSelection::kRandom: return "random";
+        case CrashSelection::kHighestWeight: return "highest_weight";
+        case CrashSelection::kHighestDegree: return "highest_degree";
+    }
+    return "?";
+}
+
+/// Aggregates that must match exactly across thread counts. RunningStats
+/// merges happen in fixed target order inside the runner, so even the means
+/// are bit-reproducible.
+bool stats_identical(const TrialStats& a, const TrialStats& b) {
+    return a.attempts == b.attempts && a.delivered == b.delivered &&
+           a.dead_end == b.dead_end && a.exhausted == b.exhausted &&
+           a.step_limit == b.step_limit && a.same_component == b.same_component &&
+           a.delivered_in_component == b.delivered_in_component &&
+           a.retries == b.retries && a.hops.mean() == b.hops.mean() &&
+           a.stretch.mean() == b.stretch.mean() &&
+           a.steps_all.mean() == b.steps_all.mean();
+}
+
+int run_sweep(const std::string& output_path, bool smoke) {
+    BenchJson json(output_path, "FAULT_Robustness/grid_sweep");
+    if (!json.ok()) {
+        std::cerr << "sweep: cannot open " << output_path << "\n";
+        return 1;
+    }
+    const int n = smoke ? (1 << 11) : (1 << 14);
+    const std::size_t kTargets = smoke ? 4 : 8;
+    const std::size_t kSources = smoke ? 16 : 48;
+    const GirgParams params = standard_params(static_cast<double>(n), 2.5, 2.0, 2.0, 2);
+
+    std::cerr << "sweep: generating n=" << n << " instance...\n";
+    const Girg& girg = cached_girg(params, 61001);
+
+    std::vector<RouterEntry> routers;
+    routers.push_back({"greedy", std::make_unique<GreedyRouter>()});
+    routers.push_back({"phi_dfs", std::make_unique<PhiDfsRouter>()});
+    routers.push_back({"gravity_pressure", std::make_unique<GravityPressureRouter>()});
+    routers.push_back({"message_history", std::make_unique<MessageHistoryRouter>()});
+
+    // Random-crash grid plus the adversarial hub-knockout series. In smoke
+    // mode the grid shrinks to its corners; the code path stays identical.
+    std::vector<GridPoint> grid;
+    const std::vector<double> link_probs =
+        smoke ? std::vector<double>{0.0, 0.3} : std::vector<double>{0.0, 0.1, 0.3, 0.5};
+    const std::vector<double> crash_fracs =
+        smoke ? std::vector<double>{0.0, 0.15} : std::vector<double>{0.0, 0.05, 0.15};
+    for (const double p : link_probs) {
+        for (const double f : crash_fracs) {
+            grid.push_back({p, f, CrashSelection::kRandom});
+        }
+    }
+    for (const double f : smoke ? std::vector<double>{0.15}
+                                : std::vector<double>{0.05, 0.15}) {
+        grid.push_back({0.0, f, CrashSelection::kHighestDegree});
+    }
+
+    struct Row {
+        const char* router;
+        GridPoint point;
+        TrialStats stats;
+    };
+    std::vector<Row> rows;
+    bool threads_identical = true;
+
+    for (const RouterEntry& entry : routers) {
+        for (const GridPoint& point : grid) {
+            TrialConfig config;
+            config.targets = kTargets;
+            config.sources_per_target = kSources;
+            config.restrict_to_giant = true;
+            config.faults.seed = 71001;
+            config.faults.link_failure_prob = point.link_failure_prob;
+            config.faults.crash_fraction = point.crash_fraction;
+            config.faults.crash_selection = point.crash_selection;
+
+            // The determinism contract is the point of the subsystem: every
+            // grid cell must produce bit-identical aggregates at 1, 2 and 8
+            // threads, faulted or not.
+            TrialStats stats;
+            bool first = true;
+            for (const unsigned threads : {1u, 2u, 8u}) {
+                config.threads = threads;
+                TrialStats run = run_girg_trials(girg, *entry.router,
+                                                 girg_objective_factory(), config, 72001);
+                if (first) {
+                    stats = run;
+                    first = false;
+                } else if (!stats_identical(stats, run)) {
+                    std::cerr << "sweep: FATAL: " << entry.name << " p="
+                              << point.link_failure_prob << " crash="
+                              << point.crash_fraction << " ("
+                              << selection_name(point.crash_selection)
+                              << ") changed outcomes at " << threads << " threads\n";
+                    threads_identical = false;
+                }
+            }
+            std::cerr << "sweep: " << entry.name << " p=" << point.link_failure_prob
+                      << " crash=" << point.crash_fraction << " ("
+                      << selection_name(point.crash_selection)
+                      << ") success=" << stats.success_rate()
+                      << " stretch=" << stats.stretch.mean() << " retries/attempt="
+                      << static_cast<double>(stats.retries) /
+                             static_cast<double>(stats.attempts)
+                      << "\n";
+            rows.push_back({entry.name, point, stats});
+        }
+    }
+    if (!threads_identical) return 1;
+
+    json.field("smoke", smoke ? 1.0 : 0.0);
+    json.field("n", static_cast<double>(n));
+    json.field("dim", 2.0);
+    json.field("alpha", 2.0);
+    json.field("beta", 2.5);
+    json.field("wmin", 2.0);
+    json.field("targets", static_cast<double>(kTargets));
+    json.field("sources_per_target", static_cast<double>(kSources));
+    json.field("fault_seed", 71001.0);
+    json.field("max_retries", 3.0);
+    json.field("stretch_baseline", "BFS distance on the intact (unfaulted) graph");
+    json.field("outcomes_identical_across_threads", 1.0);
+
+    std::ostringstream series;
+    series << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        const double attempts = static_cast<double>(row.stats.attempts);
+        series << "    {\"router\": \"" << row.router << "\", \"link_failure_prob\": "
+               << row.point.link_failure_prob << ", \"crash_fraction\": "
+               << row.point.crash_fraction << ", \"crash_selection\": \""
+               << selection_name(row.point.crash_selection) << "\", \"attempts\": "
+               << row.stats.attempts << ", \"success_rate\": "
+               << row.stats.success_rate() << ", \"in_component_success_rate\": "
+               << row.stats.in_component_success_rate() << ", \"mean_hops\": "
+               << row.stats.hops.mean() << ", \"mean_stretch\": "
+               << row.stats.stretch.mean() << ", \"retries_per_attempt\": "
+               << static_cast<double>(row.stats.retries) / attempts << "}"
+               << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    series << "  ]";
+    json.field_raw("series", series.str());
+    json.close();
+
+    std::cerr << "sweep: wrote " << output_path << "\n";
+    return 0;
+}
+
+}  // namespace
+}  // namespace smallworld::bench
+
+int main(int argc, char** argv) {
+    bool sweep = false;
+    bool smoke = false;
+    std::string path = "BENCH_robustness.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg == "--sweep") {
+            sweep = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+        } else if (arg == "--smoke") {
+            smoke = true;
+        }
+    }
+    if (sweep) return smallworld::bench::run_sweep(path, smoke);
+    smallworld::bench::register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "random/splitmix64.h"
+#include "core/fault.h"
 
 namespace smallworld {
 
@@ -20,67 +20,21 @@ FaultyLinkGreedyRouter::FaultyLinkGreedyRouter(double failure_prob, std::uint64_
 RoutingResult FaultyLinkGreedyRouter::route(const Graph& graph, const Objective& objective,
                                             Vertex source,
                                             const RoutingOptions& options) const {
-    RoutingResult result;
-    result.path.push_back(source);
-    const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
-    const Vertex target = objective.target();
-
-    // Link (v,u) at epoch k is up iff a hash-derived coin clears
-    // failure_prob; deterministic per (seed, v, u, k), so the run is
-    // reproducible and both endpoints agree on the link state.
-    const auto link_up = [&](Vertex v, Vertex u, std::uint64_t epoch) {
-        if (failure_prob_ <= 0.0) return true;
-        if (failure_prob_ >= 1.0) return false;
-        const std::uint64_t lo = v < u ? v : u;
-        const std::uint64_t hi = v < u ? u : v;
-        const std::uint64_t h =
-            hash_combine(hash_combine(seed_, (lo << 32) | hi), epoch);
-        const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
-        return coin >= failure_prob_;
-    };
-
-    Vertex current = source;
-    std::uint64_t epoch = 0;
-    int retries = 0;
-    while (true) {
-        if (current == target) {
-            result.status = RoutingStatus::kDelivered;
-            return result;
-        }
-        if (result.steps() >= max_steps) {
-            result.status = RoutingStatus::kStepLimit;
-            return result;
-        }
-        const double current_value = objective.value(current);
-        Vertex best = kNoVertex;
-        double best_value = current_value;
-        bool any_improving = false;
-        for (const Vertex u : graph.neighbors(current)) {
-            const double value = objective.value(u);
-            if (!(value > current_value)) continue;
-            any_improving = true;
-            if (link_up(current, u, epoch) && value > best_value) {
-                best = u;
-                best_value = value;
-            }
-        }
-        ++epoch;
-        if (best != kNoVertex) {
-            retries = 0;
-            result.path.push_back(best);
-            current = best;
-            continue;
-        }
-        if (!any_improving) {
-            result.status = RoutingStatus::kDeadEnd;
-            return result;
-        }
-        // All improving links are down this epoch: wait and retry.
-        if (++retries > max_retries_) {
-            result.status = RoutingStatus::kDeadEnd;
-            return result;
-        }
-    }
+    // Thin adapter over the fault layer (core/fault.h): a transient-links-only
+    // plan in legacy compat mode (per_source_streams == false) makes the
+    // keyed link coins — hash_combine(hash_combine(seed, edge_key), epoch) —
+    // and the epoch-per-greedy-iteration schedule reproduce the pre-fault
+    // implementation's traces bit for bit (regression-tested).
+    FaultPlan plan;
+    plan.seed = seed_;
+    plan.link_failure_prob = failure_prob_;
+    plan.max_retries = max_retries_;
+    plan.per_source_streams = false;
+    const FaultState state(graph, plan);
+    RoutingOptions faulted = options;
+    faulted.faults = nullptr;  // this router's own plan wins over options.faults
+    return route_greedy_faulted(graph, objective, source, faulted,
+                                FaultView(&state, source));
 }
 
 }  // namespace smallworld

@@ -20,6 +20,13 @@ namespace smallworld {
 /// Effectively greedy w.r.t. an adversarially subsampled neighborhood,
 /// which Theorem 3.5 covers because the best surviving neighbor is still a
 /// "good enough" choice.
+///
+/// Since the fault layer landed this is a thin compat adapter over
+/// core/fault.h: a transient-links-only FaultPlan in legacy seeding mode
+/// drives the shared route_greedy_faulted() loop, reproducing the original
+/// implementation's traces bit for bit. New code should set
+/// RoutingOptions::faults on the plain GreedyRouter instead (which this
+/// router ignores in favor of its own plan).
 class FaultyLinkGreedyRouter final : public Router {
 public:
     FaultyLinkGreedyRouter(double failure_prob, std::uint64_t seed, int max_retries = 3);

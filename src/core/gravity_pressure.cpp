@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "core/fault.h"
+
 namespace smallworld {
 
 RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& objective,
@@ -11,6 +13,13 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
     result.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
     const Vertex target = objective.target();
+    FaultView faults(options.faults, source);
+
+    if (faults.active() && !faults.vertex_alive(source) && source != target) {
+        // A crashed source cannot even emit the packet.
+        result.status = RoutingStatus::kDeadEnd;
+        return result;
+    }
 
     // Audited lookup-only (find/operator[]): per-vertex visit counts are
     // only queried point-wise, never iterated.
@@ -20,22 +29,44 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
 
     Vertex current = source;
     while (true) {
+        // Arrival before budget (PR-1 convention); wait-out hops charge the
+        // budget, so steps()+retries is the consumed budget.
         if (current == target) {
             result.status = RoutingStatus::kDelivered;
             return result;
         }
-        if (result.steps() >= max_steps) {
+        if (result.steps() + result.retries >= max_steps) {
             result.status = RoutingStatus::kStepLimit;
             return result;
         }
 
         Vertex next = kNoVertex;
         if (!pressure) {
-            const Vertex best = best_neighbor(graph, objective, current);
-            if (best != kNoVertex && objective.value(best) > objective.value(current)) {
+            Vertex best = kNoVertex;
+            double best_value = 0.0;
+            bool any_neighbor = false;
+            if (!faults.active()) {
+                const BestNeighbor bn = objective.best_of(graph.neighbors(current));
+                best = bn.vertex;
+                best_value = bn.value;
+                any_neighbor = best != kNoVertex;
+            } else {
+                // Same first-maximum argmax as best_of, restricted to the
+                // residual neighborhood.
+                for (const Vertex u : graph.neighbors(current)) {
+                    if (!faults.usable(current, u)) continue;
+                    any_neighbor = true;
+                    const double value = objective.value(u);
+                    if (best == kNoVertex || value > best_value) {
+                        best = u;
+                        best_value = value;
+                    }
+                }
+            }
+            if (best != kNoVertex && best_value > objective.value(current)) {
                 next = best;
-            } else if (best == kNoVertex) {
-                result.status = RoutingStatus::kDeadEnd;  // isolated vertex
+            } else if (!any_neighbor) {
+                result.status = RoutingStatus::kDeadEnd;  // isolated in the residual graph
                 return result;
             } else {
                 pressure = true;
@@ -44,10 +75,11 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
         }
         if (pressure) {
             ++visits[current];
-            // Least-visited neighbor; ties toward higher objective, then id.
+            // Least-visited usable neighbor; ties toward higher objective.
             std::size_t best_visits = 0;
             double best_value = 0.0;
             for (const Vertex u : graph.neighbors(current)) {
+                if (faults.active() && !faults.usable(current, u)) continue;
                 const auto it = visits.find(u);
                 const std::size_t u_visits = it == visits.end() ? 0 : it->second;
                 const double u_value = objective.value(u);
@@ -63,6 +95,28 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
                 return result;
             }
             if (objective.value(next) > escape_value) pressure = false;
+        }
+        if (faults.transient()) {
+            // Send chokepoint: the chosen move is retried verbatim while its
+            // link is down — a wait-out hop per epoch, charged against the
+            // budget — so the visit bookkeeping above runs once per decision.
+            // After max_retries consecutive waits the packet drops; a wait
+            // landing exactly on the budget reports kStepLimit instead.
+            int waits = 0;
+            while (!faults.link_up(current, next)) {
+                faults.advance_epoch();
+                if (waits >= faults.max_retries()) {
+                    result.status = RoutingStatus::kDeadEnd;  // dropped in flight
+                    return result;
+                }
+                ++waits;
+                ++result.retries;
+                if (result.steps() + result.retries >= max_steps) {
+                    result.status = RoutingStatus::kStepLimit;
+                    return result;
+                }
+            }
+            faults.advance_epoch();
         }
         result.path.push_back(next);
         current = next;

@@ -1,9 +1,18 @@
 #include "core/greedy.h"
 
+#include "core/fault.h"
+
 namespace smallworld {
 
 RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective,
                                   Vertex source, const RoutingOptions& options) const {
+    if (options.faults != nullptr && options.faults->plan().any()) {
+        // Faulted regime: greedy over the residual neighborhood with
+        // per-epoch link states (core/fault.h). The unfaulted loop below is
+        // untouched so an absent or inactive plan is byte-identical.
+        return route_greedy_faulted(graph, objective, source, options,
+                                    FaultView(options.faults, source));
+    }
     RoutingResult result;
     result.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());

@@ -8,6 +8,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/fault.h"
+
 namespace smallworld {
 
 namespace {
@@ -34,10 +36,17 @@ public:
         : graph_(graph),
           objective_(objective),
           source_(source),
-          max_steps_(options.effective_max_steps(graph.num_vertices())) {}
+          max_steps_(options.effective_max_steps(graph.num_vertices())),
+          faults_(options.faults, source) {}
 
     RoutingResult execute() {
         result_.path.push_back(source_);
+        if (faults_.active() && !faults_.vertex_alive(source_) &&
+            source_ != objective_.target()) {
+            // A crashed source cannot even emit the packet.
+            result_.status = RoutingStatus::kDeadEnd;
+            return result_;
+        }
         Vertex current = source_;
         bool first_visit = true;
         while (true) {
@@ -47,6 +56,11 @@ public:
             }
             if (visited_.insert(current).second) {
                 for (const Vertex u : graph_.neighbors(current)) {
+                    // A dead neighbor never enters the frontier: the protocol
+                    // degrades as if the edge had been explored and
+                    // backtracked, and delivery is judged on the residual
+                    // graph.
+                    if (faults_.active() && !faults_.usable(current, u)) continue;
                     if (!visited_.contains(u)) {
                         frontier_.push({objective_.value(u), current, u});
                     }
@@ -56,7 +70,7 @@ public:
             // (P1) first-visit rule: from a newly visited vertex with a
             // strictly better neighbor, proceed to the best neighbor.
             if (first_visit) {
-                const Vertex best = best_neighbor(graph_, objective_, current);
+                const Vertex best = best_usable_neighbor(current);
                 if (best != kNoVertex &&
                     objective_.value(best) > objective_.value(current)) {
                     first_visit = !visited_.contains(best);
@@ -85,6 +99,23 @@ public:
     }
 
 private:
+    /// best_neighbor() restricted to the residual neighborhood under an
+    /// active plan; plain best_neighbor() (batched argmax) otherwise.
+    [[nodiscard]] Vertex best_usable_neighbor(Vertex v) const {
+        if (!faults_.active()) return best_neighbor(graph_, objective_, v);
+        Vertex best = kNoVertex;
+        double best_value = 0.0;
+        for (const Vertex u : graph_.neighbors(v)) {
+            if (!faults_.usable(v, u)) continue;
+            const double value = objective_.value(u);
+            if (best == kNoVertex || value > best_value) {
+                best = u;
+                best_value = value;
+            }
+        }
+        return best;
+    }
+
     /// Lazy-deletion pop: skip entries whose far endpoint got visited since.
     [[nodiscard]] std::optional<Candidate> pop_best_candidate() {
         while (!frontier_.empty()) {
@@ -108,6 +139,10 @@ private:
             queue.pop_front();
             if (v == to) break;
             for (const Vertex u : graph_.neighbors(v)) {
+                // Permanent faults only: the visited subgraph grew along
+                // usable edges, so the residual visited subgraph stays
+                // connected and parent.at() below cannot miss.
+                if (faults_.active() && !faults_.usable(v, u)) continue;
                 if (!visited_.contains(u) || parent.contains(u)) continue;
                 parent[u] = v;
                 queue.push_back(u);
@@ -121,8 +156,32 @@ private:
         return true;
     }
 
+    /// Appends a message move; false when the budget is exhausted or the
+    /// packet drops in flight. Under transient link faults this is the send
+    /// chokepoint: a down link parks the message for an epoch (a wait-out
+    /// hop charged against the budget) up to max_retries consecutive times,
+    /// then the packet is dropped. A wait landing exactly on the budget
+    /// reports kStepLimit — budget beats retry exhaustion.
     bool move_to(Vertex v) {
-        if (result_.steps() >= max_steps_) {
+        if (faults_.transient()) {
+            const Vertex from = result_.path.back();
+            int waits = 0;
+            while (!faults_.link_up(from, v)) {
+                faults_.advance_epoch();
+                if (waits >= faults_.max_retries()) {
+                    result_.status = RoutingStatus::kDeadEnd;  // dropped in flight
+                    return false;
+                }
+                ++waits;
+                ++result_.retries;
+                if (result_.steps() + result_.retries >= max_steps_) {
+                    result_.status = RoutingStatus::kStepLimit;
+                    return false;
+                }
+            }
+            faults_.advance_epoch();
+        }
+        if (result_.steps() + result_.retries >= max_steps_) {
             result_.status = RoutingStatus::kStepLimit;
             return false;
         }
@@ -134,6 +193,7 @@ private:
     const Objective& objective_;
     Vertex source_;
     std::size_t max_steps_;
+    FaultView faults_;  // route-scoped; inactive when no plan is set
 
     // Audited lookup-only (contains/insert): membership probe, never iterated.
     std::unordered_set<Vertex> visited_;

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/fault.h"
+
 namespace smallworld {
 
 namespace {
@@ -25,6 +27,17 @@ std::vector<PatchingViolation> check_patching_conditions(
     std::vector<PatchingViolation> violations;
     if (path.empty()) return violations;
 
+    // Residual-graph lens: with an active plan, dead edges/vertices are
+    // invisible to every condition; with transient link failures the (P1)
+    // checks are not trace-reconstructible and are skipped (see header).
+    const FaultState* faults =
+        options.faults != nullptr && options.faults->plan().any() ? options.faults
+                                                                  : nullptr;
+    const bool skip_p1 = faults != nullptr && faults->plan().link_failure_prob > 0.0;
+    const auto usable = [&](Vertex a, Vertex b) {
+        return faults == nullptr || faults->edge_present(a, b);
+    };
+
     // Audited lookup-only: first_seen_at is probed per path step and frontier
     // only answers contains/size queries; neither is ever iterated.
     std::unordered_map<Vertex, std::size_t> first_seen_at;  // vertex -> path index
@@ -35,6 +48,7 @@ std::vector<PatchingViolation> check_patching_conditions(
         if (!first_seen_at.emplace(v, index).second) return;
         frontier.erase(v);
         for (const Vertex u : graph.neighbors(v)) {
+            if (!usable(v, u)) continue;
             if (!first_seen_at.contains(u)) frontier.insert(u);
         }
     };
@@ -49,11 +63,30 @@ std::vector<PatchingViolation> check_patching_conditions(
                                   describe_move(v, next) + " is not a graph edge"});
             continue;
         }
+        if (!usable(v, next)) {
+            violations.push_back(
+                {i, "adjacency",
+                 describe_move(v, next) + " traverses a dead edge of the residual graph"});
+            continue;
+        }
 
         // P1b: on the first visit of v, a strictly better neighbor forces
         // the move to v's best neighbor.
-        if (first_seen_at.at(v) == i) {
-            const Vertex best = best_neighbor(graph, objective, v);
+        if (!skip_p1 && first_seen_at.at(v) == i) {
+            Vertex best = kNoVertex;
+            if (faults == nullptr) {
+                best = best_neighbor(graph, objective, v);
+            } else {
+                double best_value = 0.0;
+                for (const Vertex u : graph.neighbors(v)) {
+                    if (!usable(v, u)) continue;
+                    const double value = objective.value(u);
+                    if (best == kNoVertex || value > best_value) {
+                        best = u;
+                        best_value = value;
+                    }
+                }
+            }
             if (best != kNoVertex && objective.value(best) > objective.value(v) &&
                 next != best && objective.value(next) < objective.value(best)) {
                 std::ostringstream os;
@@ -69,13 +102,15 @@ std::vector<PatchingViolation> check_patching_conditions(
             double best_value = 0.0;
             for (const Vertex u : graph.neighbors(v)) {
                 if (first_seen_at.contains(u)) continue;
+                if (!usable(v, u)) continue;
                 const double value = objective.value(u);
                 if (best_unvisited == kNoVertex || value > best_value) {
                     best_unvisited = u;
                     best_value = value;
                 }
             }
-            if (best_unvisited != kNoVertex && objective.value(next) < best_value) {
+            if (!skip_p1 && best_unvisited != kNoVertex &&
+                objective.value(next) < best_value) {
                 std::ostringstream os;
                 os << describe_move(v, next) << " but best unvisited neighbor is "
                    << best_unvisited;

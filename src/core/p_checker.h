@@ -23,6 +23,15 @@ struct PatchingCheckOptions {
     double p2_coeff = 4.0;
     double p2_power = 3.0;
     double p2_offset = 16.0;
+
+    /// When set (and the plan is active), all conditions are checked against
+    /// the residual graph: crashed vertices and removed edges are invisible
+    /// to adjacency, best-neighbor and frontier computations. With
+    /// transient link failures enabled (link_failure_prob > 0) the (P1)
+    /// checks are skipped entirely — wait-out hops do not appear in the
+    /// recorded path, so the per-epoch link states a router saw cannot be
+    /// reconstructed from the trace; (P2) and adjacency remain exact.
+    const FaultState* faults = nullptr;
 };
 
 /// Verifies:

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fault.h"
+
 namespace smallworld {
 
 namespace {
@@ -26,12 +28,18 @@ public:
         : graph_(graph),
           objective_(objective),
           source_(source),
-          max_steps_(options.effective_max_steps(graph.num_vertices())) {}
+          max_steps_(options.effective_max_steps(graph.num_vertices())),
+          faults_(options.faults, source) {}
 
     RoutingResult execute() {
         result_.path.push_back(source_);
         if (source_ == objective_.target()) {
             result_.status = RoutingStatus::kDelivered;
+            return result_;
+        }
+        if (faults_.active() && !faults_.vertex_alive(source_)) {
+            // A crashed source cannot even emit the packet.
+            result_.status = RoutingStatus::kDeadEnd;
             return result_;
         }
         // ROUTING(s, m), lines 1-6.
@@ -145,9 +153,24 @@ private:
         }
     }
 
-    /// argmax over all neighbors (line 15); ties toward smaller id.
+    /// argmax over all neighbors (line 15); ties toward smaller id. Under an
+    /// active plan the argmax runs over the residual neighborhood, so a dead
+    /// neighbor can never be chosen — the DFS backtracks past it exactly as
+    /// if it had been explored (graceful degradation, not a protocol error).
     [[nodiscard]] BestNeighbor best_any_neighbor(Vertex v) const {
-        return objective_.best_of(graph_.neighbors(v));
+        const auto neighbors = graph_.neighbors(v);
+        if (!faults_.active()) return objective_.best_of(neighbors);
+        scratch_.resize(neighbors.size());
+        objective_.values(neighbors, scratch_.data());
+        BestNeighbor best;
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            if (!faults_.usable(v, neighbors[i])) continue;
+            if (best.vertex == kNoVertex || scratch_[i] > best.value) {
+                best.vertex = neighbors[i];
+                best.value = scratch_[i];
+            }
+        }
+        return best;
     }
 
     /// Line 19: best u in Gamma(v) with u != v.parent and
@@ -163,6 +186,7 @@ private:
         for (std::size_t i = 0; i < neighbors.size(); ++i) {
             const Vertex u = neighbors[i];
             if (u == parent) continue;
+            if (faults_.active() && !faults_.usable(v, u)) continue;
             const double value = scratch_[i];
             if (value >= message_phi_ && value < upper && value > best_value) {
                 best = u;
@@ -172,10 +196,34 @@ private:
         return best;
     }
 
-    /// Appends a message move; false when the step budget is exhausted.
+    /// Appends a message move; false when the step budget is exhausted or
+    /// the packet drops in flight. Under transient link faults the move is
+    /// the send chokepoint: a down link parks the message for an epoch (a
+    /// retry charged against the budget) up to max_retries consecutive
+    /// times, then the packet is dropped (kDeadEnd). A wait-out hop landing
+    /// exactly on the budget reports kStepLimit — budget beats retry
+    /// exhaustion, matching the greedy loop's convention.
     bool move_to(Vertex v) {
-        if (result_.path.back() == v) return true;  // reprocessing in place
-        if (result_.steps() >= max_steps_) {
+        const Vertex from = result_.path.back();
+        if (from == v) return true;  // reprocessing in place
+        if (faults_.transient()) {
+            int waits = 0;
+            while (!faults_.link_up(from, v)) {
+                faults_.advance_epoch();
+                if (waits >= faults_.max_retries()) {
+                    result_.status = RoutingStatus::kDeadEnd;  // dropped in flight
+                    return false;
+                }
+                ++waits;
+                ++result_.retries;
+                if (result_.steps() + result_.retries >= max_steps_) {
+                    result_.status = RoutingStatus::kStepLimit;
+                    return false;
+                }
+            }
+            faults_.advance_epoch();
+        }
+        if (result_.steps() + result_.retries >= max_steps_) {
             result_.status = RoutingStatus::kStepLimit;
             return false;
         }
@@ -187,6 +235,7 @@ private:
     const Objective& objective_;
     Vertex source_;
     std::size_t max_steps_;
+    FaultView faults_;  // route-scoped; inactive when no plan is set
 
     // Audited lookup-only (operator[]/find): never iterated, so hash order
     // cannot reach the DFS decisions or any reported statistic.

@@ -10,10 +10,13 @@
 
 namespace smallworld {
 
+class FaultState;  // core/fault.h
+
 /// Outcome of one routing attempt.
 enum class RoutingStatus {
     kDelivered,  ///< message reached the target
-    kDeadEnd,    ///< pure greedy hit a local optimum and dropped the packet
+    kDeadEnd,    ///< packet dropped: greedy local optimum, or (under an
+                 ///< active FaultPlan) a crashed source / retries exhausted
     kExhausted,  ///< a patching protocol explored s's whole component: t unreachable
     kStepLimit,  ///< safety cap hit (indicates a protocol bug in our setting)
 };
@@ -24,6 +27,10 @@ struct RoutingResult {
     /// are adjacent in the graph. For patching protocols this includes
     /// backtracking moves, so steps() is the true message-forwarding cost.
     std::vector<Vertex> path;
+    /// Wait-out hops under transient link faults (core/fault.h): epochs the
+    /// message spent parked because its links were down. Each one is charged
+    /// against the step budget; always 0 without an active fault plan.
+    std::size_t retries = 0;
 
     [[nodiscard]] bool success() const noexcept { return status == RoutingStatus::kDelivered; }
     [[nodiscard]] std::size_t steps() const noexcept {
@@ -38,6 +45,14 @@ struct RoutingOptions {
     /// (8n + 64, enough for any (P2)/(P3)-conforming exploration of a
     /// component while still catching infinite loops).
     std::size_t max_steps = 0;
+
+    /// Optional fault injection (core/fault.h): when non-null and the plan
+    /// is active, every router filters neighborhoods through the per-route
+    /// FaultView (crashes, permanent removals, transient link failures).
+    /// Null or an inactive plan leaves behavior byte-identical to the
+    /// unfaulted router. The state is immutable and may be shared across
+    /// concurrent route() calls.
+    const FaultState* faults = nullptr;
 
     [[nodiscard]] std::size_t effective_max_steps(std::size_t num_vertices) const noexcept {
         return max_steps != 0 ? max_steps : 8 * num_vertices + 64;

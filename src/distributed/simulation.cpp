@@ -1,14 +1,20 @@
 #include "distributed/simulation.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
+
+#include "core/fault.h"
 
 namespace smallworld {
 
 double LocalView::phi(Vertex u) const {
     if (u != self_) {
-        const auto nbrs = graph_->neighbors(self_);
-        if (!std::binary_search(nbrs.begin(), nbrs.end(), u)) ++*violations_;
+        // Locality is judged against the *visible* neighborhood: under an
+        // active plan, evaluating a dead neighbor is a violation too.
+        if (!std::binary_search(visible_.begin(), visible_.end(), u)) ++*violations_;
     }
     return objective_->value(u);
 }
@@ -32,12 +38,23 @@ void DistributedProtocol::on_start(const LocalView& view, ProtocolMessage& messa
     (void)slot;
 }
 
-DistributedResult simulate_routing(const Graph& graph, const Objective& objective,
-                                   const DistributedProtocol& protocol, Vertex source,
-                                   const RoutingOptions& options) {
+namespace {
+
+DistributedResult simulate_impl(const Graph& graph, const Objective& objective,
+                                const DistributedProtocol& protocol, Vertex source,
+                                const RoutingOptions& options,
+                                const FaultState* fault_state) {
     DistributedResult result;
     result.routing.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
+    FaultView faults(fault_state, source);
+
+    if (faults.active() && !faults.vertex_alive(source) &&
+        source != objective.target()) {
+        // A crashed source never wakes: no slot is touched, nothing is sent.
+        result.routing.status = RoutingStatus::kDeadEnd;
+        return result;
+    }
 
     // Audited lookup-only (operator[]/size): one slot per woken node; the
     // scheduler drives the order, the map is never iterated.
@@ -45,51 +62,109 @@ DistributedResult simulate_routing(const Graph& graph, const Objective& objectiv
     ProtocolMessage message;
     message.target = objective.target();
 
+    // Residual neighborhood of the awake node, rebuilt per wake into
+    // simulator-owned storage (valid for the lifetime of that wake's view).
+    std::vector<Vertex> visible_scratch;
+    const auto visible = [&](Vertex v) -> std::span<const Vertex> {
+        if (!faults.active()) return graph.neighbors(v);
+        visible_scratch.clear();
+        for (const Vertex u : graph.neighbors(v)) {
+            if (faults.usable(v, u)) {
+                visible_scratch.push_back(u);
+            } else {
+                ++result.telemetry.skipped_dead_neighbors;
+            }
+        }
+        return visible_scratch;
+    };
+
     Vertex current = source;
     {
         const LocalView view(graph, objective, source,
-                             &result.telemetry.locality_violations);
+                             &result.telemetry.locality_violations, visible(source));
         protocol.on_start(view, message, slots[source]);
     }
 
+    const auto finish = [&](RoutingStatus status) {
+        result.routing.status = status;
+        result.telemetry.slots_touched = slots.size();
+        return result;
+    };
+
+    std::uint64_t send_attempt = 0;  // route-global message-loss counter
     while (true) {
         ++result.telemetry.wakes;
+        const auto nbrs = visible(current);
         const LocalView view(graph, objective, current,
-                             &result.telemetry.locality_violations);
+                             &result.telemetry.locality_violations, nbrs);
         const Action action = protocol.on_wake(view, message, slots[current]);
         switch (action.kind) {
             case ActionKind::kDeliver:
-                result.routing.status = RoutingStatus::kDelivered;
-                result.telemetry.slots_touched = slots.size();
-                return result;
+                return finish(RoutingStatus::kDelivered);
             case ActionKind::kDrop:
-                result.routing.status = RoutingStatus::kDeadEnd;
-                result.telemetry.slots_touched = slots.size();
-                return result;
+                return finish(RoutingStatus::kDeadEnd);
             case ActionKind::kExhaust:
-                result.routing.status = RoutingStatus::kExhausted;
-                result.telemetry.slots_touched = slots.size();
-                return result;
+                return finish(RoutingStatus::kExhausted);
             case ActionKind::kForward: {
-                const auto nbrs = graph.neighbors(current);
                 if (!std::binary_search(nbrs.begin(), nbrs.end(), action.next)) {
                     ++result.telemetry.illegal_forwards;
-                    result.routing.status = RoutingStatus::kDeadEnd;
-                    result.telemetry.slots_touched = slots.size();
-                    return result;
+                    return finish(RoutingStatus::kDeadEnd);
+                }
+                if (faults.active()) {
+                    // Send chokepoint: a send is lost to per-wake message
+                    // loss or a down link. The same node re-sends the same
+                    // message — one extra wake and one budget-charged retry
+                    // per attempt, *without* re-running on_wake (handlers
+                    // are not idempotent) — until max_retries consecutive
+                    // losses drop the packet.
+                    int failures = 0;
+                    while (true) {
+                        bool lost = faults.message_lost(send_attempt++);
+                        if (faults.transient()) {
+                            if (!faults.link_up(current, action.next)) lost = true;
+                            faults.advance_epoch();
+                        }
+                        if (!lost) break;
+                        ++result.telemetry.message_drops;
+                        if (failures >= faults.max_retries()) {
+                            return finish(RoutingStatus::kDeadEnd);
+                        }
+                        ++failures;
+                        ++result.telemetry.wakes;
+                        ++result.telemetry.retries;
+                        ++result.routing.retries;
+                        if (result.routing.steps() + result.routing.retries >=
+                            max_steps) {
+                            return finish(RoutingStatus::kStepLimit);
+                        }
+                    }
                 }
                 ++result.telemetry.messages_sent;
                 result.routing.path.push_back(action.next);
                 current = action.next;
-                if (result.routing.steps() >= max_steps) {
-                    result.routing.status = RoutingStatus::kStepLimit;
-                    result.telemetry.slots_touched = slots.size();
-                    return result;
+                if (result.routing.steps() + result.routing.retries >= max_steps) {
+                    return finish(RoutingStatus::kStepLimit);
                 }
                 break;
             }
         }
     }
+}
+
+}  // namespace
+
+DistributedResult simulate_routing(const Graph& graph, const Objective& objective,
+                                   const DistributedProtocol& protocol, Vertex source,
+                                   const RoutingOptions& options) {
+    return simulate_impl(graph, objective, protocol, source, options, options.faults);
+}
+
+DistributedResult simulate_routing(const Graph& graph, const Objective& objective,
+                                   const DistributedProtocol& protocol, Vertex source,
+                                   const FaultedSimulationOptions& options) {
+    const FaultState* faults =
+        options.faults != nullptr ? options.faults : options.routing.faults;
+    return simulate_impl(graph, objective, protocol, source, options.routing, faults);
 }
 
 }  // namespace smallworld

@@ -44,17 +44,29 @@ struct ProtocolMessage {
     bool backtracking = false;
 };
 
-/// What the awake node is allowed to see. phi() enforces locality.
+/// What the awake node is allowed to see. phi() enforces locality. Under an
+/// active FaultPlan the simulator passes the *residual* neighborhood as the
+/// visible span, so dead neighbors are invisible to the protocol — the seam
+/// through which every protocol degrades gracefully without fault-specific
+/// code.
 class LocalView {
 public:
     LocalView(const Graph& graph, const Objective& objective, Vertex self,
               std::size_t* violations) noexcept
-        : graph_(&graph), objective_(&objective), self_(self), violations_(violations) {}
+        : LocalView(graph, objective, self, violations, graph.neighbors(self)) {}
+
+    /// `visible` overrides the adjacency (must be a sorted subsequence of
+    /// it); the simulator owns the backing storage for the view's lifetime.
+    LocalView(const Graph& graph, const Objective& objective, Vertex self,
+              std::size_t* violations, std::span<const Vertex> visible) noexcept
+        : graph_(&graph),
+          objective_(&objective),
+          self_(self),
+          violations_(violations),
+          visible_(visible) {}
 
     [[nodiscard]] Vertex self() const noexcept { return self_; }
-    [[nodiscard]] std::span<const Vertex> neighbors() const noexcept {
-        return graph_->neighbors(self_);
-    }
+    [[nodiscard]] std::span<const Vertex> neighbors() const noexcept { return visible_; }
 
     /// Objective of this node or one of its neighbors. Evaluating any other
     /// vertex is possible (the value is returned so the protocol keeps
@@ -70,6 +82,7 @@ private:
     const Objective* objective_;
     Vertex self_;
     std::size_t* violations_;
+    std::span<const Vertex> visible_;  // residual neighborhood under faults
 };
 
 enum class ActionKind {
@@ -107,10 +120,15 @@ public:
 
 struct SimulationTelemetry {
     std::size_t wakes = 0;               ///< node activations (energy)
-    std::size_t messages_sent = 0;       ///< forwards (== path steps)
+    std::size_t messages_sent = 0;       ///< successful forwards (== path steps)
     std::size_t slots_touched = 0;       ///< nodes holding any state
     std::size_t locality_violations = 0; ///< non-local phi evaluations
-    std::size_t illegal_forwards = 0;    ///< forwards to non-neighbors
+    std::size_t illegal_forwards = 0;    ///< forwards to invisible/non-neighbors
+
+    // Fault telemetry (core/fault.h); all zero without an active plan.
+    std::size_t message_drops = 0;          ///< send attempts lost in flight
+    std::size_t retries = 0;                ///< re-send attempts (each +1 wake)
+    std::size_t skipped_dead_neighbors = 0; ///< adjacency entries filtered per wake
 };
 
 struct DistributedResult {
@@ -118,13 +136,33 @@ struct DistributedResult {
     SimulationTelemetry telemetry;
 };
 
+/// Simulation options with fault injection. `faults` (falling back to
+/// `routing.faults` when null) activates the residual-neighborhood filter,
+/// per-wake message loss and transient link failures: a lost send is retried
+/// by the same node — one extra wake and one retry charged against the step
+/// budget per attempt, without re-invoking on_wake (protocol handlers are
+/// not idempotent) — until it succeeds or max_retries consecutive losses
+/// drop the packet (kDeadEnd). With a null/inactive plan the simulation is
+/// byte-identical to the plain overload.
+struct FaultedSimulationOptions {
+    RoutingOptions routing;
+    const FaultState* faults = nullptr;
+};
+
 /// Runs a protocol under the distributed model. Forwards to non-neighbors
-/// are refused (counted, message dropped) so a buggy protocol cannot
-/// teleport.
+/// (or, under faults, to dead neighbors) are refused (counted, message
+/// dropped) so a buggy protocol cannot teleport.
 [[nodiscard]] DistributedResult simulate_routing(const Graph& graph,
                                                  const Objective& objective,
                                                  const DistributedProtocol& protocol,
                                                  Vertex source,
                                                  const RoutingOptions& options = {});
+
+/// Fault-injected variant; see FaultedSimulationOptions.
+[[nodiscard]] DistributedResult simulate_routing(const Graph& graph,
+                                                 const Objective& objective,
+                                                 const DistributedProtocol& protocol,
+                                                 Vertex source,
+                                                 const FaultedSimulationOptions& options);
 
 }  // namespace smallworld

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -40,6 +42,7 @@ void TrialStats::merge(const TrialStats& other) {
     step_limit += other.step_limit;
     same_component += other.same_component;
     delivered_in_component += other.delivered_in_component;
+    retries += other.retries;
     hops.merge(other.hops);
     stretch.merge(other.stretch);
     bfs_distance.merge(other.bfs_distance);
@@ -73,10 +76,17 @@ struct TargetContext {
 
 TrialStats run_trials_impl(const Graph& graph, const Router& router,
                            const GraphObjectiveFactory& factory, const TrialConfig& config,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, std::span<const double> weights = {}) {
     if (graph.num_vertices() < 2) {
         throw std::invalid_argument("run_trials: graph too small");
     }
+    // One immutable FaultState for the whole run, shared read-only by every
+    // worker; fault draws are keyed by (plan seed, source, ...), so results
+    // stay independent of the thread schedule.
+    std::optional<FaultState> fault_state;
+    if (config.faults.any()) fault_state.emplace(graph, config.faults, weights);
+    RoutingOptions routing_options;
+    routing_options.faults = fault_state.has_value() ? &*fault_state : nullptr;
     const Components components = connected_components(graph);
     const std::vector<Vertex> pool =
         eligible_vertices(graph, components, config.restrict_to_giant);
@@ -143,7 +153,9 @@ TrialStats run_trials_impl(const Graph& graph, const Router& router,
                 const bool reachable = dist[source] != kUnreachable;
                 if (reachable) ++stats.same_component;
 
-                const RoutingResult result = router.route(graph, *objective, source);
+                const RoutingResult result =
+                    router.route(graph, *objective, source, routing_options);
+                stats.retries += result.retries;
                 stats.steps_all.add(static_cast<double>(result.steps()));
                 stats.distinct_visited.add(static_cast<double>(result.distinct_vertices()));
                 if (config.collect_step_samples) {
@@ -193,7 +205,7 @@ TrialStats run_girg_trials(const Girg& girg, const Router& router,
     const GraphObjectiveFactory graph_factory = [&](Vertex target) {
         return factory(girg, target);
     };
-    return run_trials_impl(girg.graph, router, graph_factory, config, seed);
+    return run_trials_impl(girg.graph, router, graph_factory, config, seed, girg.weights);
 }
 
 TrialStats run_graph_trials(const Graph& graph, const Router& router,

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/router.h"
 #include "girg/girg.h"
 #include "random/stats.h"
@@ -36,6 +37,12 @@ struct TrialConfig {
     /// default to keep aggregation allocation-free.
     bool collect_step_samples = false;
     unsigned threads = 0;  ///< parallel workers (0 = hardware concurrency)
+    /// Fault injection (core/fault.h): when the plan is active, one shared
+    /// FaultState is built for the whole run (run_girg_trials supplies the
+    /// GIRG weights, so kHighestWeight works) and every route sees it via
+    /// RoutingOptions::faults. Inactive (the default) is byte-identical to
+    /// the unfaulted runner.
+    FaultPlan faults;
 };
 
 /// Aggregated outcome of routing many (s,t) pairs with one protocol.
@@ -49,6 +56,8 @@ struct TrialStats {
     std::size_t same_component = 0;
     /// Delivered within same component (for Theorem 3.4's "always succeeds").
     std::size_t delivered_in_component = 0;
+    /// Total wait-out hops across all attempts (always 0 without faults).
+    std::size_t retries = 0;
 
     RunningStats hops;            ///< steps of successful routes
     RunningStats stretch;         ///< hops / BFS distance, successful routes

@@ -104,7 +104,14 @@ public:
     explicit RngStreams(std::uint64_t root) noexcept : root_(root) {}
 
     [[nodiscard]] Rng stream(std::uint64_t k) const noexcept {
-        return Rng(hash_combine(root_, k));
+        return Rng(stream_seed(k));
+    }
+
+    /// The raw 64-bit value stream(k) is seeded from. Exposed so keyed-coin
+    /// schemes (core/fault.h) can hash further sub-keys off one stream
+    /// without materializing a generator.
+    [[nodiscard]] std::uint64_t stream_seed(std::uint64_t k) const noexcept {
+        return hash_combine(root_, k);
     }
 
 private:

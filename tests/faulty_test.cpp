@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+
 #include "core/faulty.h"
 #include "core/greedy.h"
 #include "girg/generator.h"
 #include "graph/components.h"
+#include "random/splitmix64.h"
 #include "test_scenarios.h"
 
 namespace smallworld {
@@ -82,6 +86,89 @@ TEST(FaultyLinks, DeterministicForSeed) {
     const auto a = faulty.route(g.graph, obj, 5);
     const auto b = faulty.route(g.graph, obj, 5);
     EXPECT_EQ(a.path, b.path);
+}
+
+// Frozen copy of the pre-fault-layer implementation (the exact loop this
+// router shipped with before it became an adapter over core/fault.h). The
+// adapter must reproduce its traces bit for bit.
+RoutingResult frozen_reference_faulty_route(const Graph& graph, const Objective& objective,
+                                            Vertex source, double failure_prob,
+                                            std::uint64_t seed, int max_retries) {
+    RoutingResult result;
+    result.path.push_back(source);
+    const std::size_t max_steps = RoutingOptions{}.effective_max_steps(graph.num_vertices());
+    const Vertex target = objective.target();
+    const auto link_up = [&](Vertex v, Vertex u, std::uint64_t epoch) {
+        if (failure_prob <= 0.0) return true;
+        if (failure_prob >= 1.0) return false;
+        const std::uint64_t lo = v < u ? v : u;
+        const std::uint64_t hi = v < u ? u : v;
+        const std::uint64_t h = hash_combine(hash_combine(seed, (lo << 32) | hi), epoch);
+        const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return coin >= failure_prob;
+    };
+    Vertex current = source;
+    std::uint64_t epoch = 0;
+    int retries = 0;
+    while (true) {
+        if (current == target) {
+            result.status = RoutingStatus::kDelivered;
+            return result;
+        }
+        if (result.steps() >= max_steps) {
+            result.status = RoutingStatus::kStepLimit;
+            return result;
+        }
+        const double current_value = objective.value(current);
+        Vertex best = kNoVertex;
+        double best_value = current_value;
+        bool any_improving = false;
+        for (const Vertex u : graph.neighbors(current)) {
+            const double value = objective.value(u);
+            if (!(value > current_value)) continue;
+            any_improving = true;
+            if (link_up(current, u, epoch) && value > best_value) {
+                best = u;
+                best_value = value;
+            }
+        }
+        ++epoch;
+        if (best != kNoVertex) {
+            retries = 0;
+            result.path.push_back(best);
+            current = best;
+            continue;
+        }
+        if (!any_improving) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
+        if (++retries > max_retries) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
+    }
+}
+
+TEST(FaultyLinks, AdapterIsByteIdenticalToFrozenReference) {
+    GirgParams params{.n = 8000, .dim = 2, .alpha = 2.0, .beta = 2.5,
+                      .wmin = 2.0, .edge_scale = 1.0};
+    params.edge_scale = calibrated_edge_scale(params);
+    const Girg g = generate_girg(params, 211);
+    Rng rng(212);
+    for (const double p : {0.1, 0.3, 0.6}) {
+        const FaultyLinkGreedyRouter adapter(p, 88, /*max_retries=*/3);
+        for (int trial = 0; trial < 40; ++trial) {
+            const auto s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+            const auto t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+            if (s == t) continue;
+            const GirgObjective obj(g, t);
+            const auto reference = frozen_reference_faulty_route(g.graph, obj, s, p, 88, 3);
+            const auto actual = adapter.route(g.graph, obj, s);
+            EXPECT_EQ(reference.status, actual.status) << "p=" << p << " s=" << s;
+            EXPECT_EQ(reference.path, actual.path) << "p=" << p << " s=" << s;
+        }
+    }
 }
 
 TEST(FaultyLinks, ModerateFailureDegradesGracefully) {

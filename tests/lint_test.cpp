@@ -250,6 +250,58 @@ TEST(LintAllows, WrongRuleDoesNotSuppress) {
     EXPECT_EQ(count_rule(diagnostics, "relaxed"), 1);
 }
 
+// ---------------------------------------------------------------------------
+// --only filtering
+// ---------------------------------------------------------------------------
+
+std::vector<Diagnostic> lint_only(const std::vector<std::string>& only,
+                                  const std::string& display_path, FileKind kind,
+                                  const std::string& content) {
+    const SourceFile file = girglint::lex_file(display_path, kind, content);
+    std::vector<Diagnostic> out;
+    girglint::run_rules(file, only, out);
+    return out;
+}
+
+TEST(LintOnly, RunsOnlySelectedRules) {
+    // Violates nondeterminism (random_device), relaxed, and format (tab).
+    const std::string content =
+        "auto r = std::random_device{};\n"
+        "auto x = std::memory_order_relaxed;\n"
+        "\tint y = 0;\n";
+    const auto all = lint("src/a.cpp", FileKind::kSrc, content);
+    EXPECT_EQ(count_rule(all, "nondeterminism"), 1);
+    EXPECT_EQ(count_rule(all, "relaxed"), 1);
+    EXPECT_GE(count_rule(all, "format"), 1);
+
+    const auto filtered = lint_only({"nondeterminism"}, "tools/a.cpp",
+                                    FileKind::kSrc, content);
+    EXPECT_EQ(count_rule(filtered, "nondeterminism"), 1);
+    EXPECT_EQ(count_rule(filtered, "relaxed"), 0);
+    EXPECT_EQ(count_rule(filtered, "format"), 0);
+}
+
+TEST(LintOnly, AllowsStillSuppressSelectedRule) {
+    const std::string content =
+        "// LINT-ALLOW(nondeterminism): fixture\n"
+        "auto r = std::random_device{};\n";
+    const auto filtered =
+        lint_only({"nondeterminism"}, "tools/a.cpp", FileKind::kSrc, content);
+    EXPECT_EQ(count_rule(filtered, "nondeterminism"), 0);
+}
+
+TEST(LintOnly, FilteredModeSkipsAllowHygiene) {
+    // An allow for a rule that did not run must not be flagged stale, and
+    // unknown-rule / missing-reason hygiene is deferred to full runs.
+    const std::string content =
+        "// LINT-ALLOW(pow): setup-time exponent\n"
+        "int x = 0;\n";
+    EXPECT_EQ(count_rule(lint("src/a.cpp", FileKind::kSrc, content), "allow-syntax"), 1);
+    const auto filtered =
+        lint_only({"nondeterminism"}, "tools/a.cpp", FileKind::kSrc, content);
+    EXPECT_TRUE(filtered.empty());
+}
+
 TEST(LintRegistry, AllRulesHaveIdAndSummary) {
     const auto& rules = girglint::all_rules();
     EXPECT_GE(rules.size(), 7u);

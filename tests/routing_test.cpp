@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "core/fault.h"
 #include "core/faulty.h"
 #include "core/gravity_pressure.h"
 #include "core/greedy.h"
@@ -432,6 +433,43 @@ std::unique_ptr<Router> make_faulty() {
     return std::make_unique<FaultyLinkGreedyRouter>(0.0, 1, 0);
 }
 
+/// Wraps a router with an *active but no-op* FaultPlan: crash_fraction small
+/// enough to round to zero crashes on the tiny test graphs, so plan.any() is
+/// true — every router takes its faulted code path — while the residual
+/// graph equals the full graph. The budget contract must hold there too.
+class NoOpFaultedRouter final : public Router {
+public:
+    explicit NoOpFaultedRouter(std::unique_ptr<Router> inner) : inner_(std::move(inner)) {}
+
+    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+                                      Vertex source,
+                                      const RoutingOptions& options = {}) const override {
+        FaultPlan plan;
+        plan.crash_fraction = 0.05;  // rounds to 0 crashes for n <= 10
+        const FaultState state(graph, plan);
+        RoutingOptions faulted = options;
+        faulted.faults = &state;
+        return inner_->route(graph, objective, source, faulted);
+    }
+    [[nodiscard]] std::string name() const override { return inner_->name() + "+noop"; }
+
+private:
+    std::unique_ptr<Router> inner_;
+};
+
+std::unique_ptr<Router> make_greedy_noop_faulted() {
+    return std::make_unique<NoOpFaultedRouter>(make_greedy());
+}
+std::unique_ptr<Router> make_phi_dfs_noop_faulted() {
+    return std::make_unique<NoOpFaultedRouter>(make_phi_dfs());
+}
+std::unique_ptr<Router> make_gravity_noop_faulted() {
+    return std::make_unique<NoOpFaultedRouter>(make_gravity());
+}
+std::unique_ptr<Router> make_history_noop_faulted() {
+    return std::make_unique<NoOpFaultedRouter>(make_history());
+}
+
 struct RouterCase {
     const char* name;
     RouterFactory make;
@@ -476,7 +514,61 @@ INSTANTIATE_TEST_SUITE_P(
                       RouterCase{"PhiDfs", make_phi_dfs},
                       RouterCase{"GravityPressure", make_gravity},
                       RouterCase{"MessageHistory", make_history},
-                      RouterCase{"FaultyZeroProb", make_faulty}),
+                      RouterCase{"FaultyZeroProb", make_faulty},
+                      RouterCase{"GreedyFaulted", make_greedy_noop_faulted},
+                      RouterCase{"PhiDfsFaulted", make_phi_dfs_noop_faulted},
+                      RouterCase{"GravityPressureFaulted", make_gravity_noop_faulted},
+                      RouterCase{"MessageHistoryFaulted", make_history_noop_faulted}),
+    [](const ::testing::TestParamInfo<RouterCase>& info) { return info.param.name; });
+
+// ---------------------------------------------- all routers: wait-out budget
+
+// With every link down (p = 1.0), each router parks the packet on its chosen
+// move, charging one wait-out hop per epoch against the budget. The boundary
+// contract: a wait landing exactly on effective_max_steps reports kStepLimit
+// (budget beats retry exhaustion); with budget to spare, max_retries
+// consecutive waits drop the packet (kDeadEnd).
+class AllRoutersWaitOutBudget : public ::testing::TestWithParam<RouterCase> {};
+
+RoutingResult route_with_all_links_down(const Router& inner, std::size_t max_steps) {
+    ScenarioBuilder b;
+    const Vertex s = b.vertex(0.0);
+    const Vertex t = b.vertex(0.3);
+    const Girg g = b.edge(s, t).build();
+    const GirgObjective obj(g, t);
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.link_failure_prob = 1.0;
+    plan.max_retries = 5;
+    const FaultState state(g.graph, plan);
+    RoutingOptions options;
+    options.max_steps = max_steps;
+    options.faults = &state;
+    return inner.route(g.graph, obj, s, options);
+}
+
+TEST_P(AllRoutersWaitOutBudget, WaitOutHopOnBudgetBoundaryIsStepLimit) {
+    const auto router = GetParam().make();
+    const auto result = route_with_all_links_down(*router, /*max_steps=*/3);
+    EXPECT_EQ(result.status, RoutingStatus::kStepLimit);
+    EXPECT_EQ(result.steps(), 0u);   // never left the source
+    EXPECT_EQ(result.retries, 3u);   // budget consumed entirely by waits
+}
+
+TEST_P(AllRoutersWaitOutBudget, RetryExhaustionWithBudgetToSpareIsDeadEnd) {
+    const auto router = GetParam().make();
+    const auto result = route_with_all_links_down(*router, /*max_steps=*/1000);
+    EXPECT_EQ(result.status, RoutingStatus::kDeadEnd);
+    EXPECT_EQ(result.steps(), 0u);
+    EXPECT_EQ(result.retries, 5u);   // exactly max_retries waits before the drop
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Routers, AllRoutersWaitOutBudget,
+    ::testing::Values(RouterCase{"Greedy", make_greedy},
+                      RouterCase{"PhiDfs", make_phi_dfs},
+                      RouterCase{"GravityPressure", make_gravity},
+                      RouterCase{"MessageHistory", make_history}),
     [](const ::testing::TestParamInfo<RouterCase>& info) { return info.param.name; });
 
 }  // namespace

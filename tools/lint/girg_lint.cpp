@@ -11,14 +11,16 @@
 
 /// girg-lint CLI. Usage:
 ///
-///   girg-lint [--list-rules] <dir-or-file>...
+///   girg-lint [--list-rules] [--only <rule>]... <dir-or-file>...
 ///
 /// Directories are walked recursively in sorted order; every .h/.hpp/.hh/
 /// .cpp/.cc file is lexed and run through the rule registry. A path
 /// containing a `bench` component is classified FileKind::kBench (clock
-/// reads permitted), everything else is kSrc. Output is one
-/// `path:line: [rule] message` per diagnostic; exit status 1 iff any
-/// diagnostic was emitted, 2 on I/O errors.
+/// reads permitted), everything else is kSrc. `--only` (repeatable)
+/// restricts the run to the named rules — used to hold out-of-library trees
+/// (tools/) to the determinism rule without imposing the full hygiene set.
+/// Output is one `path:line: [rule] message` per diagnostic; exit status 1
+/// iff any diagnostic was emitted, 2 on I/O or usage errors.
 namespace {
 
 namespace fs = std::filesystem;
@@ -51,6 +53,7 @@ using girglint::FileKind;
 
 int main(int argc, char** argv) {
     std::vector<fs::path> roots;
+    std::vector<std::string> only;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--list-rules") {
@@ -60,8 +63,26 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: girg-lint [--list-rules] <dir-or-file>...\n");
+            std::printf("usage: girg-lint [--list-rules] [--only <rule>]... "
+                        "<dir-or-file>...\n");
             return 0;
+        }
+        if (arg == "--only") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "girg-lint: --only needs a rule id\n");
+                return 2;
+            }
+            const std::string_view rule_id = argv[++i];
+            const bool known = std::any_of(
+                girglint::all_rules().begin(), girglint::all_rules().end(),
+                [&](const girglint::Rule& rule) { return rule_id == rule.id; });
+            if (!known) {
+                std::fprintf(stderr, "girg-lint: unknown rule '%s' (see --list-rules)\n",
+                             std::string(rule_id).c_str());
+                return 2;
+            }
+            only.emplace_back(rule_id);
+            continue;
         }
         roots.emplace_back(arg);
     }
@@ -102,7 +123,7 @@ int main(int argc, char** argv) {
         }
         const girglint::SourceFile file =
             girglint::lex_file(path.generic_string(), classify(path), content);
-        girglint::run_rules(file, diagnostics);
+        girglint::run_rules(file, only, diagnostics);
     }
 
     for (const Diagnostic& d : diagnostics) {

@@ -100,4 +100,12 @@ struct Rule {
 /// (malformed allow, unknown rule id, allow that suppressed nothing).
 void run_rules(const SourceFile& file, std::vector<Diagnostic>& out);
 
+/// Filtered variant (`girg-lint --only <rule>`): runs only the rules whose
+/// ids appear in `only` (empty means all). In filtered mode the
+/// annotation-hygiene diagnostics are suppressed — an allow for a rule that
+/// did not run would be falsely reported as stale — so partial-scope runs
+/// (e.g. nondeterminism-only over tools/) stay meaningful.
+void run_rules(const SourceFile& file, const std::vector<std::string>& only,
+               std::vector<Diagnostic>& out);
+
 }  // namespace girglint

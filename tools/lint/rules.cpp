@@ -444,8 +444,19 @@ const std::vector<Rule>& all_rules() {
 }
 
 void run_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
+    run_rules(file, {}, out);
+}
+
+void run_rules(const SourceFile& file, const std::vector<std::string>& only,
+               std::vector<Diagnostic>& out) {
+    const auto selected = [&](const char* id) {
+        return only.empty() ||
+               std::find(only.begin(), only.end(), id) != only.end();
+    };
     std::vector<RuleHit> hits;
-    for (const Rule& rule : all_rules()) rule.check(file, hits);
+    for (const Rule& rule : all_rules()) {
+        if (selected(rule.id)) rule.check(file, hits);
+    }
 
     std::vector<bool> allow_used(file.allows.size(), false);
     for (const RuleHit& hit : hits) {
@@ -471,7 +482,9 @@ void run_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
         }
         return false;
     };
-    for (std::size_t a = 0; a < file.allows.size(); ++a) {
+    // Allow hygiene only makes sense when the full registry ran: under a
+    // filter, an allow for an unselected rule genuinely suppresses nothing.
+    for (std::size_t a = 0; only.empty() && a < file.allows.size(); ++a) {
         const Allow& allow = file.allows[a];
         if (allow.malformed) {
             out.push_back({file.display_path, allow.line, "allow-syntax",
