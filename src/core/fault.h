@@ -143,9 +143,18 @@ private:
 class FaultView {
 public:
     FaultView() = default;
-    FaultView(const FaultState* state, Vertex source) noexcept
+    /// `query_nonce` derives an independent fault stream per concurrent query
+    /// (the discrete-event serving layer runs many queries from the same
+    /// source over one plan). Nonce 0 — the default, and what every
+    /// single-query caller uses — reproduces the plain per-source stream bit
+    /// for bit, so the event simulator's query #0 replays the lockstep run.
+    FaultView(const FaultState* state, Vertex source,
+              std::uint64_t query_nonce = 0) noexcept
         : state_(state),
-          route_seed_(state != nullptr ? state->route_seed(source) : 0) {}
+          route_seed_(state == nullptr          ? 0
+                      : query_nonce == 0        ? state->route_seed(source)
+                                                : hash_combine(state->route_seed(source),
+                                                               query_nonce)) {}
 
     [[nodiscard]] bool active() const noexcept {
         return state_ != nullptr && state_->plan().any();

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "random/splitmix64.h"
+
+namespace smallworld {
+
+/// Simulated time of the discrete-event serving layer, in integer ticks.
+/// There is no wall clock anywhere in this layer (girg-lint R1 polices it):
+/// latency models and service intervals hand out tick counts, so every
+/// timestamp is a pure function of the simulated history.
+using SimTime = std::uint64_t;
+
+/// Index of a query in the simulate_many batch.
+using QueryId = std::uint32_t;
+inline constexpr QueryId kNoQuery = static_cast<QueryId>(-1);
+
+enum class EventKind : std::uint8_t {
+    kArrival,  ///< a query's message reaches `node`'s inbound queue
+    kWake,     ///< `node` is free and serves the head of its queue
+};
+
+/// One scheduled event. Ordering is (time, salt, seq): `salt` is a seeded
+/// hash of the schedule counter, so simultaneous events fire in an order
+/// that is a pure function of (seed, event key) — reproducible, yet not
+/// systematically biased toward low node or query ids. `seq` breaks the
+/// astronomically unlikely salt collision and makes the order total.
+struct Event {
+    SimTime time = 0;
+    std::uint64_t salt = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kArrival;
+    Vertex node = kNoVertex;
+    QueryId query = kNoQuery;
+};
+
+/// Min-heap of events with the deterministic ordering above. A thin wrapper
+/// over std::*_heap rather than std::priority_queue so telemetry can read
+/// the high-water mark and the comparator stays in one place.
+class EventQueue {
+public:
+    explicit EventQueue(std::uint64_t seed) noexcept : seed_(seed) {}
+
+    void push(SimTime time, EventKind kind, Vertex node, QueryId query) {
+        Event e;
+        e.time = time;
+        e.salt = hash_combine(seed_, next_seq_);
+        e.seq = next_seq_++;
+        e.kind = kind;
+        e.node = node;
+        e.query = query;
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), After{});
+        if (heap_.size() > high_water_) high_water_ = heap_.size();
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+    [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+    /// Events scheduled over the queue's lifetime (== the schedule counter).
+    [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
+
+    Event pop() {
+        std::pop_heap(heap_.begin(), heap_.end(), After{});
+        const Event e = heap_.back();
+        heap_.pop_back();
+        return e;
+    }
+
+private:
+    /// "a fires after b" — the heap is a max-heap under this, i.e. a
+    /// min-heap in event order.
+    struct After {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.time != b.time) return a.time > b.time;
+            if (a.salt != b.salt) return a.salt > b.salt;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::uint64_t seed_;
+    std::uint64_t next_seq_ = 0;
+    std::size_t high_water_ = 0;
+    std::vector<Event> heap_;
+};
+
+}  // namespace smallworld

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "core/check.h"
+#include "distributed/event.h"
+
+namespace smallworld {
+
+/// Bounded inbound FIFO of one simulated node. Holds query ids only — the
+/// message payload itself lives in per-query state, so an entry is the
+/// "packet on the wire has landed and waits to be served" marker. `push`
+/// refuses (and counts) arrivals beyond `capacity`; capacity 0 means
+/// unbounded. Depth high-water and drop counts feed per-node telemetry.
+class NodeQueue {
+public:
+    NodeQueue() = default;
+
+    void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+
+    /// Enqueues the arrival; false when the queue is full (the caller drops
+    /// the message and the drop is counted here).
+    [[nodiscard]] bool push(QueryId query) {
+        if (capacity_ != 0 && fifo_.size() >= capacity_) {
+            ++drops_;
+            return false;
+        }
+        fifo_.push_back(query);
+        if (fifo_.size() > high_water_) high_water_ = fifo_.size();
+        return true;
+    }
+
+    [[nodiscard]] QueryId pop() {
+        GIRG_CHECK(!fifo_.empty(), "NodeQueue::pop on empty queue");
+        const QueryId q = fifo_.front();
+        fifo_.pop_front();
+        return q;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return fifo_.empty(); }
+    [[nodiscard]] std::size_t depth() const noexcept { return fifo_.size(); }
+    [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+    [[nodiscard]] std::size_t drops() const noexcept { return drops_; }
+
+private:
+    std::size_t capacity_ = 0;  // 0 = unbounded
+    std::size_t high_water_ = 0;
+    std::size_t drops_ = 0;
+    std::deque<QueryId> fifo_;
+};
+
+}  // namespace smallworld

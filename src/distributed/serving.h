@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "distributed/event.h"
+#include "distributed/latency.h"
+#include "distributed/simulation.h"
+
+namespace smallworld {
+
+/// The discrete-event serving layer (DESIGN.md §10): many concurrent
+/// in-flight queries move through one shared graph under simulated time.
+/// Each query is the same node-local protocol execution the lockstep
+/// simulator runs — same LocalView locality enforcement, same send
+/// chokepoint, same budget convention — but messages now take per-link
+/// latency to travel, land in bounded per-node FIFO queues, and wait for
+/// the node to serve them one per service interval. With a single query and
+/// zero latency the event execution replays the lockstep simulator's walk
+/// move for move (tested); with thousands of queries it is the "millions of
+/// users" serving story: queue depths, drops, wake counts, and busy time
+/// become the measured quantities.
+
+/// One routing request: route a message from `source` to `target`, injected
+/// into the source's inbound queue at `start_time`.
+struct ServingQuery {
+    Vertex source = kNoVertex;
+    Vertex target = kNoVertex;
+    SimTime start_time = 0;
+};
+
+/// Builds the objective bound to one target. Called once per *distinct*
+/// target of the batch, possibly concurrently from setup workers (each call
+/// builds an independent instance, so the usual "one objective per worker"
+/// contract holds); all evaluation then happens on the event loop.
+using TargetObjectiveFactory = std::function<std::unique_ptr<Objective>(Vertex target)>;
+
+struct ServingOptions {
+    /// Per-query step budget and (fallback) fault plan, exactly as in the
+    /// lockstep simulator.
+    RoutingOptions routing;
+    /// Fault injection (overrides routing.faults when non-null): crashes and
+    /// removals filter neighborhoods, losses and transient links hit the
+    /// shared send chokepoint. Query k draws from the per-query fault stream
+    /// FaultView(state, source, k) — query 0 replays the lockstep stream.
+    const FaultState* faults = nullptr;
+
+    /// Per-link message latency model.
+    LatencyModel latency;
+    /// Vertex positions; required iff latency.kind == kDistanceProportional.
+    const PointCloud* positions = nullptr;
+
+    /// Ticks a node is busy per served message (wake); the node serves its
+    /// queue head again only when free.
+    SimTime service_ticks = 1;
+    /// Inbound FIFO bound per node; an arrival beyond it is dropped and the
+    /// query fails (kDeadEnd, queue_drops telemetry). 0 = unbounded.
+    std::size_t queue_capacity = 0;
+
+    /// Root of the same-time event tie-break stream: the firing order of
+    /// simultaneous events is a pure function of (seed, event key).
+    std::uint64_t seed = 0;
+
+    /// Setup workers for objective construction (0 = hardware concurrency).
+    /// The event loop itself is the serialization point, so results are
+    /// bit-identical at any thread count (asserted by tests and the
+    /// bench_serving sweep).
+    unsigned threads = 0;
+};
+
+/// Per-run serving telemetry: the clock, the event machinery, and per-node
+/// counters (index = vertex id; sized num_vertices).
+struct ServingTelemetry {
+    SimTime clock_end = 0;           ///< timestamp of the last fired event
+    std::uint64_t events_fired = 0;  ///< events processed by the loop
+    std::uint64_t events_scheduled = 0;
+    std::size_t heap_high_water = 0; ///< peak pending-event count
+    std::uint64_t total_wakes = 0;   ///< node service wakes (all queries)
+    std::size_t queue_drops = 0;     ///< arrivals refused by full queues
+    SimTime busy_ticks_total = 0;    ///< sum of node service intervals
+
+    std::vector<std::uint32_t> node_wakes;
+    std::vector<std::uint32_t> node_queue_high_water;
+    std::vector<std::uint32_t> node_queue_drops;
+    std::vector<SimTime> node_busy_ticks;
+};
+
+struct ServingResult {
+    /// Per-query outcome, index-aligned with the input batch; each entry has
+    /// the exact shape (path, status, telemetry) a lockstep run produces.
+    std::vector<DistributedResult> queries;
+    ServingTelemetry serving;
+
+    [[nodiscard]] std::size_t delivered() const noexcept {
+        std::size_t count = 0;
+        for (const DistributedResult& q : queries) {
+            if (q.routing.success()) ++count;
+        }
+        return count;
+    }
+};
+
+/// Runs the whole batch to completion under the discrete-event model and
+/// returns per-query results plus serving telemetry. Deterministic: a pure
+/// function of (graph, factory objectives, queries, options) at any thread
+/// count.
+[[nodiscard]] ServingResult simulate_many(const Graph& graph,
+                                          const TargetObjectiveFactory& factory,
+                                          const DistributedProtocol& protocol,
+                                          std::span<const ServingQuery> queries,
+                                          const ServingOptions& options = {});
+
+}  // namespace smallworld

@@ -20,16 +20,11 @@ double LocalView::phi(Vertex u) const {
 }
 
 Vertex LocalView::best_neighbor() const {
-    Vertex best = kNoVertex;
-    double best_value = 0.0;
-    for (const Vertex u : neighbors()) {
-        const double value = objective_->value(u);
-        if (best == kNoVertex || value > best_value) {
-            best = u;
-            best_value = value;
-        }
-    }
-    return best;
+    // One argmax rule for the whole repo: Objective::best_of's first-maximum
+    // tie-break (toward the smaller id on the sorted visible span). The
+    // centralized routers use the same entry point, so the tie-break cannot
+    // drift between the two execution models.
+    return objective_->best_of(visible_).vertex;
 }
 
 void DistributedProtocol::on_start(const LocalView& view, ProtocolMessage& message,
@@ -111,38 +106,30 @@ DistributedResult simulate_impl(const Graph& graph, const Objective& objective,
                     return finish(RoutingStatus::kDeadEnd);
                 }
                 if (faults.active()) {
-                    // Send chokepoint: a send is lost to per-wake message
-                    // loss or a down link. The same node re-sends the same
-                    // message — one extra wake and one budget-charged retry
-                    // per attempt, *without* re-running on_wake (handlers
-                    // are not idempotent) — until max_retries consecutive
-                    // losses drop the packet.
-                    int failures = 0;
-                    while (true) {
-                        bool lost = faults.message_lost(send_attempt++);
-                        if (faults.transient()) {
-                            if (!faults.link_up(current, action.next)) lost = true;
-                            faults.advance_epoch();
-                        }
-                        if (!lost) break;
-                        ++result.telemetry.message_drops;
-                        if (failures >= faults.max_retries()) {
+                    // Shared send chokepoint (see detail::faulted_send):
+                    // losses are retried in-wake until success, drop, or a
+                    // retry lands on the budget.
+                    switch (detail::faulted_send(faults, send_attempt, current,
+                                                 action.next, max_steps, result.routing,
+                                                 result.telemetry)) {
+                        case detail::SendOutcome::kSent:
+                            break;
+                        case detail::SendOutcome::kDroppedInFlight:
                             return finish(RoutingStatus::kDeadEnd);
-                        }
-                        ++failures;
-                        ++result.telemetry.wakes;
-                        ++result.telemetry.retries;
-                        ++result.routing.retries;
-                        if (result.routing.steps() + result.routing.retries >=
-                            max_steps) {
+                        case detail::SendOutcome::kBudgetExhausted:
                             return finish(RoutingStatus::kStepLimit);
-                        }
                     }
                 }
                 ++result.telemetry.messages_sent;
                 result.routing.path.push_back(action.next);
                 current = action.next;
-                if (result.routing.steps() + result.routing.retries >= max_steps) {
+                // Arrival beats budget (greedy.cpp's boundary convention): a
+                // forward that lands on the target with exactly-exhausted
+                // budget still wakes it and delivers, so the budget check
+                // skips the delivering hop — in the plain and faulted paths
+                // alike.
+                if (current != message.target &&
+                    result.routing.steps() + result.routing.retries >= max_steps) {
                     return finish(RoutingStatus::kStepLimit);
                 }
                 break;
@@ -166,5 +153,34 @@ DistributedResult simulate_routing(const Graph& graph, const Objective& objectiv
         options.faults != nullptr ? options.faults : options.routing.faults;
     return simulate_impl(graph, objective, protocol, source, options.routing, faults);
 }
+
+namespace detail {
+
+SendOutcome faulted_send(FaultView& faults, std::uint64_t& send_attempt, Vertex from,
+                         Vertex to, std::size_t max_steps, RoutingResult& routing,
+                         SimulationTelemetry& telemetry) {
+    int failures = 0;
+    while (true) {
+        bool lost = faults.message_lost(send_attempt++);
+        if (faults.transient()) {
+            if (!faults.link_up(from, to)) lost = true;
+            faults.advance_epoch();
+        }
+        if (!lost) return SendOutcome::kSent;
+        ++telemetry.message_drops;
+        if (failures >= faults.max_retries()) {
+            return SendOutcome::kDroppedInFlight;
+        }
+        ++failures;
+        ++telemetry.wakes;
+        ++telemetry.retries;
+        ++routing.retries;
+        if (routing.steps() + routing.retries >= max_steps) {
+            return SendOutcome::kBudgetExhausted;
+        }
+    }
+}
+
+}  // namespace detail
 
 }  // namespace smallworld

@@ -9,6 +9,8 @@
 
 namespace smallworld {
 
+class FaultView;  // core/fault.h
+
 /// The distributed execution model of the paper (Sections 1, 2.2, 5):
 /// exactly one node is awake at a time — the current message holder — and
 /// it can see only its own address, the addresses of its direct neighbors,
@@ -129,6 +131,10 @@ struct SimulationTelemetry {
     std::size_t message_drops = 0;          ///< send attempts lost in flight
     std::size_t retries = 0;                ///< re-send attempts (each +1 wake)
     std::size_t skipped_dead_neighbors = 0; ///< adjacency entries filtered per wake
+
+    // Serving-layer telemetry (distributed/serving.h); always zero in the
+    // lockstep simulator, where no node queue exists.
+    std::size_t queue_drops = 0;            ///< arrivals refused by a full node queue
 };
 
 struct DistributedResult {
@@ -164,5 +170,28 @@ struct FaultedSimulationOptions {
                                                  const DistributedProtocol& protocol,
                                                  Vertex source,
                                                  const FaultedSimulationOptions& options);
+
+namespace detail {
+
+enum class SendOutcome {
+    kSent,            ///< message is on the wire toward its next hop
+    kDroppedInFlight, ///< max_retries consecutive losses: report kDeadEnd
+    kBudgetExhausted, ///< a charged retry landed on the budget: kStepLimit
+};
+
+/// The send chokepoint shared by the lockstep and discrete-event simulators
+/// (one implementation so fault-draw sequences and budget accounting cannot
+/// diverge). Precondition: faults.active(). A send lost to per-wake message
+/// loss or a down transient link is retried by the same node — one extra
+/// wake and one budget-charged retry per attempt, without re-running
+/// on_wake (handlers are not idempotent) — until it succeeds, max_retries
+/// consecutive losses drop the packet, or a retry lands exactly on the
+/// budget (budget beats retry exhaustion, DESIGN.md §9).
+[[nodiscard]] SendOutcome faulted_send(FaultView& faults, std::uint64_t& send_attempt,
+                                       Vertex from, Vertex to, std::size_t max_steps,
+                                       RoutingResult& routing,
+                                       SimulationTelemetry& telemetry);
+
+}  // namespace detail
 
 }  // namespace smallworld
