@@ -5,14 +5,18 @@
 // runs the committed ablation:
 //
 //   {plain labels, Morton labels} x {legacy per-call objective, memoized
-//   batched objective}
+//   batched objective} plus the SIMD ablation ladder on Morton labels:
+//   +SoA scalar kernels, +AVX2 vector kernels, +next-hop prefetch,
+//   +cohort-shared memo pool
 //
 // on the *same physical graph and the same physical (s,t) pairs*, so the
 // measured separation is purely the evaluation pipeline, not the workload.
 // The legacy cell reconstructs the pre-overhaul behavior (one virtual call
-// per neighbor, torus distance + pow every time, no memo). A thread sweep
-// of the per-target parallel pipeline rides along; delivered counts and
-// total hops are asserted identical across every cell and thread count.
+// per neighbor, torus distance + pow every time, no memo); the memoized
+// cell pins PhiEvalMode::kLegacyAos, the pre-SIMD production evaluator. A
+// thread sweep of the per-target parallel pipeline rides along; delivered
+// counts and total hops are asserted identical across every cell and thread
+// count (the kernels are bit-identical, so any mismatch is a bug).
 //
 // `--sweep [output.json]` writes BENCH_routing_throughput.json; `--smoke`
 // shrinks the instance so CI can execute the full code path in seconds.
@@ -25,6 +29,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -32,6 +37,9 @@
 #include "core/greedy.h"
 #include "core/phi_dfs.h"
 #include "core/thread_pool.h"
+#include "girg/phi_evaluator.h"
+#include "girg/phi_memo.h"
+#include "girg/phi_soa.h"
 #include "girg/relabel.h"
 #include "random/rng.h"
 
@@ -111,7 +119,7 @@ struct CellResult {
 /// delivered/hops tallies are label-invariant, so every cell must agree.
 template <typename MakeObjective>
 CellResult run_cell(const SweepWorkload& workload, const MakeObjective& make_objective,
-                    int reps, unsigned threads) {
+                    int reps, unsigned threads, const RoutingOptions& routing = {}) {
     const GreedyRouter router;
     CellResult result;
     for (int rep = 0; rep < reps; ++rep) {
@@ -125,7 +133,7 @@ CellResult run_cell(const SweepWorkload& workload, const MakeObjective& make_obj
                 CellResult& local = per_target[t];
                 for (const Vertex source : sources) {
                     const RoutingResult routed =
-                        router.route(workload.girg->graph, *objective, source);
+                        router.route(workload.girg->graph, *objective, source, routing);
                     ++local.attempts;
                     local.hops += routed.steps();
                     if (routed.success()) ++local.delivered;
@@ -203,25 +211,60 @@ int run_sweep(const std::string& output_path, bool smoke) {
     const auto make_legacy = [](const Girg& girg, Vertex target) {
         return std::make_unique<LegacyGirgObjective>(girg, target);
     };
+    // The pre-SIMD production evaluator (memoized, batched, AoS reads,
+    // per-call norm branch) — the baseline the acceptance speedup is judged
+    // against.
     const auto make_memoized = [](const Girg& girg, Vertex target) {
+        PhiOptions options;
+        options.mode = PhiEvalMode::kLegacyAos;
+        return std::make_unique<GirgObjective>(girg, target, options);
+    };
+    const auto make_soa = [](const Girg& girg, Vertex target) {
+        PhiOptions options;
+        options.mode = PhiEvalMode::kScalar;
+        return std::make_unique<GirgObjective>(girg, target, options);
+    };
+    // kAuto: AVX2 kernels when the host supports them, SoA scalar otherwise
+    // (simd_active in the JSON records which one actually ran).
+    const auto make_simd = [](const Girg& girg, Vertex target) {
         return std::make_unique<GirgObjective>(girg, target);
     };
+    const auto cohort_pool = std::make_shared<PhiMemoPool>();
+    const auto make_cohort = [cohort_pool](const Girg& girg, Vertex target) {
+        PhiOptions options;
+        options.pool = cohort_pool;
+        return std::make_unique<GirgObjective>(girg, target, options);
+    };
+    RoutingOptions no_prefetch;
+    no_prefetch.prefetch = false;
+    const RoutingOptions with_prefetch;
 
     // Single-thread ablation: the acceptance speedup must come from cache
-    // locality + the memoized batched kernel, not from core count.
+    // locality + the vectorized evaluation pipeline, not from core count.
+    // Prefetch stays off until its own ablation cell so each rung isolates
+    // one change.
     struct Cell {
         const char* name;
         CellResult result;
     };
     std::vector<Cell> cells;
     std::cerr << "sweep: single-thread ablation...\n";
-    cells.push_back({"plain_legacy", run_cell(plain_workload, make_legacy, kReps, 1)});
     cells.push_back(
-        {"plain_memoized", run_cell(plain_workload, make_memoized, kReps, 1)});
+        {"plain_legacy", run_cell(plain_workload, make_legacy, kReps, 1, no_prefetch)});
     cells.push_back(
-        {"relabeled_legacy", run_cell(relabeled_workload, make_legacy, kReps, 1)});
-    cells.push_back(
-        {"relabeled_memoized", run_cell(relabeled_workload, make_memoized, kReps, 1)});
+        {"plain_memoized", run_cell(plain_workload, make_memoized, kReps, 1, no_prefetch)});
+    cells.push_back({"relabeled_legacy",
+                     run_cell(relabeled_workload, make_legacy, kReps, 1, no_prefetch)});
+    cells.push_back({"relabeled_memoized",
+                     run_cell(relabeled_workload, make_memoized, kReps, 1, no_prefetch)});
+    cells.push_back({"relabeled_soa",
+                     run_cell(relabeled_workload, make_soa, kReps, 1, no_prefetch)});
+    cells.push_back({"relabeled_simd",
+                     run_cell(relabeled_workload, make_simd, kReps, 1, no_prefetch)});
+    cells.push_back({"relabeled_simd_prefetch",
+                     run_cell(relabeled_workload, make_simd, kReps, 1, with_prefetch)});
+    cells.push_back({"relabeled_simd_cohort",
+                     run_cell(relabeled_workload, make_cohort, kReps, 1, with_prefetch)});
     for (const Cell& cell : cells) {
         std::cerr << "sweep: " << cell.name << " " << cell.result.seconds << "s  "
                   << static_cast<double>(cell.result.attempts) / cell.result.seconds
@@ -241,7 +284,8 @@ int run_sweep(const std::string& output_path, bool smoke) {
     }
 
     // Thread sweep of the per-target pipeline on the production
-    // configuration (relabeled + memoized).
+    // configuration (relabeled + SIMD + prefetch + cohort pool; the locked
+    // pool is shared across workers).
     struct ThreadRow {
         unsigned threads;
         CellResult result;
@@ -250,7 +294,8 @@ int run_sweep(const std::string& output_path, bool smoke) {
     std::cerr << "sweep: thread sweep...\n";
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
         thread_rows.push_back(
-            {threads, run_cell(relabeled_workload, make_memoized, kReps, threads)});
+            {threads,
+             run_cell(relabeled_workload, make_cohort, kReps, threads, with_prefetch)});
         const ThreadRow& row = thread_rows.back();
         if (row.result.delivered != cells.front().result.delivered ||
             row.result.hops != cells.front().result.hops) {
@@ -261,10 +306,17 @@ int run_sweep(const std::string& output_path, bool smoke) {
         std::cerr << "sweep: threads=" << threads << " " << row.result.seconds << "s\n";
     }
 
-    const double base_rate = static_cast<double>(cells[0].result.attempts) /
-                             cells[0].result.seconds;
-    const double best_rate = static_cast<double>(cells[3].result.attempts) /
-                             cells[3].result.seconds;
+    const auto rate_of = [&](const char* name) {
+        for (const Cell& cell : cells) {
+            if (std::string_view(cell.name) == name) {
+                return static_cast<double>(cell.result.attempts) / cell.result.seconds;
+            }
+        }
+        return 0.0;
+    };
+    const double base_rate = rate_of("plain_legacy");
+    const double memoized_rate = rate_of("relabeled_memoized");
+    const double best_rate = rate_of("relabeled_simd_cohort");
 
     json.field("smoke", smoke ? 1.0 : 0.0);
     json.field("n", static_cast<double>(n));
@@ -280,6 +332,7 @@ int run_sweep(const std::string& output_path, bool smoke) {
     json.field("delivered", static_cast<double>(cells[0].result.delivered));
     json.field("total_hops", static_cast<double>(cells[0].result.hops));
     json.field("outcomes_identical_across_cells_and_threads", 1.0);
+    json.field("simd_active", phi_simd_available() ? 1.0 : 0.0);
 
     std::ostringstream ablation;
     ablation << "[\n";
@@ -295,6 +348,9 @@ int run_sweep(const std::string& output_path, bool smoke) {
     ablation << "  ]";
     json.field_raw("single_thread_ablation", ablation.str());
     json.field("single_thread_speedup", best_rate / base_rate);
+    // The PR-7 acceptance ratio: full SIMD+prefetch+cohort configuration
+    // against the pre-SIMD memoized production path, same labels, same pairs.
+    json.field("simd_cohort_speedup_vs_relabeled_memoized", best_rate / memoized_rate);
 
     std::ostringstream threads_json;
     threads_json << "[\n";

@@ -1,6 +1,7 @@
 #include "core/gravity_pressure.h"
 
 #include <unordered_map>
+#include <vector>
 
 #include "core/fault.h"
 
@@ -24,6 +25,7 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
     // Audited lookup-only (find/operator[]): per-vertex visit counts are
     // only queried point-wise, never iterated.
     std::unordered_map<Vertex, std::size_t> visits;
+    std::vector<double> scratch;  // batched neighbor objectives, reused per scan
     bool pressure = false;
     double escape_value = 0.0;  // objective of the local optimum to beat
 
@@ -52,11 +54,16 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
                 any_neighbor = best != kNoVertex;
             } else {
                 // Same first-maximum argmax as best_of, restricted to the
-                // residual neighborhood.
-                for (const Vertex u : graph.neighbors(current)) {
+                // residual neighborhood. One batched values() call; phi is
+                // pure, so evaluating dead neighbors changes nothing.
+                const auto neighbors = graph.neighbors(current);
+                scratch.resize(neighbors.size());
+                objective.values(neighbors, scratch.data());
+                for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                    const Vertex u = neighbors[i];
                     if (!faults.usable(current, u)) continue;
                     any_neighbor = true;
-                    const double value = objective.value(u);
+                    const double value = scratch[i];
                     if (best == kNoVertex || value > best_value) {
                         best = u;
                         best_value = value;
@@ -76,13 +83,18 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
         if (pressure) {
             ++visits[current];
             // Least-visited usable neighbor; ties toward higher objective.
+            // Neighbor objectives come from one batched values() call.
+            const auto neighbors = graph.neighbors(current);
+            scratch.resize(neighbors.size());
+            objective.values(neighbors, scratch.data());
             std::size_t best_visits = 0;
             double best_value = 0.0;
-            for (const Vertex u : graph.neighbors(current)) {
+            for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                const Vertex u = neighbors[i];
                 if (faults.active() && !faults.usable(current, u)) continue;
                 const auto it = visits.find(u);
                 const std::size_t u_visits = it == visits.end() ? 0 : it->second;
-                const double u_value = objective.value(u);
+                const double u_value = scratch[i];
                 if (next == kNoVertex || u_visits < best_visits ||
                     (u_visits == best_visits && u_value > best_value)) {
                     next = u;
@@ -94,7 +106,7 @@ RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& 
                 result.status = RoutingStatus::kDeadEnd;
                 return result;
             }
-            if (objective.value(next) > escape_value) pressure = false;
+            if (best_value > escape_value) pressure = false;
         }
         if (faults.transient()) {
             // Send chokepoint: the chosen move is retried verbatim while its

@@ -38,6 +38,9 @@ RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective
             result.status = RoutingStatus::kDeadEnd;
             return result;
         }
+        // Pull the next hop's adjacency row toward the cache while this
+        // iteration finishes bookkeeping; its scan starts a few cycles out.
+        if (options.prefetch) graph.prefetch_neighbors(next.vertex);
         result.path.push_back(next.vertex);
         current = next.vertex;
         current_value = next.value;

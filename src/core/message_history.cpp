@@ -55,14 +55,21 @@ public:
                 return result_;
             }
             if (visited_.insert(current).second) {
-                for (const Vertex u : graph_.neighbors(current)) {
+                // One batched values() call per frontier fill; phi is pure,
+                // so evaluating dead or already-visited neighbors too changes
+                // nothing beyond warming the memo.
+                const auto neighbors = graph_.neighbors(current);
+                scratch_.resize(neighbors.size());
+                objective_.values(neighbors, scratch_.data());
+                for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                    const Vertex u = neighbors[i];
                     // A dead neighbor never enters the frontier: the protocol
                     // degrades as if the edge had been explored and
                     // backtracked, and delivery is judged on the residual
                     // graph.
                     if (faults_.active() && !faults_.usable(current, u)) continue;
                     if (!visited_.contains(u)) {
-                        frontier_.push({objective_.value(u), current, u});
+                        frontier_.push({scratch_[i], current, u});
                     }
                 }
             }
@@ -103,11 +110,15 @@ private:
     /// active plan; plain best_neighbor() (batched argmax) otherwise.
     [[nodiscard]] Vertex best_usable_neighbor(Vertex v) const {
         if (!faults_.active()) return best_neighbor(graph_, objective_, v);
+        const auto neighbors = graph_.neighbors(v);
+        scratch_.resize(neighbors.size());
+        objective_.values(neighbors, scratch_.data());
         Vertex best = kNoVertex;
         double best_value = 0.0;
-        for (const Vertex u : graph_.neighbors(v)) {
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            const Vertex u = neighbors[i];
             if (!faults_.usable(v, u)) continue;
-            const double value = objective_.value(u);
+            const double value = scratch_[i];
             if (best == kNoVertex || value > best_value) {
                 best = u;
                 best_value = value;
@@ -198,6 +209,7 @@ private:
     // Audited lookup-only (contains/insert): membership probe, never iterated.
     std::unordered_set<Vertex> visited_;
     std::priority_queue<Candidate> frontier_;
+    mutable std::vector<double> scratch_;  // batched neighbor objectives
     RoutingResult result_;
 };
 

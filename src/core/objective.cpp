@@ -11,8 +11,8 @@
 
 namespace smallworld {
 
-GirgObjective::GirgObjective(const Girg& girg, Vertex target)
-    : evaluator_(girg, target) {}
+GirgObjective::GirgObjective(const Girg& girg, Vertex target, const PhiOptions& options)
+    : evaluator_(girg, target, options) {}
 
 double GirgObjective::value(Vertex v) const { return evaluator_.value(v); }
 
@@ -40,8 +40,9 @@ void GeometricObjective::values(std::span<const Vertex> vertices, double* out) c
 }
 
 RelaxedObjective::RelaxedObjective(const Girg& girg, Vertex target, RelaxationKind kind,
-                                   double magnitude, std::uint64_t seed)
-    : evaluator_(girg, target), kind_(kind), magnitude_(magnitude), seed_(seed) {}
+                                   double magnitude, std::uint64_t seed,
+                                   const PhiOptions& options)
+    : evaluator_(girg, target, options), kind_(kind), magnitude_(magnitude), seed_(seed) {}
 
 double RelaxedObjective::value(Vertex v) const {
     if (v == evaluator_.target()) return std::numeric_limits<double>::infinity();
@@ -72,8 +73,9 @@ void RelaxedObjective::values(std::span<const Vertex> vertices, double* out) con
     for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
 }
 
-QuantizedObjective::QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits)
-    : evaluator_(girg, target), mantissa_bits_(mantissa_bits) {
+QuantizedObjective::QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits,
+                                       const PhiOptions& options)
+    : evaluator_(girg, target, options), mantissa_bits_(mantissa_bits) {
     if (mantissa_bits < 1 || mantissa_bits > 52) {
         throw std::invalid_argument("QuantizedObjective: mantissa_bits in [1, 52]");
     }

@@ -64,7 +64,9 @@ public:
 /// neighbor.
 class GirgObjective final : public Objective {
 public:
-    GirgObjective(const Girg& girg, Vertex target);
+    /// `options` selects the evaluator kernel (scalar/SIMD/legacy) and an
+    /// optional cohort-shared memo pool; the default auto-dispatches.
+    GirgObjective(const Girg& girg, Vertex target, const PhiOptions& options = {});
 
     [[nodiscard]] double value(Vertex v) const override;
     [[nodiscard]] Vertex target() const override { return evaluator_.target(); }
@@ -114,7 +116,7 @@ enum class RelaxationKind {
 class RelaxedObjective final : public Objective {
 public:
     RelaxedObjective(const Girg& girg, Vertex target, RelaxationKind kind,
-                     double magnitude, std::uint64_t seed);
+                     double magnitude, std::uint64_t seed, const PhiOptions& options = {});
 
     [[nodiscard]] double value(Vertex v) const override;
     [[nodiscard]] Vertex target() const override { return evaluator_.target(); }
@@ -135,7 +137,8 @@ private:
 /// theorem's constant-factor relaxation class for any bits >= 1.
 class QuantizedObjective final : public Objective {
 public:
-    QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits);
+    QuantizedObjective(const Girg& girg, Vertex target, int mantissa_bits,
+                       const PhiOptions& options = {});
 
     [[nodiscard]] double value(Vertex v) const override;
     [[nodiscard]] Vertex target() const override { return evaluator_.target(); }

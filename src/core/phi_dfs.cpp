@@ -29,6 +29,7 @@ public:
           objective_(objective),
           source_(source),
           max_steps_(options.effective_max_steps(graph.num_vertices())),
+          prefetch_(options.prefetch),
           faults_(options.faults, source) {}
 
     RoutingResult execute() {
@@ -70,6 +71,7 @@ public:
                     last_visited_ = v;
                     backtrack_upper_ = objective_.value(v);
                     op = Op::kBacktrack;
+                    maybe_prefetch(back);
                     v = back;
                     continue;
                 }
@@ -84,6 +86,7 @@ public:
                 const BestNeighbor best = best_any_neighbor(v);
                 if (best.vertex != kNoVertex && best.value >= message_phi_) {
                     last_visited_ = v;
+                    maybe_prefetch(best.vertex);
                     v = best.vertex;
                     continue;  // EXPLORE(best)
                 }
@@ -91,6 +94,7 @@ public:
                 last_visited_ = v;
                 backtrack_upper_ = objective_.value(v);
                 op = Op::kBacktrack;
+                maybe_prefetch(back);
                 v = back;
                 continue;
             }
@@ -105,6 +109,7 @@ public:
                 // Lines 20-22: continue the DFS into the next-best child.
                 last_visited_ = v;
                 op = Op::kExplore;
+                maybe_prefetch(child);
                 v = child;
                 continue;
             }
@@ -136,11 +141,19 @@ public:
             const Vertex up = st.parent;
             last_visited_ = v;
             backtrack_upper_ = objective_.value(v);
+            maybe_prefetch(up);
             v = up;
         }
     }
 
 private:
+    /// Software-prefetch of the chosen next vertex's adjacency row; a pure
+    /// memory-system hint issued at every walk transition (see
+    /// RoutingOptions::prefetch).
+    void maybe_prefetch(Vertex v) const noexcept {
+        if (prefetch_) graph_.prefetch_neighbors(v);
+    }
+
     /// SET_NEW_PHI(v, m), lines 30-35.
     void set_new_phi(Vertex v, double phi_v) {
         best_seen_ = phi_v;
@@ -235,6 +248,7 @@ private:
     const Objective& objective_;
     Vertex source_;
     std::size_t max_steps_;
+    bool prefetch_;
     FaultView faults_;  // route-scoped; inactive when no plan is set
 
     // Audited lookup-only (operator[]/find): never iterated, so hash order

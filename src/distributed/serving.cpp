@@ -56,11 +56,13 @@ ServingResult simulate_many(const Graph& graph, const TargetObjectiveFactory& fa
     }
 
     // One objective per *distinct* target, shared by every query routing to
-    // it — all evaluation happens on the event loop, so the single-threaded
-    // objective contract holds. Construction (the expensive part for
-    // memoizing objectives) fans out over setup workers; each build is
-    // independent and lands at a deterministic index, so the thread count
-    // cannot leak into results.
+    // it — the cohort seam: all queries toward a target share one memo table
+    // (and, for girg objectives, the graph's SoA attribute view), and all
+    // evaluation happens on the event loop, so the single-threaded objective
+    // contract holds. Construction (the expensive part for memoizing
+    // objectives) fans out over setup workers; each build is independent and
+    // lands at a deterministic index, so the thread count cannot leak into
+    // results.
     std::vector<Vertex> targets;
     targets.reserve(queries.size());
     for (const ServingQuery& q : queries) targets.push_back(q.target);

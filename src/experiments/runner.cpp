@@ -15,8 +15,15 @@
 namespace smallworld {
 
 ObjectiveFactory girg_objective_factory() {
-    return [](const Girg& girg, Vertex target) -> std::unique_ptr<Objective> {
-        return std::make_unique<GirgObjective>(girg, target);
+    // One memo pool per factory: the runner's ≤16-source Phase-B blocks each
+    // build one objective through this closure, so consecutive blocks recycle
+    // memo tables (O(touched) reset) instead of NaN-filling n doubles. Pure
+    // phi makes pooling invisible in results; the pool itself is locked.
+    const auto pool = std::make_shared<PhiMemoPool>();
+    return [pool](const Girg& girg, Vertex target) -> std::unique_ptr<Objective> {
+        PhiOptions options;
+        options.pool = pool;
+        return std::make_unique<GirgObjective>(girg, target, options);
     };
 }
 
@@ -28,9 +35,13 @@ ObjectiveFactory geometric_objective_factory() {
 
 ObjectiveFactory relaxed_objective_factory(RelaxationKind kind, double magnitude,
                                            std::uint64_t seed) {
-    return [kind, magnitude, seed](const Girg& girg,
-                                   Vertex target) -> std::unique_ptr<Objective> {
-        return std::make_unique<RelaxedObjective>(girg, target, kind, magnitude, seed);
+    const auto pool = std::make_shared<PhiMemoPool>();
+    return [kind, magnitude, seed, pool](const Girg& girg,
+                                         Vertex target) -> std::unique_ptr<Objective> {
+        PhiOptions options;
+        options.pool = pool;
+        return std::make_unique<RelaxedObjective>(girg, target, kind, magnitude, seed,
+                                                  options);
     };
 }
 
@@ -127,6 +138,10 @@ TrialStats run_trials_impl(const Graph& graph, const Router& router,
             const std::vector<std::int32_t>& dist = ctx.dist;
             Rng rng = streams.stream(config.targets + item);
             TrialStats& stats = per_block[item];
+            // One objective per ≤16-source block: the cohort shares its memo
+            // table (and, for girg objectives, the graph's SoA view) across
+            // all sources routed toward this target; factories built with a
+            // PhiMemoPool additionally recycle tables across blocks.
             const auto objective = factory(target);
 
             const std::size_t first = block * kSourcesPerBlock;

@@ -1,10 +1,32 @@
 #include "girg/girg.h"
 
 #include <limits>
+#include <memory>
+#include <mutex>
 
 #include "geometry/torus.h"
+#include "girg/phi_soa.h"
 
 namespace smallworld {
+
+namespace {
+// One process-wide mutex (not per instance) keeps Girg copyable/movable; the
+// critical section is a pointer check plus, once per graph, the plane build.
+std::mutex g_phi_soa_mutex;
+}  // namespace
+
+std::shared_ptr<const PhiSoA> Girg::phi_soa() const {
+    const std::lock_guard<std::mutex> lock(g_phi_soa_mutex);
+    if (phi_soa_cache_ == nullptr || phi_soa_cache_->size() != weights.size()) {
+        phi_soa_cache_ = std::make_shared<PhiSoA>(weights, positions);
+    }
+    return phi_soa_cache_;
+}
+
+void Girg::invalidate_phi_soa() const {
+    const std::lock_guard<std::mutex> lock(g_phi_soa_mutex);
+    phi_soa_cache_.reset();
+}
 
 double Girg::objective(Vertex v, const double* target_position) const noexcept {
     const double dist =

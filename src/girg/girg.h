@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -7,6 +8,8 @@
 #include "random/point_process.h"
 
 namespace smallworld {
+
+class PhiSoA;
 
 /// A sampled geometric inhomogeneous random graph: the parameters, the
 /// vertex attributes (weights, torus positions), and the resulting graph.
@@ -40,6 +43,19 @@ struct Girg {
         return weights.capacity() * sizeof(double) +
                positions.coords.capacity() * sizeof(double) + graph.memory_bytes();
     }
+
+    /// Lazily built, cached structure-of-arrays view of (weights, positions)
+    /// shared read-only by every PhiEvaluator on this instance. Thread-safe;
+    /// the first caller pays the O(n*d) plane build.
+    [[nodiscard]] std::shared_ptr<const PhiSoA> phi_soa() const;
+
+    /// Drops the cached SoA view. Must be called after mutating weights or
+    /// positions in place (morton_relabel does); outstanding shared_ptrs
+    /// keep the old planes alive but new evaluators see the fresh ones.
+    void invalidate_phi_soa() const;
+
+private:
+    mutable std::shared_ptr<const PhiSoA> phi_soa_cache_;
 };
 
 }  // namespace smallworld

@@ -2,13 +2,16 @@
 
 #include <cmath>
 #include <cstddef>
-#include <limits>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/check.h"
 #include "geometry/torus.h"
 #include "girg/girg.h"
+#include "girg/phi_memo.h"
+#include "girg/phi_soa.h"
 
 namespace smallworld {
 
@@ -19,18 +22,40 @@ struct BestNeighbor {
     double value = 0.0;
 };
 
+/// How a PhiEvaluator evaluates. All modes produce bit-identical values,
+/// best_of choices, and therefore RoutingResults — asserted by
+/// tests/phi_simd_test.cpp and per bench cell.
+enum class PhiEvalMode {
+    kAuto,       ///< AVX2 kernels when phi_simd_available(), scalar otherwise
+    kScalar,     ///< SoA scalar kernels, (norm, dim) dispatch hoisted to ctor
+    kSimd,       ///< AVX2 kernels; construction aborts if the path cannot run
+    kLegacyAos,  ///< pre-SIMD shape (AoS reads, per-call norm branch, no bulk
+                 ///< path) — kept measurable as the bench baseline
+};
+
+/// Construction-time evaluator options, threaded through the objective
+/// factories (GirgObjective and friends take a trailing PhiOptions).
+struct PhiOptions {
+    PhiEvalMode mode = PhiEvalMode::kAuto;
+    /// Cohort-shared memo tables: when set, the evaluator acquires a
+    /// recycled NaN-sentinel table from the pool (O(touched) reset instead
+    /// of an O(n) refill) and returns it on destruction. Memoized phi is a
+    /// pure function of the vertex attributes, so pooling affects allocation
+    /// traffic only, never values.
+    std::shared_ptr<PhiMemoPool> pool;
+};
+
 /// Non-virtual, memoizing evaluator of the canonical objective
 ///
 ///   phi(v) = wv / (wmin * n * ||xv - xt||^d)
 ///
-/// bound to one target. This is the SoA hot-path kernel behind
-/// GirgObjective and its derived objectives: raw pointers into the Girg's
-/// flat weight/coordinate arrays, the target position copied into the
-/// evaluator (no pointer chase per call), an integer-d distance-power loop
-/// instead of std::pow, and a per-vertex memo so the phi of a vertex visited
-/// through several neighbor lists is computed once per (target, query) pair.
-///
-/// Bit-identical to Girg::objective(v, position(target)): the division
+/// bound to one target. This is the hot-path kernel behind GirgObjective and
+/// its derived objectives. Construction binds one kernel family (see
+/// PhiEvalMode): the SoA modes read the Girg's cache-aligned attribute
+/// planes (shared read-only across evaluators via Girg::phi_soa()) through
+/// (norm, dim)-templated kernels — vectorized 8-wide under AVX2 — while the
+/// legacy mode reproduces the pre-SIMD AoS evaluator exactly. All modes are
+/// bit-identical to Girg::objective(v, position(target)): the division
 /// groups as weights[v] / ((wmin * n) * dist^d) with wmin * n precomputed,
 /// which is exactly the expression the original evaluated.
 ///
@@ -39,71 +64,90 @@ struct BestNeighbor {
 /// vertex attributes, so independent memos always agree.
 class PhiEvaluator {
 public:
-    PhiEvaluator(const Girg& girg, Vertex target)
-        : weights_(girg.weights.data()),
-          coords_(girg.positions.coords.data()),
-          wn_(girg.params.wmin * girg.params.n),
-          dim_(girg.params.dim),
-          norm_(girg.params.norm),
-          target_(target),
-          memo_(girg.weights.size(), kUnset) {
-        GIRG_CHECK(target < girg.weights.size(), "phi target ", target, " >= n=",
-                   girg.weights.size());
+    explicit PhiEvaluator(const Girg& girg, Vertex target, const PhiOptions& options = {})
+        : pool_(options.pool) {
+        const std::size_t n = girg.weights.size();
+        GIRG_CHECK(target < n, "phi target ", target, " >= n=", n);
+        PhiEvalMode mode = options.mode;
+        if (mode == PhiEvalMode::kAuto) {
+            mode = phi_simd_available() ? PhiEvalMode::kSimd : PhiEvalMode::kScalar;
+        }
+        ctx_.weights = girg.weights.data();
+        ctx_.aos_coords = girg.positions.coords.data();
+        ctx_.wn = girg.params.wmin * girg.params.n;
+        ctx_.dim = girg.params.dim;
+        ctx_.norm = girg.params.norm;
+        ctx_.target = target;
         const double* t = girg.position(target);
-        for (int axis = 0; axis < dim_; ++axis) target_position_[axis] = t[axis];
+        for (int axis = 0; axis < ctx_.dim; ++axis) ctx_.target_position[axis] = t[axis];
+
+        PhiKernel kernel = PhiKernel::kLegacy;
+        if (mode != PhiEvalMode::kLegacyAos) {
+            GIRG_CHECK(mode != PhiEvalMode::kSimd || phi_simd_available(),
+                       "PhiEvalMode::kSimd requested but the AVX2 path cannot run");
+            soa_ = girg.phi_soa();
+            ctx_.weights = soa_->weight_plane();
+            for (int axis = 0; axis < ctx_.dim; ++axis) {
+                ctx_.axes[axis] = soa_->axis_plane(axis);
+            }
+            kernel = mode == PhiEvalMode::kSimd ? PhiKernel::kAvx2 : PhiKernel::kScalar;
+        }
+        ops_ = &phi_kernel_ops(ctx_.norm, ctx_.dim, kernel);
+        // Single-vertex probes always run the scalar compute; identical bits
+        // to the vector lanes by the kernel contract.
+        compute_ = phi_compute_fn(ctx_.norm, ctx_.dim,
+                                  kernel == PhiKernel::kLegacy ? PhiKernel::kLegacy
+                                                               : PhiKernel::kScalar);
+        table_ = pool_ != nullptr ? pool_->acquire(n) : std::make_unique<PhiMemoTable>(n);
+        ctx_.memo = table_->data();
+        ctx_.touched = table_->touched();
     }
 
-    [[nodiscard]] Vertex target() const noexcept { return target_; }
-    [[nodiscard]] double weight(Vertex v) const noexcept { return weights_[v]; }
+    ~PhiEvaluator() {
+        if (pool_ != nullptr) pool_->release(std::move(table_));
+    }
+
+    // The kernel context points into the memo table; copying would alias it.
+    PhiEvaluator(const PhiEvaluator&) = delete;
+    PhiEvaluator& operator=(const PhiEvaluator&) = delete;
+    PhiEvaluator(PhiEvaluator&&) = delete;
+    PhiEvaluator& operator=(PhiEvaluator&&) = delete;
+
+    [[nodiscard]] Vertex target() const noexcept { return ctx_.target; }
+    [[nodiscard]] double weight(Vertex v) const noexcept { return ctx_.weights[v]; }
 
     /// phi(v), memoized; +infinity iff v is the target (or collides with it).
-    [[nodiscard]] double value(Vertex v) const noexcept {
-        GIRG_DCHECK(v < memo_.size(), "phi of out-of-range vertex ", v);
-        double& slot = memo_[v];
-        if (std::isnan(slot)) slot = compute(v);
+    [[nodiscard]] double value(Vertex v) const {
+        GIRG_DCHECK(v < table_->size(), "phi of out-of-range vertex ", v);
+        double& slot = ctx_.memo[v];
+        if (std::isnan(slot)) {
+            slot = compute_(ctx_, v);
+            ctx_.touched->push_back(v);
+        }
         return slot;
     }
 
-    /// Fills out[i] = value(vertices[i]) — one pass over a neighbor list.
-    void values(std::span<const Vertex> vertices, double* out) const noexcept {
-        for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
+    /// Fills out[i] = value(vertices[i]) — one batched pass over a neighbor
+    /// list (vectorized under AVX2, bulk-computed when the memo is cold).
+    void values(std::span<const Vertex> vertices, double* out) const {
+        ops_->values(ctx_, vertices.data(), vertices.size(), out);
     }
 
     /// First maximizer of phi over `vertices` in list order (ties toward the
     /// earlier entry, i.e. the smaller id on sorted CSR neighbor lists).
-    [[nodiscard]] BestNeighbor best_of(std::span<const Vertex> vertices) const noexcept {
-        BestNeighbor best;
-        for (const Vertex u : vertices) {
-            const double value_u = value(u);
-            if (best.vertex == kNoVertex || value_u > best.value) {
-                best.vertex = u;
-                best.value = value_u;
-            }
-        }
-        return best;
+    [[nodiscard]] BestNeighbor best_of(std::span<const Vertex> vertices) const {
+        const PhiBestLane lane = ops_->best(ctx_, vertices.data(), vertices.size());
+        if (lane.index == PhiBestLane::kNone) return {};
+        return {vertices[lane.index], lane.value};
     }
 
 private:
-    static constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
-
-    [[nodiscard]] double compute(Vertex v) const noexcept {
-        if (v == target_) return std::numeric_limits<double>::infinity();
-        const double* x = coords_ + static_cast<std::size_t>(v) * dim_;
-        const double dist = torus_distance(x, target_position_, dim_, norm_);
-        double dist_pow_d = dist;
-        for (int i = 1; i < dim_; ++i) dist_pow_d *= dist;
-        if (dist_pow_d == 0.0) return std::numeric_limits<double>::infinity();
-        return weights_[v] / (wn_ * dist_pow_d);
-    }
-
-    const double* weights_;
-    const double* coords_;
-    double target_position_[kMaxDim] = {0.0, 0.0, 0.0, 0.0};
-    double wn_;  // wmin * n, the grouping Girg::objective uses
-    int dim_;
-    Norm norm_;
-    Vertex target_;
-    mutable std::vector<double> memo_;
+    PhiKernelCtx ctx_;
+    const PhiKernelOps* ops_ = nullptr;
+    PhiComputeFn compute_ = nullptr;
+    std::shared_ptr<const PhiSoA> soa_;
+    std::shared_ptr<PhiMemoPool> pool_;
+    std::unique_ptr<PhiMemoTable> table_;
 };
 
 }  // namespace smallworld

@@ -1,0 +1,4 @@
+// Minimal *_simd kernel fixture whose equivalence marker went stale: the
+// named test was renamed and no longer exists on disk.
+// Scalar-equivalence test: tests/phi_simd_test_renamed.cpp
+int phi_simd_bad_fixture = 0;

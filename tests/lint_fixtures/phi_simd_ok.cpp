@@ -1,0 +1,4 @@
+// Minimal *_simd kernel fixture whose equivalence marker names a test file
+// that really exists in the repo.
+// Scalar-equivalence test: tests/phi_simd_test.cpp
+int phi_simd_ok_fixture = 0;

@@ -206,6 +206,35 @@ TEST(LintRules, FormatOk) {
     EXPECT_EQ(count_rule(diagnostics, "format"), 0);
 }
 
+// R6 fixtures lint under their *real* absolute paths: the rule resolves the
+// named test against the repo root derived from the display path, so a
+// synthetic path would point the existence probe at the wrong directory.
+
+TEST(LintRules, SimdEquivBadStaleName) {
+    const std::string path = std::string(LINT_FIXTURE_DIR) + "/phi_simd_bad.cpp";
+    const auto diagnostics = lint_fixture("phi_simd_bad.cpp", path);
+    ASSERT_EQ(count_rule(diagnostics, "simd-equiv"), 1);
+    const auto it = std::find_if(diagnostics.begin(), diagnostics.end(),
+                                 [](const Diagnostic& d) { return d.rule == "simd-equiv"; });
+    EXPECT_NE(it->message.find("does not exist"), std::string::npos);
+}
+
+TEST(LintRules, SimdEquivOk) {
+    const std::string path = std::string(LINT_FIXTURE_DIR) + "/phi_simd_ok.cpp";
+    EXPECT_EQ(count_rule(lint_fixture("phi_simd_ok.cpp", path), "simd-equiv"), 0);
+}
+
+TEST(LintRules, SimdEquivMissingMarker) {
+    const auto diagnostics = lint("src/girg/x_simd.cpp", FileKind::kSrc, "int x = 0;\n");
+    EXPECT_EQ(count_rule(diagnostics, "simd-equiv"), 1);
+}
+
+TEST(LintRules, SimdEquivIgnoresNonSimdFiles) {
+    EXPECT_EQ(count_rule(lint("src/girg/phi_soa.cpp", FileKind::kSrc, "int x = 0;\n"),
+                         "simd-equiv"),
+              0);
+}
+
 // ---------------------------------------------------------------------------
 // LINT-ALLOW hygiene
 // ---------------------------------------------------------------------------
@@ -304,7 +333,7 @@ TEST(LintOnly, FilteredModeSkipsAllowHygiene) {
 
 TEST(LintRegistry, AllRulesHaveIdAndSummary) {
     const auto& rules = girglint::all_rules();
-    EXPECT_GE(rules.size(), 7u);
+    EXPECT_GE(rules.size(), 8u);
     std::set<std::string> ids;
     for (const girglint::Rule& rule : rules) {
         EXPECT_NE(std::string(rule.id), "");

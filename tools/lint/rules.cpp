@@ -1,7 +1,9 @@
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <string_view>
+#include <system_error>
 #include <vector>
 
 #include "lint.h"
@@ -204,7 +206,8 @@ constexpr std::string_view kPowHotFiles[] = {
     "girg/phi_evaluator.h", "girg/edge_probability.h", "girg/fast_sampler.cpp",
     "girg/naive_sampler.cpp", "core/objective.cpp",    "core/greedy.cpp",
     "core/phi_dfs.cpp",      "core/router.cpp",        "graph/bfs.cpp",
-    "geometry/torus.h",
+    "geometry/torus.h",      "girg/phi_soa.h",         "girg/phi_soa.cpp",
+    "girg/phi_simd_avx2.cpp", "girg/phi_memo.h",       "girg/phi_kernels_inl.h",
 };
 
 void check_pow(const SourceFile& f, std::vector<RuleHit>& hits) {
@@ -388,6 +391,72 @@ void check_include(const SourceFile& f, std::vector<RuleHit>& hits) {
 }
 
 // ---------------------------------------------------------------------------
+// R6 — simd-equiv: every *_simd kernel file must name its scalar-equivalence
+// test in a comment (`Scalar-equivalence test: tests/<name>.cpp`), and the
+// named file must exist on disk. Vector kernels are only trusted through
+// their bit-identity suite; a renamed or deleted test would silently orphan
+// the kernel, so a stale name is a diagnostic too (fixtures included).
+// ---------------------------------------------------------------------------
+constexpr std::string_view kSimdMarker = "Scalar-equivalence test:";
+
+[[nodiscard]] std::string basename_of(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Prefix of `path` up to the *last* top-level-tree component (`src/`,
+/// `bench/`, `tests/`, `tools/`) — the repo root the named test is resolved
+/// against. Taking the last occurrence makes absolute paths
+/// ("/root/repo/src/..."), relative CI paths ("src/..."), and fixture paths
+/// ("/.../tests/lint_fixtures/...") all resolve to the same root.
+[[nodiscard]] std::string repo_root_of(const std::string& path) {
+    constexpr std::string_view kTrees[] = {"src/", "bench/", "tests/", "tools/"};
+    std::size_t best = std::string::npos;
+    for (const std::string_view tree : kTrees) {
+        for (std::size_t at = path.find(tree); at != std::string::npos;
+             at = path.find(tree, at + 1)) {
+            if ((at == 0 || path[at - 1] == '/') &&
+                (best == std::string::npos || at > best)) {
+                best = at;
+            }
+        }
+    }
+    return best == std::string::npos ? std::string() : path.substr(0, best);
+}
+
+void check_simd_equiv(const SourceFile& f, std::vector<RuleHit>& hits) {
+    if (basename_of(f.display_path).find("_simd") == std::string::npos) return;
+    for (const Comment& comment : f.comments) {
+        const std::size_t at = comment.text.find(kSimdMarker);
+        if (at == std::string::npos) continue;
+        // First whitespace-delimited token after the marker names the test.
+        const auto is_space = [](char c) {
+            return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+        };
+        std::size_t begin = at + kSimdMarker.size();
+        while (begin < comment.text.size() && is_space(comment.text[begin])) ++begin;
+        std::size_t end = begin;
+        while (end < comment.text.size() && !is_space(comment.text[end])) ++end;
+        const std::string named = comment.text.substr(begin, end - begin);
+        if (named.empty()) {
+            hits.push_back({comment.line, "simd-equiv",
+                            "scalar-equivalence marker names no test file"});
+            return;
+        }
+        std::error_code ec;
+        if (!std::filesystem::is_regular_file(repo_root_of(f.display_path) + named, ec)) {
+            hits.push_back({comment.line, "simd-equiv",
+                            "scalar-equivalence test '" + named +
+                                "' does not exist; update the stale name"});
+        }
+        return;  // first marker wins
+    }
+    hits.push_back({1, "simd-equiv",
+                    "SIMD kernel file must name its scalar-equivalence test in a "
+                    "comment: 'Scalar-equivalence test: tests/<name>.cpp'"});
+}
+
+// ---------------------------------------------------------------------------
 // format — mechanical whitespace invariants that do not need clang-format:
 // no tabs, no trailing whitespace, no CR, <= 100 columns, single trailing
 // newline. clang-format (CI) owns real layout; this keeps the tree clean
@@ -437,6 +506,9 @@ const std::vector<Rule>& all_rules() {
          check_relaxed},
         {"include", "R5: pragma-once, no using-namespace in headers, direct std includes",
          check_include},
+        {"simd-equiv",
+         "R6: *_simd kernel files must name an existing scalar-equivalence test",
+         check_simd_equiv},
         {"format", "whitespace hygiene: tabs, trailing space, CRLF, 100 columns",
          check_format},
     };
