@@ -29,6 +29,7 @@
 
 #include "bench_common.h"
 #include "experiments/memory.h"
+#include "girg/fingerprint.h"
 #include "girg/generator.h"
 
 namespace smallworld::bench {
@@ -36,30 +37,6 @@ namespace {
 
 constexpr std::uint64_t kVertexSeed = 22001;
 
-/// FNV-1a over raw bytes — stable fingerprint of the generated instance so
-/// the sweep can assert legacy and streaming output are bit-identical.
-std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-        hash ^= p[i];
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
-
-std::uint64_t fingerprint(const Girg& girg) {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    hash = fnv1a(hash, girg.weights.data(), girg.weights.size() * sizeof(double));
-    hash = fnv1a(hash, girg.positions.coords.data(),
-                 girg.positions.coords.size() * sizeof(double));
-    for (Vertex u = 0; u < girg.graph.num_vertices(); ++u) {
-        const auto nbrs = girg.graph.neighbors(u);
-        hash = fnv1a(hash, nbrs.data(), nbrs.size() * sizeof(Vertex));
-        const std::size_t degree = nbrs.size();
-        hash = fnv1a(hash, &degree, sizeof(degree));
-    }
-    return hash;
-}
 
 /// Child mode: generate one instance and print a parseable result line.
 int run_measure(const std::string& mode, int n, unsigned threads) {
@@ -81,7 +58,7 @@ int run_measure(const std::string& mode, int n, unsigned threads) {
               << " peak_rss=" << peak_rss_bytes()
               << " vm_peak=" << peak_vm_bytes()
               << " major_faults=" << major_page_faults()
-              << " fingerprint=" << fingerprint(girg) << "\n";
+              << " fingerprint=" << girg_fingerprint(girg) << "\n";
     return 0;
 }
 

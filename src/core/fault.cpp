@@ -21,7 +21,7 @@ namespace {
 
 }  // namespace
 
-FaultState::FaultState(const Graph& graph, const FaultPlan& plan,
+FaultState::FaultState(const GraphView& graph, const FaultPlan& plan,
                        std::span<const double> weights)
     : plan_(plan), streams_(plan.seed) {
     GIRG_CHECK(plan.link_failure_prob >= 0.0 && plan.link_failure_prob <= 1.0,
@@ -76,7 +76,7 @@ FaultState::FaultState(const Graph& graph, const FaultPlan& plan,
     num_crashed_ = k;
 }
 
-RoutingResult route_greedy_faulted(const Graph& graph, const Objective& objective,
+RoutingResult route_greedy_faulted(const GraphView& graph, const Objective& objective,
                                    Vertex source, const RoutingOptions& options,
                                    FaultView faults) {
     RoutingResult result;

@@ -78,7 +78,7 @@ public:
     /// [0,1], max_retries >= 0) and materializes the crash set. `weights`
     /// is required iff crash_selection == kHighestWeight and
     /// crash_fraction > 0; pass the GIRG's weight vector.
-    FaultState(const Graph& graph, const FaultPlan& plan,
+    FaultState(const GraphView& graph, const FaultPlan& plan,
                std::span<const double> weights = {});
 
     [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
@@ -218,7 +218,7 @@ private:
 /// out one hop (charged against the step budget) up to max_retries
 /// consecutive times, then drops. Used by GreedyRouter when a plan is
 /// active and by the FaultyLinkGreedyRouter compat adapter.
-[[nodiscard]] RoutingResult route_greedy_faulted(const Graph& graph,
+[[nodiscard]] RoutingResult route_greedy_faulted(const GraphView& graph,
                                                  const Objective& objective,
                                                  Vertex source,
                                                  const RoutingOptions& options,

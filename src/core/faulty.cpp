@@ -17,7 +17,7 @@ FaultyLinkGreedyRouter::FaultyLinkGreedyRouter(double failure_prob, std::uint64_
     }
 }
 
-RoutingResult FaultyLinkGreedyRouter::route(const Graph& graph, const Objective& objective,
+RoutingResult FaultyLinkGreedyRouter::route(const GraphView& graph, const Objective& objective,
                                             Vertex source,
                                             const RoutingOptions& options) const {
     // Thin adapter over the fault layer (core/fault.h): a transient-links-only

@@ -31,7 +31,7 @@ class FaultyLinkGreedyRouter final : public Router {
 public:
     FaultyLinkGreedyRouter(double failure_prob, std::uint64_t seed, int max_retries = 3);
 
-    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+    [[nodiscard]] RoutingResult route(const GraphView& graph, const Objective& objective,
                                       Vertex source,
                                       const RoutingOptions& options = {}) const override;
     [[nodiscard]] std::string name() const override { return "greedy-faulty"; }

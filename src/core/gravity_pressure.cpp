@@ -7,7 +7,7 @@
 
 namespace smallworld {
 
-RoutingResult GravityPressureRouter::route(const Graph& graph, const Objective& objective,
+RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objective& objective,
                                            Vertex source,
                                            const RoutingOptions& options) const {
     RoutingResult result;

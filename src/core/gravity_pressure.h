@@ -19,7 +19,7 @@ namespace smallworld {
 /// sparse networks, which EXP-GP measures.
 class GravityPressureRouter final : public Router {
 public:
-    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+    [[nodiscard]] RoutingResult route(const GraphView& graph, const Objective& objective,
                                       Vertex source,
                                       const RoutingOptions& options = {}) const override;
     [[nodiscard]] std::string name() const override { return "gravity-pressure"; }

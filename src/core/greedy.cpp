@@ -4,7 +4,7 @@
 
 namespace smallworld {
 
-RoutingResult GreedyRouter::route(const Graph& graph, const Objective& objective,
+RoutingResult GreedyRouter::route(const GraphView& graph, const Objective& objective,
                                   Vertex source, const RoutingOptions& options) const {
     if (options.faults != nullptr && options.faults->plan().any()) {
         // Faulted regime: greedy over the residual neighborhood with

@@ -13,7 +13,7 @@ namespace smallworld {
 /// steps (Theorem 3.3).
 class GreedyRouter final : public Router {
 public:
-    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+    [[nodiscard]] RoutingResult route(const GraphView& graph, const Objective& objective,
                                       Vertex source,
                                       const RoutingOptions& options = {}) const override;
     [[nodiscard]] std::string name() const override { return "greedy"; }

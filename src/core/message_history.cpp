@@ -31,7 +31,7 @@ struct Candidate {
 
 class Run {
 public:
-    Run(const Graph& graph, const Objective& objective, Vertex source,
+    Run(const GraphView& graph, const Objective& objective, Vertex source,
         const RoutingOptions& options)
         : graph_(graph),
           objective_(objective),
@@ -200,7 +200,7 @@ private:
         return true;
     }
 
-    const Graph& graph_;
+    const GraphView& graph_;
     const Objective& objective_;
     Vertex source_;
     std::size_t max_steps_;
@@ -215,7 +215,7 @@ private:
 
 }  // namespace
 
-RoutingResult MessageHistoryRouter::route(const Graph& graph, const Objective& objective,
+RoutingResult MessageHistoryRouter::route(const GraphView& graph, const Objective& objective,
                                           Vertex source,
                                           const RoutingOptions& options) const {
     return Run(graph, objective, source, options).execute();

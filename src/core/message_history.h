@@ -15,7 +15,7 @@ namespace smallworld {
 /// Satisfies (P1)-(P3).
 class MessageHistoryRouter final : public Router {
 public:
-    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+    [[nodiscard]] RoutingResult route(const GraphView& graph, const Objective& objective,
                                       Vertex source,
                                       const RoutingOptions& options = {}) const override;
     [[nodiscard]] std::string name() const override { return "msg-history"; }

@@ -23,7 +23,7 @@ struct VertexState {
 
 class Run {
 public:
-    Run(const Graph& graph, const Objective& objective, Vertex source,
+    Run(const GraphView& graph, const Objective& objective, Vertex source,
         const RoutingOptions& options)
         : graph_(graph),
           objective_(objective),
@@ -244,7 +244,7 @@ private:
         return true;
     }
 
-    const Graph& graph_;
+    const GraphView& graph_;
     const Objective& objective_;
     Vertex source_;
     std::size_t max_steps_;
@@ -264,7 +264,7 @@ private:
 
 }  // namespace
 
-RoutingResult PhiDfsRouter::route(const Graph& graph, const Objective& objective,
+RoutingResult PhiDfsRouter::route(const GraphView& graph, const Objective& objective,
                                   Vertex source, const RoutingOptions& options) const {
     return Run(graph, objective, source, options).execute();
 }

@@ -14,7 +14,7 @@ std::size_t RoutingResult::distinct_vertices() const {
     return static_cast<std::size_t>(last - seen.begin());
 }
 
-Vertex best_neighbor(const Graph& graph, const Objective& objective, Vertex v) {
+Vertex best_neighbor(const GraphView& graph, const Objective& objective, Vertex v) {
     // One virtual call per neighbor list; the objective's batched argmax
     // runs a non-virtual inner loop with the same first-maximum tie-break
     // the serial loop used.

@@ -73,7 +73,7 @@ class Router {
 public:
     virtual ~Router() = default;
 
-    [[nodiscard]] virtual RoutingResult route(const Graph& graph, const Objective& objective,
+    [[nodiscard]] virtual RoutingResult route(const GraphView& graph, const Objective& objective,
                                               Vertex source,
                                               const RoutingOptions& options = {}) const = 0;
 
@@ -84,6 +84,6 @@ public:
 /// Selects the neighbor of `v` maximizing the objective; ties broken toward
 /// the smaller vertex id so every protocol is deterministic given the graph.
 /// Returns kNoVertex when v has no neighbors.
-[[nodiscard]] Vertex best_neighbor(const Graph& graph, const Objective& objective, Vertex v);
+[[nodiscard]] Vertex best_neighbor(const GraphView& graph, const Objective& objective, Vertex v);
 
 }  // namespace smallworld

@@ -45,7 +45,7 @@ struct NodeState {
 
 }  // namespace
 
-ServingResult simulate_many(const Graph& graph, const TargetObjectiveFactory& factory,
+ServingResult simulate_many(const GraphView& graph, const TargetObjectiveFactory& factory,
                             const DistributedProtocol& protocol,
                             std::span<const ServingQuery> queries,
                             const ServingOptions& options) {

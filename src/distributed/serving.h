@@ -108,7 +108,7 @@ struct ServingResult {
 /// returns per-query results plus serving telemetry. Deterministic: a pure
 /// function of (graph, factory objectives, queries, options) at any thread
 /// count.
-[[nodiscard]] ServingResult simulate_many(const Graph& graph,
+[[nodiscard]] ServingResult simulate_many(const GraphView& graph,
                                           const TargetObjectiveFactory& factory,
                                           const DistributedProtocol& protocol,
                                           std::span<const ServingQuery> queries,

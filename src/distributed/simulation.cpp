@@ -35,7 +35,7 @@ void DistributedProtocol::on_start(const LocalView& view, ProtocolMessage& messa
 
 namespace {
 
-DistributedResult simulate_impl(const Graph& graph, const Objective& objective,
+DistributedResult simulate_impl(const GraphView& graph, const Objective& objective,
                                 const DistributedProtocol& protocol, Vertex source,
                                 const RoutingOptions& options,
                                 const FaultState* fault_state) {
@@ -140,13 +140,13 @@ DistributedResult simulate_impl(const Graph& graph, const Objective& objective,
 
 }  // namespace
 
-DistributedResult simulate_routing(const Graph& graph, const Objective& objective,
+DistributedResult simulate_routing(const GraphView& graph, const Objective& objective,
                                    const DistributedProtocol& protocol, Vertex source,
                                    const RoutingOptions& options) {
     return simulate_impl(graph, objective, protocol, source, options, options.faults);
 }
 
-DistributedResult simulate_routing(const Graph& graph, const Objective& objective,
+DistributedResult simulate_routing(const GraphView& graph, const Objective& objective,
                                    const DistributedProtocol& protocol, Vertex source,
                                    const FaultedSimulationOptions& options) {
     const FaultState* faults =

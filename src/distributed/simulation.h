@@ -53,15 +53,15 @@ struct ProtocolMessage {
 /// code.
 class LocalView {
 public:
-    LocalView(const Graph& graph, const Objective& objective, Vertex self,
+    LocalView(const GraphView& graph, const Objective& objective, Vertex self,
               std::size_t* violations) noexcept
         : LocalView(graph, objective, self, violations, graph.neighbors(self)) {}
 
     /// `visible` overrides the adjacency (must be a sorted subsequence of
     /// it); the simulator owns the backing storage for the view's lifetime.
-    LocalView(const Graph& graph, const Objective& objective, Vertex self,
+    LocalView(const GraphView& graph, const Objective& objective, Vertex self,
               std::size_t* violations, std::span<const Vertex> visible) noexcept
-        : graph_(&graph),
+        : graph_(graph),
           objective_(&objective),
           self_(self),
           violations_(violations),
@@ -80,7 +80,7 @@ public:
     [[nodiscard]] Vertex best_neighbor() const;
 
 private:
-    const Graph* graph_;
+    GraphView graph_;  // by value: views are cheap pointer bundles
     const Objective* objective_;
     Vertex self_;
     std::size_t* violations_;
@@ -158,14 +158,14 @@ struct FaultedSimulationOptions {
 /// Runs a protocol under the distributed model. Forwards to non-neighbors
 /// (or, under faults, to dead neighbors) are refused (counted, message
 /// dropped) so a buggy protocol cannot teleport.
-[[nodiscard]] DistributedResult simulate_routing(const Graph& graph,
+[[nodiscard]] DistributedResult simulate_routing(const GraphView& graph,
                                                  const Objective& objective,
                                                  const DistributedProtocol& protocol,
                                                  Vertex source,
                                                  const RoutingOptions& options = {});
 
 /// Fault-injected variant; see FaultedSimulationOptions.
-[[nodiscard]] DistributedResult simulate_routing(const Graph& graph,
+[[nodiscard]] DistributedResult simulate_routing(const GraphView& graph,
                                                  const Objective& objective,
                                                  const DistributedProtocol& protocol,
                                                  Vertex source,

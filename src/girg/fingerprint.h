@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+#include "girg/girg.h"
+#include "graph/fingerprint.h"
+
+namespace smallworld {
+
+/// Instance digest of a generated Girg — see graph/fingerprint.h for the
+/// definition and the frozen-format caveat.
+[[nodiscard]] inline std::uint64_t girg_fingerprint(const Girg& girg) noexcept {
+    return girg_fingerprint(girg.weights, girg.positions.coords, girg.graph);
+}
+
+}  // namespace smallworld

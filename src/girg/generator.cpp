@@ -26,6 +26,10 @@ std::vector<Edge> sample_edges(const GirgParams& params, const std::vector<doubl
     throw std::logic_error("sample_edges: unknown sampler kind");
 }
 
+}  // namespace
+
+namespace detail {
+
 ChunkedEdgeList sample_edges_stream(const GirgParams& params,
                                     const std::vector<double>& weights,
                                     const PointCloud& positions, Rng& rng, SamplerKind kind,
@@ -39,14 +43,8 @@ ChunkedEdgeList sample_edges_stream(const GirgParams& params,
     throw std::logic_error("sample_edges_stream: unknown sampler kind");
 }
 
-}  // namespace
-
-Girg generate_girg(const GirgParams& params, std::uint64_t seed,
-                   const GenerateOptions& options) {
-    params.validate();
-    Rng rng(seed);
-
-    Girg girg;
+PageVector<Vertex> sample_attributes(const GirgParams& params, const GenerateOptions& options,
+                                     Rng& rng, Girg& girg) {
     girg.params = params;
     if (!options.weights.empty()) {
         for (const double w : options.weights) {
@@ -91,11 +89,24 @@ Girg generate_girg(const GirgParams& params, std::uint64_t seed,
         const std::size_t movable = girg.weights.size() - options.planted.size();
         new_ids = morton_order(girg.positions, movable);
     }
+    return new_ids;
+}
+
+}  // namespace detail
+
+Girg generate_girg(const GirgParams& params, std::uint64_t seed,
+                   const GenerateOptions& options) {
+    params.validate();
+    Rng rng(seed);
+
+    Girg girg;
+    PageVector<Vertex> new_ids = detail::sample_attributes(params, options, rng, girg);
+    const bool relabel = !new_ids.empty();
 
     if (options.streaming_csr) {
         ChunkedEdgeList edges =
-            sample_edges_stream(params, girg.weights, girg.positions, rng, options.sampler,
-                                relabel ? new_ids.data() : nullptr);
+            detail::sample_edges_stream(params, girg.weights, girg.positions, rng,
+                                        options.sampler, relabel ? new_ids.data() : nullptr);
         if (relabel) apply_relabeling(new_ids, girg.weights, girg.positions);
         // The permutation is fully applied; unmap it before the CSR build so
         // it does not sit in the peak-memory window. (swap, not `= {}`: the
@@ -112,8 +123,8 @@ Girg generate_girg(const GirgParams& params, std::uint64_t seed,
 
 Graph resample_edges(const Girg& girg, std::uint64_t seed, SamplerKind sampler) {
     Rng rng(seed);
-    ChunkedEdgeList edges =
-        sample_edges_stream(girg.params, girg.weights, girg.positions, rng, sampler, nullptr);
+    ChunkedEdgeList edges = detail::sample_edges_stream(girg.params, girg.weights,
+                                                        girg.positions, rng, sampler, nullptr);
     return Graph(girg.num_vertices(), std::move(edges), girg.params.threads);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "girg/girg.h"
+#include "graph/edge_stream.h"
 #include "random/rng.h"
 
 namespace smallworld {
@@ -60,5 +61,24 @@ struct GenerateOptions {
 /// Resamples only the edges over existing weights/positions (used by tests
 /// that compare samplers on identical vertex sets).
 [[nodiscard]] Graph resample_edges(const Girg& girg, std::uint64_t seed, SamplerKind sampler);
+
+namespace detail {
+
+/// The attribute-sampling prefix of generate_girg: fills girg.params /
+/// girg.weights / girg.positions (including planted vertices), consuming
+/// randomness from `rng` exactly as generate_girg does before edge
+/// sampling. Returns the Morton permutation when relabeling applies, empty
+/// otherwise. Exposed so girg/pack_io's out-of-core build reproduces the
+/// resident pipeline's (seed, params) -> instance map bit for bit.
+PageVector<Vertex> sample_attributes(const GirgParams& params, const GenerateOptions& options,
+                                     Rng& rng, Girg& girg);
+
+/// Sampler-kind dispatch for the chunked edge stream (see fast_sampler.h).
+[[nodiscard]] ChunkedEdgeList sample_edges_stream(const GirgParams& params,
+                                                  const std::vector<double>& weights,
+                                                  const PointCloud& positions, Rng& rng,
+                                                  SamplerKind kind, const Vertex* relabel);
+
+}  // namespace detail
 
 }  // namespace smallworld

@@ -1,6 +1,7 @@
 #include "girg/io.h"
 
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <limits>
 #include <memory>
@@ -9,13 +10,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "girg/fingerprint.h"
 #include "graph/edge_stream.h"
 
 namespace smallworld {
 
 namespace {
 
-constexpr int kFormatVersion = 2;  // v2 adds the norm token; v1 still reads
+// v2 added the norm token; v3 adds the canonical instance fingerprint
+// (girg/fingerprint.h — the same digest the .girgpack header carries), so a
+// text instance is verifiable end to end. v1 and v2 files still read.
+constexpr int kFormatVersion = 3;
 
 void fail(const std::string& what) { throw std::runtime_error("read_girg: " + what); }
 
@@ -40,6 +45,7 @@ void write_girg(std::ostream& os, const Girg& girg) {
     os << ' ' << girg.params.beta << ' ' << girg.params.wmin << ' '
        << girg.params.edge_scale << ' '
        << (girg.params.norm == Norm::kMax ? "max" : "l2") << '\n';
+    os << "fingerprint " << girg_fingerprint(girg) << '\n';
 
     os << "vertices " << girg.num_vertices() << '\n';
     for (Vertex v = 0; v < girg.num_vertices(); ++v) {
@@ -91,6 +97,14 @@ Girg read_girg(std::istream& is) {
     }
     girg.params.validate();
 
+    std::uint64_t expected_fingerprint = 0;
+    bool check_fingerprint = false;
+    if (version >= 3) {
+        expect_token(is, "fingerprint");
+        if (!(is >> expected_fingerprint)) fail("malformed fingerprint");
+        check_fingerprint = true;
+    }
+
     expect_token(is, "vertices");
     std::size_t vertex_count = 0;
     if (!(is >> vertex_count)) fail("malformed vertex count");
@@ -100,10 +114,15 @@ Girg read_girg(std::istream& is) {
     for (std::size_t i = 0; i < vertex_count; ++i) {
         double weight = 0.0;
         if (!(is >> weight)) fail("malformed vertex line");
+        if (!std::isfinite(weight)) fail("weight is not finite");
+        if (weight < girg.params.wmin) fail("weight below wmin");
         girg.weights.push_back(weight);
         for (int axis = 0; axis < girg.params.dim; ++axis) {
             double coord = 0.0;
             if (!(is >> coord)) fail("malformed vertex coordinate");
+            // The isfinite test is not redundant: NaN compares false to
+            // both range bounds, so the interval check alone lets it through.
+            if (!std::isfinite(coord)) fail("coordinate is not finite");
             if (coord < 0.0 || coord >= 1.0) fail("coordinate outside the torus");
             girg.positions.coords.push_back(coord);
         }
@@ -120,9 +139,18 @@ Girg read_girg(std::istream& is) {
         Vertex v = 0;
         if (!(is >> u >> v)) fail("malformed edge line");
         if (u >= vertex_count || v >= vertex_count) fail("edge endpoint out of range");
+        if (u == v) fail("self-loop edge");
         sink.emit(u, v);
     }
     girg.graph = Graph(static_cast<Vertex>(vertex_count), sink.take());
+
+    if (check_fingerprint) {
+        const std::uint64_t actual = girg_fingerprint(girg);
+        if (actual != expected_fingerprint) {
+            fail("fingerprint mismatch: file says " + std::to_string(expected_fingerprint) +
+                 ", content hashes to " + std::to_string(actual));
+        }
+    }
     return girg;
 }
 

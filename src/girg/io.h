@@ -9,8 +9,9 @@ namespace smallworld {
 /// Plain-text serialization of a sampled GIRG. Line-oriented, versioned,
 /// locale-independent (max-precision doubles round-trip exactly):
 ///
-///   girg 2
+///   girg 3
 ///   params <n> <dim> <alpha|inf> <beta> <wmin> <edge_scale> <max|l2>
+///   fingerprint <u64>                 (canonical digest, girg/fingerprint.h)
 ///   vertices <count>
 ///   <weight> <x_1> ... <x_dim>        (one line per vertex)
 ///   edges <count>

@@ -1,0 +1,102 @@
+#include "girg/pack_io.h"
+
+#include <span>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+#include "girg/relabel.h"
+#include "graph/edge_stream.h"
+
+namespace smallworld {
+
+PackedParams to_packed_params(const GirgParams& params, std::uint64_t seed) noexcept {
+    PackedParams packed{};
+    packed.n = params.n;
+    packed.alpha = params.alpha;
+    packed.beta = params.beta;
+    packed.wmin = params.wmin;
+    packed.edge_scale = params.edge_scale;
+    packed.dim = static_cast<std::uint32_t>(params.dim);
+    packed.norm = static_cast<std::uint32_t>(params.norm);
+    packed.seed = seed;
+    return packed;
+}
+
+GirgParams from_packed_params(const PackedParams& packed) noexcept {
+    GirgParams params;
+    params.n = packed.n;
+    params.alpha = packed.alpha;
+    params.beta = packed.beta;
+    params.wmin = packed.wmin;
+    params.edge_scale = packed.edge_scale;
+    params.dim = static_cast<int>(packed.dim);
+    params.norm = static_cast<Norm>(packed.norm);
+    return params;
+}
+
+PackFileInfo write_girg_pack(const std::string& path, const Girg& girg,
+                             const PackOptions& options) {
+    PackWriter writer(path, girg.num_vertices(), to_packed_params(girg.params, options.seed),
+                      girg.weights, girg.positions.coords, options.compress);
+    for (Vertex v = 0; v < girg.num_vertices(); ++v) {
+        writer.add_row(girg.graph.neighbors(v));
+    }
+    return writer.finish();
+}
+
+PackBuildStats pack_girg_out_of_core(const std::string& path, const GirgParams& params,
+                                     std::uint64_t seed, const GenerateOptions& generate,
+                                     PackOptions options) {
+    params.validate();
+    options.seed = seed;
+    Rng rng(seed);
+
+    // Same attribute prefix and fused-relabel edge stream as generate_girg —
+    // the (seed, params) -> instance map cannot drift between the resident
+    // and out-of-core builds.
+    Girg girg;
+    PageVector<Vertex> new_ids = detail::sample_attributes(params, generate, rng, girg);
+    const bool relabel = !new_ids.empty();
+    ChunkedEdgeList edges =
+        detail::sample_edges_stream(params, girg.weights, girg.positions, rng,
+                                    generate.sampler, relabel ? new_ids.data() : nullptr);
+    if (relabel) apply_relabeling(new_ids, girg.weights, girg.positions);
+    PageVector<Vertex>().swap(new_ids);
+
+    // Sort-spill the arcs (draining the chunk slabs run by run), then merge
+    // rows straight into the writer: no resident adjacency, no offset
+    // array beyond the writer's own O(n) tables.
+    EdgeSpiller spiller(path + ".spill");
+    spiller.add_edges(std::move(edges));
+
+    PackBuildStats stats;
+    stats.spill_runs = spiller.run_count();
+    stats.sampled_arcs = spiller.arc_count();
+    stats.num_vertices = girg.num_vertices();
+
+    PackWriter writer(path, girg.num_vertices(), to_packed_params(params, seed),
+                      girg.weights, girg.positions.coords, options.compress);
+    spiller.merge_rows(girg.num_vertices(), [&](Vertex /*v*/, std::span<const Vertex> row) {
+        writer.add_row(row);
+    });
+    stats.file = writer.finish();
+    return stats;
+}
+
+Girg load_pack_attributes(const PackedGraph& pack) {
+    GIRG_CHECK(pack.has_params(), "pack has no params section to rehydrate from");
+    GIRG_CHECK(pack.has_attributes(), "pack has no attribute sections to rehydrate from");
+    Girg girg;
+    girg.params = from_packed_params(pack.params());
+    const auto weights = pack.weights();
+    const auto coords = pack.coords();
+    girg.weights.assign(weights.begin(), weights.end());
+    girg.positions.dim = girg.params.dim;
+    girg.positions.coords.assign(coords.begin(), coords.end());
+    GIRG_CHECK(girg.positions.count() == pack.num_vertices(),
+               "pack attribute sections disagree with the vertex count");
+    return girg;
+}
+
+}  // namespace smallworld

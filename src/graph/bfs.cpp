@@ -25,7 +25,7 @@ constexpr std::size_t kFrontierBlock = 512;
 /// a CAS on the distance slot; whichever worker wins writes the same depth,
 /// so the distance array is identical to the serial expansion's. The next
 /// frontier is concatenated in block order (worker-order independent).
-void expand_level_parallel(const Graph& graph, std::vector<std::int32_t>& dist,
+void expand_level_parallel(const GraphView& graph, std::vector<std::int32_t>& dist,
                            const std::vector<Vertex>& frontier, std::int32_t depth,
                            std::vector<Vertex>& next, unsigned threads) {
     const std::size_t blocks = (frontier.size() + kFrontierBlock - 1) / kFrontierBlock;
@@ -61,13 +61,13 @@ void expand_level_parallel(const Graph& graph, std::vector<std::int32_t>& dist,
 
 }  // namespace
 
-std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source,
+std::vector<std::int32_t> bfs_distances(const GraphView& graph, Vertex source,
                                         unsigned threads) {
     return bfs_distances_bounded(graph, source, std::numeric_limits<std::int32_t>::max(),
                                  threads);
 }
 
-std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
+std::vector<std::int32_t> bfs_distances_bounded(const GraphView& graph, Vertex source,
                                                 std::int32_t max_depth, unsigned threads) {
     GIRG_CHECK(source < graph.num_vertices(), "bfs source ", source, " >= n=",
                graph.num_vertices());
@@ -78,7 +78,11 @@ std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex sourc
     std::int32_t depth = 0;
     while (!frontier.empty() && depth < max_depth) {
         ++depth;
-        if (threads != 1 && frontier.size() >= kParallelFrontier) {
+        // Non-flat views decode rows through one shared scratch buffer, so
+        // concurrent neighbors() calls would clobber each other: expand
+        // serially there. The CAS and serial expansions write identical
+        // distances, so the result does not depend on which path ran.
+        if (threads != 1 && graph.flat() && frontier.size() >= kParallelFrontier) {
             expand_level_parallel(graph, dist, frontier, depth, next, threads);
         } else {
             next.clear();
@@ -106,7 +110,7 @@ struct Side {
     std::int32_t depth = 0;
 };
 
-std::int32_t expand(const Graph& graph, Side& self, const Side& other,
+std::int32_t expand(const GraphView& graph, Side& self, const Side& other,
                     std::int32_t best_so_far) {
     std::vector<Vertex> next;
     ++self.depth;
@@ -127,7 +131,7 @@ std::int32_t expand(const Graph& graph, Side& self, const Side& other,
 
 }  // namespace
 
-std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t) {
+std::int32_t bfs_distance(const GraphView& graph, Vertex s, Vertex t) {
     GIRG_CHECK(s < graph.num_vertices() && t < graph.num_vertices(), "s=", s,
                " t=", t, " n=", graph.num_vertices());
     if (s == t) return 0;
@@ -149,7 +153,7 @@ std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t) {
     return best;
 }
 
-std::vector<Vertex> shortest_path(const Graph& graph, Vertex s, Vertex t) {
+std::vector<Vertex> shortest_path(const GraphView& graph, Vertex s, Vertex t) {
     GIRG_CHECK(s < graph.num_vertices() && t < graph.num_vertices(), "s=", s,
                " t=", t, " n=", graph.num_vertices());
     if (s == t) return {s};

@@ -19,20 +19,20 @@ inline constexpr std::int32_t kUnreachable = -1;
 /// enough to amortize the fork. Distances are byte-identical at any thread
 /// count: workers claim vertices with a CAS, and every vertex claimed in a
 /// level gets the same depth regardless of which worker wins.
-[[nodiscard]] std::vector<std::int32_t> bfs_distances(const Graph& graph, Vertex source,
+[[nodiscard]] std::vector<std::int32_t> bfs_distances(const GraphView& graph, Vertex source,
                                                       unsigned threads = 0);
 
 /// BFS truncated at `max_depth` hops; vertices further away stay
 /// kUnreachable. Useful when only a neighborhood matters.
-[[nodiscard]] std::vector<std::int32_t> bfs_distances_bounded(const Graph& graph, Vertex source,
+[[nodiscard]] std::vector<std::int32_t> bfs_distances_bounded(const GraphView& graph, Vertex source,
                                                               std::int32_t max_depth,
                                                               unsigned threads = 0);
 
 /// Exact s-t hop distance by bidirectional BFS; kUnreachable if disconnected.
 /// Typically explores O(sqrt) of what a full BFS would on small-world graphs.
-[[nodiscard]] std::int32_t bfs_distance(const Graph& graph, Vertex s, Vertex t);
+[[nodiscard]] std::int32_t bfs_distance(const GraphView& graph, Vertex s, Vertex t);
 
 /// A shortest s-t path (empty if disconnected); includes both endpoints.
-[[nodiscard]] std::vector<Vertex> shortest_path(const Graph& graph, Vertex s, Vertex t);
+[[nodiscard]] std::vector<Vertex> shortest_path(const GraphView& graph, Vertex s, Vertex t);
 
 }  // namespace smallworld

@@ -1,12 +1,22 @@
 #include "graph/edge_stream.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <functional>
 #include <mutex>
 #include <new>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 #if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
 #define SMALLWORLD_EDGE_STREAM_MMAP 1
 #include <sys/mman.h>
+#include <vector>
 #else
 #define SMALLWORLD_EDGE_STREAM_MMAP 0
 #endif
@@ -148,6 +158,165 @@ void ChunkedEdgeSink::seal() {
     list_.size_ += open_.size;
     list_.chunks_.push_back(open_);
     open_ = {};
+}
+
+namespace {
+
+// std::pair is not trivially *copyable* (its operator= is user-provided),
+// but its representation is two packed u32s with trivial special members —
+// exactly what the run files store and reload byte-for-byte.
+static_assert(sizeof(Edge) == 8 && std::is_standard_layout_v<Edge> &&
+                  std::is_trivially_copy_constructible_v<Edge>,
+              "spill runs store Edge pairs as raw bytes");
+
+/// Buffered sequential reader over one sorted run file.
+class RunReader {
+public:
+    static constexpr std::size_t kBufferArcs = std::size_t{1} << 16;  // 512 KiB
+
+    void open(const std::string& path) {
+        file_ = std::fopen(path.c_str(), "rb");
+        GIRG_CHECK(file_ != nullptr, "spill run missing: ", path, ": ",
+                   std::strerror(errno));
+        buffer_.reserve(kBufferArcs);
+    }
+    ~RunReader() {
+        if (file_ != nullptr) std::fclose(file_);
+    }
+
+    [[nodiscard]] bool next(Edge& out) {
+        if (pos_ == buffer_.size() && !refill()) return false;
+        out = buffer_[pos_++];
+        return true;
+    }
+
+private:
+    [[nodiscard]] bool refill() {
+        buffer_.resize(kBufferArcs);
+        const std::size_t got = std::fread(buffer_.data(), sizeof(Edge), kBufferArcs, file_);
+        buffer_.resize(got);
+        pos_ = 0;
+        return got != 0;
+    }
+
+    std::FILE* file_ = nullptr;
+    PageVector<Edge> buffer_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+EdgeSpiller::EdgeSpiller(std::string spill_prefix, std::size_t run_arcs)
+    : prefix_(std::move(spill_prefix)), run_capacity_(run_arcs) {
+    GIRG_CHECK(run_capacity_ > 0, "spill run capacity must be positive");
+    buffer_.reserve(run_capacity_);  // one page mapping, no doubling copies
+}
+
+EdgeSpiller::~EdgeSpiller() {
+    for (std::size_t i = 0; i < runs_; ++i) std::remove(run_path(i).c_str());
+}
+
+void EdgeSpiller::add_edges(ChunkedEdgeList&& edges) {
+    ChunkedEdgeList stream = std::move(edges);
+    GIRG_CHECK(stream.chunk_sizes_consistent(), "edge stream chunk sizes inconsistent");
+    for (std::size_t i = 0; i < stream.chunk_count(); ++i) {
+        for (const Edge& edge : stream.chunk(i)) add(edge.first, edge.second);
+        stream.retire_chunk(i);
+    }
+}
+
+std::string EdgeSpiller::run_path(std::size_t index) const {
+    return prefix_ + ".run" + std::to_string(index);
+}
+
+void EdgeSpiller::spill() {
+    if (buffer_.empty()) return;
+    std::sort(buffer_.begin(), buffer_.end());
+    std::FILE* file = std::fopen(run_path(runs_).c_str(), "wb");
+    GIRG_CHECK(file != nullptr, "cannot create spill run ", run_path(runs_), ": ",
+               std::strerror(errno));
+    GIRG_CHECK(std::fwrite(buffer_.data(), sizeof(Edge), buffer_.size(), file) ==
+                   buffer_.size(),
+               "spill run write failed: ", std::strerror(errno));
+    GIRG_CHECK(std::fclose(file) == 0, "spill run close failed: ", std::strerror(errno));
+    ++runs_;
+    buffer_.clear();  // keeps the mapping: it IS the bounded buffer
+}
+
+std::uint64_t EdgeSpiller::merge_rows(
+    Vertex num_vertices,
+    const std::function<void(Vertex, std::span<const Vertex>)>& row) {
+    GIRG_CHECK(!merged_, "EdgeSpiller::merge_rows called twice");
+    merged_ = true;
+    if (num_vertices == 0) {
+        GIRG_CHECK(arcs_ == 0, "arcs recorded for an empty vertex set");
+        return 0;
+    }
+
+    std::uint64_t kept = 0;
+    std::vector<Vertex> current_row;
+    Vertex current_src = 0;
+    const auto consume = [&](const Edge& arc) {
+        GIRG_CHECK(arc.first < num_vertices && arc.second < num_vertices, "spilled arc (",
+                   arc.first, ",", arc.second, ") out of range n=", num_vertices);
+        if (arc.first != current_src) {
+            row(current_src, current_row);
+            for (Vertex v = current_src + 1; v < arc.first; ++v) row(v, {});
+            current_src = arc.first;
+            current_row.clear();
+        }
+        if (current_row.empty() || current_row.back() != arc.second) {
+            current_row.push_back(arc.second);
+            ++kept;
+        }
+    };
+
+    if (runs_ == 0) {
+        // Everything fit in one buffer: sort in place and walk it.
+        std::sort(buffer_.begin(), buffer_.end());
+        for (const Edge& arc : buffer_) consume(arc);
+    } else {
+        spill();  // the partial tail becomes the final run
+        PageVector<Edge>().swap(buffer_);
+        // K-way merge with a min-heap keyed on (arc, run). Equal arcs from
+        // different runs are duplicates of the same undirected edge and
+        // collapse in consume(), so the tie-break only affects visit order
+        // of identical values — the output cannot depend on run boundaries.
+        std::vector<RunReader> readers(runs_);
+        struct HeapItem {
+            Edge arc;
+            std::size_t run;
+        };
+        const auto after = [](const HeapItem& a, const HeapItem& b) {
+            return a.arc > b.arc || (a.arc == b.arc && a.run > b.run);
+        };
+        std::vector<HeapItem> heap;
+        heap.reserve(runs_);
+        for (std::size_t i = 0; i < runs_; ++i) {
+            readers[i].open(run_path(i));
+            Edge arc;
+            if (readers[i].next(arc)) heap.push_back({arc, i});
+        }
+        std::make_heap(heap.begin(), heap.end(), after);
+        while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), after);
+            HeapItem item = heap.back();
+            heap.pop_back();
+            consume(item.arc);
+            if (readers[item.run].next(item.arc)) {
+                heap.push_back(item);
+                std::push_heap(heap.begin(), heap.end(), after);
+            }
+        }
+        readers.clear();
+        for (std::size_t i = 0; i < runs_; ++i) std::remove(run_path(i).c_str());
+        runs_ = 0;
+    }
+
+    // Flush the last non-empty row and the trailing empty ones.
+    row(current_src, current_row);
+    for (Vertex v = current_src + 1; v < num_vertices; ++v) row(v, {});
+    return kept;
 }
 
 }  // namespace smallworld

@@ -2,9 +2,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/check.h"
@@ -307,6 +309,69 @@ private:
     ChunkedEdgeList list_;
     EdgeArena::Chunk open_;  // chunk currently being filled (data may be null)
     const Vertex* relabel_ = nullptr;
+};
+
+/// Out-of-core CSR assembly: spill-sorted runs plus a k-way merge, so a
+/// packed CSR can be written for graphs whose resident adjacency would not
+/// fit (girg/pack_io's n >= 2^25 build path). Arcs (both directions of each
+/// undirected edge) accumulate in a bounded page-backed run buffer; each
+/// full buffer is sorted by (src, dst) and spilled to `<prefix>.runN`.
+/// merge_rows() then streams every vertex's deduplicated, sorted row in
+/// vertex order to a callback — the PackWriter consumes rows directly, so
+/// no O(arcs) array ever exists in memory (peak extra state is one run
+/// buffer plus the merge readers). The emitted rows are a pure function of
+/// the arc multiset: independent of add() order, run boundaries and buffer
+/// capacity.
+class EdgeSpiller {
+public:
+    /// 2^22 arcs = 32 MiB of run buffer; page-backed, so each spill returns
+    /// the memory to the OS outright.
+    static constexpr std::size_t kDefaultRunArcs = std::size_t{1} << 22;
+
+    explicit EdgeSpiller(std::string spill_prefix,
+                         std::size_t run_arcs = kDefaultRunArcs);
+    ~EdgeSpiller();
+
+    EdgeSpiller(const EdgeSpiller&) = delete;
+    EdgeSpiller& operator=(const EdgeSpiller&) = delete;
+
+    /// One undirected edge -> two arcs; self-loops dropped.
+    void add(Vertex u, Vertex v) {
+        if (u == v) return;
+        push_arc(u, v);
+        push_arc(v, u);
+    }
+
+    /// Drains a chunked stream, retiring each chunk as it is consumed so the
+    /// slab storage unmaps while the runs spill.
+    void add_edges(ChunkedEdgeList&& edges);
+
+    [[nodiscard]] std::size_t run_count() const noexcept { return runs_; }
+    [[nodiscard]] std::uint64_t arc_count() const noexcept { return arcs_; }
+
+    /// Sorts and merges everything added so far and invokes `row` once per
+    /// vertex in [0, num_vertices), in order (empty rows included,
+    /// duplicate arcs collapsed). Returns the number of arcs kept. The
+    /// spiller is consumed: call at most once, and add nothing afterwards.
+    std::uint64_t merge_rows(Vertex num_vertices,
+                             const std::function<void(Vertex, std::span<const Vertex>)>& row);
+
+private:
+    void push_arc(Vertex src, Vertex dst) {
+        buffer_.push_back({src, dst});
+        ++arcs_;
+        if (buffer_.size() >= run_capacity_) spill();
+    }
+
+    void spill();
+    [[nodiscard]] std::string run_path(std::size_t index) const;
+
+    std::string prefix_;
+    std::size_t run_capacity_;
+    PageVector<Edge> buffer_;
+    std::size_t runs_ = 0;
+    std::uint64_t arcs_ = 0;
+    bool merged_ = false;
 };
 
 }  // namespace smallworld

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace smallworld {
+
+/// The repo's one instance fingerprint: FNV-1a over the raw bytes of the
+/// weights, the coordinates, and every CSR row (neighbor ids then the row
+/// degree, in vertex order). A pure function of (seed, params) — generation
+/// is deterministic — so benches assert pipeline equivalence with it, the
+/// pack format (graph/packed_graph.h) stores it in its header, and text I/O
+/// stamps it for validation. Changing the traversal order or byte layout
+/// here invalidates every committed fingerprint table; treat it as a frozen
+/// format. girg/fingerprint.h adds the Girg-level convenience overload.
+inline constexpr std::uint64_t kFingerprintBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFingerprintPrime = 0x100000001b3ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(std::uint64_t hash, const void* data,
+                                               std::size_t bytes) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= kFingerprintPrime;
+    }
+    return hash;
+}
+
+/// Streaming form of the fingerprint for writers that never hold the whole
+/// graph: feed the attributes once, then every adjacency row in vertex
+/// order. The digest is byte-for-byte the one girg_fingerprint computes.
+class FingerprintAccumulator {
+public:
+    void add_attributes(std::span<const double> weights,
+                        std::span<const double> coords) noexcept {
+        hash_ = fnv1a_bytes(hash_, weights.data(), weights.size_bytes());
+        hash_ = fnv1a_bytes(hash_, coords.data(), coords.size_bytes());
+    }
+
+    void add_row(std::span<const Vertex> row) noexcept {
+        hash_ = fnv1a_bytes(hash_, row.data(), row.size_bytes());
+        const std::size_t degree = row.size();
+        hash_ = fnv1a_bytes(hash_, &degree, sizeof(degree));
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+private:
+    std::uint64_t hash_ = kFingerprintBasis;
+};
+
+[[nodiscard]] inline std::uint64_t girg_fingerprint(std::span<const double> weights,
+                                                    std::span<const double> coords,
+                                                    const GraphView& graph) noexcept {
+    FingerprintAccumulator acc;
+    acc.add_attributes(weights, coords);
+    for (Vertex u = 0; u < graph.num_vertices(); ++u) acc.add_row(graph.neighbors(u));
+    return acc.value();
+}
+
+}  // namespace smallworld

@@ -263,6 +263,32 @@ bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+std::span<const Vertex> GraphView::decode_row(Vertex v) const noexcept {
+    // LEB128 per value: the first neighbor verbatim, every later one as
+    // gap-minus-one from its predecessor (rows are strictly increasing, so
+    // gaps are >= 1 and the encoder never wastes a bit on zero gaps). The
+    // writer (girg/pack_io) validated block bounds at pack time and the
+    // loader re-validated them against the offset table, so the decode loop
+    // itself runs unchecked.
+    const std::size_t degree_v = offsets_[v + 1] - offsets_[v];
+    const std::uint8_t* in = blob_ + blob_offsets_[v];
+    Vertex* out = scratch_;
+    Vertex previous = 0;
+    for (std::size_t i = 0; i < degree_v; ++i) {
+        std::uint32_t value = 0;
+        int shift = 0;
+        std::uint8_t byte;
+        do {
+            byte = *in++;
+            value |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+            shift += 7;
+        } while ((byte & 0x80) != 0);
+        previous = i == 0 ? value : previous + value + 1;
+        out[i] = previous;
+    }
+    return {scratch_, degree_v};
+}
+
 std::vector<Edge> Graph::edge_list() const {
     std::vector<Edge> edges;
     edges.reserve(num_edges());

@@ -129,6 +129,12 @@ public:
                adjacency_.capacity() * sizeof(Vertex);
     }
 
+    /// Raw CSR arrays — the serialization surface pack_io writes and
+    /// GraphView wraps. offsets has num_vertices + 1 entries; adjacency has
+    /// 2 * num_edges entries (each row sorted, deduplicated).
+    [[nodiscard]] std::span<const std::size_t> raw_offsets() const noexcept { return offsets_; }
+    [[nodiscard]] std::span<const Vertex> raw_adjacency() const noexcept { return adjacency_; }
+
 private:
     // Shared machinery of the parallel and streaming builds. Degree counts
     // and scatter cursors live inside offsets_ itself (std::atomic_ref), so
@@ -174,6 +180,113 @@ private:
 
     std::vector<std::size_t> offsets_;  // size num_vertices + 1
     AdjacencyVector adjacency_;         // size 2 * num_edges
+};
+
+/// Non-owning, uniform read surface over adjacency storage: a resident
+/// Graph, a raw (zero-copy mmap) packed CSR, or a delta-varint compressed
+/// packed CSR (graph/packed_graph.h). Routers, BFS and the simulators
+/// consume this seam, so one routing implementation serves all three
+/// backings with identical results.
+///
+/// The compressed variant decodes one row at a time into caller-owned
+/// scratch: such a view is strictly single-threaded, and neighbors(v)
+/// invalidates the span returned by the previous call. Every consumer in
+/// the repo drains each row before requesting the next; code that needs
+/// concurrent row access (parallel BFS) checks flat() and falls back to a
+/// serial pass otherwise.
+class GraphView {
+public:
+    GraphView() = default;
+
+    /// Implicit on purpose: every existing `const Graph&` call site routes
+    /// through the view seam without a change.
+    GraphView(const Graph& graph) noexcept  // NOLINT(*-explicit-constructor)
+        : n_(graph.num_vertices()),
+          num_arcs_(graph.raw_adjacency().size()),
+          offsets_(graph.raw_offsets().data()),
+          flat_(graph.raw_adjacency().data()) {}
+
+    /// Directly addressable rows (resident CSR or raw-packed mmap section).
+    GraphView(Vertex num_vertices, std::size_t num_arcs, const std::size_t* offsets,
+              const Vertex* flat_adjacency) noexcept
+        : n_(num_vertices), num_arcs_(num_arcs), offsets_(offsets), flat_(flat_adjacency) {}
+
+    /// Delta-varint compressed rows: `blob_offsets[v]` is the byte offset of
+    /// v's block inside `blob`, and `scratch` is a caller-owned buffer of at
+    /// least max-degree capacity that decoded rows are written into.
+    GraphView(Vertex num_vertices, std::size_t num_arcs, const std::size_t* offsets,
+              const std::uint8_t* blob, const std::uint64_t* blob_offsets,
+              Vertex* scratch) noexcept
+        : n_(num_vertices),
+          num_arcs_(num_arcs),
+          offsets_(offsets),
+          blob_(blob),
+          blob_offsets_(blob_offsets),
+          scratch_(scratch) {}
+
+    [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return num_arcs_ / 2; }
+
+    [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+        GIRG_DCHECK(v < n_, "degree(", v, ") with n=", n_);
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+        GIRG_DCHECK(v < n_, "neighbors(", v, ") with n=", n_);
+        if (blob_ == nullptr) [[likely]] {
+            return {flat_ + offsets_[v], flat_ + offsets_[v + 1]};
+        }
+        return decode_row(v);
+    }
+
+    /// True when rows are directly addressable; false for the compressed
+    /// variant, whose spans live in (and are recycled through) the decode
+    /// scratch. Discriminated on blob_, not flat_: an edgeless graph has a
+    /// null adjacency data pointer but is still flat.
+    [[nodiscard]] bool flat() const noexcept { return blob_ == nullptr; }
+
+    /// Same hint contract as Graph::prefetch_neighbors. The compressed
+    /// variant prefetches the leading *blob* bytes of v's block — it must
+    /// never decode here, since that would clobber the live scratch row.
+    void prefetch_neighbors(Vertex v) const noexcept {
+        GIRG_DCHECK(v < n_, "prefetch_neighbors(", v, ") with n=", n_);
+        constexpr std::size_t kMaxLines = 4;
+        if (blob_ == nullptr) {
+            const std::size_t begin = offsets_[v];
+            const std::size_t degree_v = offsets_[v + 1] - begin;
+            constexpr std::size_t kVerticesPerLine = 64 / sizeof(Vertex);
+            const std::size_t lines =
+                std::min(kMaxLines, (degree_v + kVerticesPerLine - 1) / kVerticesPerLine);
+            for (std::size_t line = 0; line < lines; ++line) {
+                __builtin_prefetch(flat_ + begin + line * kVerticesPerLine, 0, 1);
+            }
+            return;
+        }
+        const std::size_t begin = blob_offsets_[v];
+        const std::size_t bytes = blob_offsets_[v + 1] - begin;
+        const std::size_t lines = std::min(kMaxLines, (bytes + 63) / 64);
+        for (std::size_t line = 0; line < lines; ++line) {
+            __builtin_prefetch(blob_ + begin + line * 64, 0, 1);
+        }
+    }
+
+    [[nodiscard]] double average_degree() const noexcept {
+        return n_ == 0 ? 0.0
+                       : 2.0 * static_cast<double>(num_edges()) / static_cast<double>(n_);
+    }
+
+private:
+    /// Out-of-line LEB128 decode of v's row into scratch_ (graph.cpp).
+    [[nodiscard]] std::span<const Vertex> decode_row(Vertex v) const noexcept;
+
+    Vertex n_ = 0;
+    std::size_t num_arcs_ = 0;
+    const std::size_t* offsets_ = nullptr;  // n + 1 cumulative degrees (both variants)
+    const Vertex* flat_ = nullptr;          // resident / raw-packed rows; null => compressed
+    const std::uint8_t* blob_ = nullptr;    // varint blocks (compressed variant)
+    const std::uint64_t* blob_offsets_ = nullptr;  // n + 1 block byte offsets
+    Vertex* scratch_ = nullptr;                    // caller-owned decode buffer
 };
 
 }  // namespace smallworld

@@ -1,0 +1,24 @@
+// Violating fixture for R7 (layout-pin): on-disk structs missing their
+// layout pins. Linted under the display path of a designated format file.
+#include <cstdint>
+#include <type_traits>
+
+/// On-disk record header, memcpy'd straight into the file — and pinned by
+/// nothing at all: neither static_assert exists.
+struct RecordHeader {
+    std::uint32_t magic;
+    std::uint32_t count;
+};
+
+/// On-disk table entry with only half the pin: trivially-copyable is
+/// asserted but the byte size is not, so a field edit still slips through.
+struct RecordEntry {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+};
+static_assert(std::is_trivially_copyable_v<RecordEntry>, "memcpyable");
+
+/// Scratch accounting kept in memory only; no marker, no pins required.
+struct ScratchTotals {
+    std::uint64_t rows = 0;
+};

@@ -1,0 +1,29 @@
+// Clean fixture for R7 (layout-pin): every marked on-disk struct carries
+// both static_asserts; unmarked helper structs need none.
+#include <cstdint>
+#include <type_traits>
+
+/// On-disk record header, memcpy'd straight into the file.
+struct RecordHeader {
+    std::uint32_t magic;
+    std::uint32_t count;
+};
+static_assert(std::is_trivially_copyable_v<RecordHeader>, "memcpyable");
+static_assert(sizeof(RecordHeader) == 8, "layout pin");
+
+/// On-disk table entry; one combined assert pins both properties.
+struct RecordEntry {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+};
+static_assert(std::is_trivially_copyable_v<RecordEntry> && sizeof(RecordEntry) == 16,
+              "layout pin");
+
+/// Scratch accounting kept in memory only; intentionally unpinned.
+struct ScratchTotals {
+    std::uint64_t rows = 0;
+};
+
+/// On-disk forward declaration elsewhere; declarations are not definitions
+/// and must not demand pins here.
+struct RecordFooter;

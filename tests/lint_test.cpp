@@ -235,6 +235,29 @@ TEST(LintRules, SimdEquivIgnoresNonSimdFiles) {
               0);
 }
 
+TEST(LintRules, LayoutPinBad) {
+    const auto diagnostics =
+        lint_fixture("layout_pin_bad.cpp", "src/graph/packed_graph.h");
+    // RecordHeader misses both pins, RecordEntry misses the sizeof pin;
+    // the unmarked ScratchTotals demands nothing.
+    EXPECT_EQ(count_rule(diagnostics, "layout-pin"), 3);
+}
+
+TEST(LintRules, LayoutPinOk) {
+    EXPECT_EQ(count_rule(lint_fixture("layout_pin_ok.cpp", "src/graph/packed_graph.h"),
+                         "layout-pin"),
+              0);
+}
+
+TEST(LintRules, LayoutPinIgnoresNonFormatFiles) {
+    // The same violating content is fine outside the designated format
+    // files — the rule is a contract on the on-disk layout headers, not a
+    // global style mandate.
+    EXPECT_EQ(count_rule(lint_fixture("layout_pin_bad.cpp", "src/core/other.h"),
+                         "layout-pin"),
+              0);
+}
+
 // ---------------------------------------------------------------------------
 // LINT-ALLOW hygiene
 // ---------------------------------------------------------------------------

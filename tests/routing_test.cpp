@@ -441,7 +441,7 @@ class NoOpFaultedRouter final : public Router {
 public:
     explicit NoOpFaultedRouter(std::unique_ptr<Router> inner) : inner_(std::move(inner)) {}
 
-    [[nodiscard]] RoutingResult route(const Graph& graph, const Objective& objective,
+    [[nodiscard]] RoutingResult route(const GraphView& graph, const Objective& objective,
                                       Vertex source,
                                       const RoutingOptions& options = {}) const override {
         FaultPlan plan;

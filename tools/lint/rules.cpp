@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <set>
 #include <string>
@@ -457,6 +458,98 @@ void check_simd_equiv(const SourceFile& f, std::vector<RuleHit>& hits) {
 }
 
 // ---------------------------------------------------------------------------
+// R7 — layout-pin: in the designated on-disk-format files, every struct
+// whose doc comment marks it as on-disk must carry BOTH layout pins in the
+// same file: a std::is_trivially_copyable static_assert (the serializer
+// memcpys these structs to and from the file) and a sizeof(...) == N
+// static_assert (so any field edit that moves bytes fails to compile
+// instead of silently writing packs no reader can open). A struct is marked
+// on-disk when a comment within the six lines above its definition contains
+// "on-disk" (case-insensitive).
+// ---------------------------------------------------------------------------
+constexpr std::string_view kFormatStructFiles[] = {
+    "graph/packed_graph.h",
+};
+
+[[nodiscard]] bool mentions_on_disk(const std::string& text) {
+    std::string lowered(text);
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return lowered.find("on-disk") != std::string::npos;
+}
+
+void check_layout_pin(const SourceFile& f, std::vector<RuleHit>& hits) {
+    const bool format_file =
+        std::any_of(std::begin(kFormatStructFiles), std::end(kFormatStructFiles),
+                    [&](std::string_view s) { return path_ends_with(f, s); });
+    if (!format_file) return;
+    const Tokens& ts = f.tokens;
+
+    // Pass 1: struct *definitions* (a '{' before the next ';') whose
+    // preceding comment block marks them on-disk.
+    struct OnDiskStruct {
+        std::string name;
+        int line;
+        bool trivially_pinned = false;
+        bool size_pinned = false;
+    };
+    std::vector<OnDiskStruct> structs;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (!is_ident(ts[i], "struct") || ts[i + 1].kind != Token::Kind::kIdentifier) {
+            continue;
+        }
+        bool is_definition = false;
+        for (std::size_t j = i + 2; j < ts.size(); ++j) {
+            if (is_punct(ts[j], "{")) is_definition = true;
+            if (is_punct(ts[j], "{") || is_punct(ts[j], ";")) break;
+        }
+        if (!is_definition) continue;
+        const bool marked = std::any_of(
+            f.comments.begin(), f.comments.end(), [&](const Comment& comment) {
+                return comment.line >= ts[i].line - 6 && comment.line <= ts[i].line &&
+                       mentions_on_disk(comment.text);
+            });
+        if (marked) structs.push_back({ts[i + 1].text, ts[i].line, false, false});
+    }
+
+    // Pass 2: credit each static_assert's argument tokens to the struct
+    // names it mentions.
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!is_ident(ts[i], "static_assert") || !is_punct(next(ts, i), "(")) continue;
+        bool trivially = false;
+        bool size_of = false;
+        std::vector<std::string> named;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+            if (is_punct(ts[j], "(")) ++depth;
+            if (is_punct(ts[j], ")") && --depth == 0) break;
+            if (ts[j].kind != Token::Kind::kIdentifier) continue;
+            if (ts[j].text.rfind("is_trivially_copyable", 0) == 0) trivially = true;
+            if (ts[j].text == "sizeof") size_of = true;
+            named.push_back(ts[j].text);
+        }
+        for (OnDiskStruct& record : structs) {
+            if (std::find(named.begin(), named.end(), record.name) == named.end()) continue;
+            record.trivially_pinned = record.trivially_pinned || trivially;
+            record.size_pinned = record.size_pinned || size_of;
+        }
+    }
+
+    for (const OnDiskStruct& record : structs) {
+        if (!record.trivially_pinned) {
+            hits.push_back({record.line, "layout-pin",
+                            "on-disk struct " + record.name +
+                                " lacks a std::is_trivially_copyable static_assert"});
+        }
+        if (!record.size_pinned) {
+            hits.push_back({record.line, "layout-pin",
+                            "on-disk struct " + record.name +
+                                " lacks a sizeof(...) == N layout-pin static_assert"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // format — mechanical whitespace invariants that do not need clang-format:
 // no tabs, no trailing whitespace, no CR, <= 100 columns, single trailing
 // newline. clang-format (CI) owns real layout; this keeps the tree clean
@@ -509,6 +602,9 @@ const std::vector<Rule>& all_rules() {
         {"simd-equiv",
          "R6: *_simd kernel files must name an existing scalar-equivalence test",
          check_simd_equiv},
+        {"layout-pin",
+         "R7: on-disk format structs need trivially-copyable + sizeof static_asserts",
+         check_layout_pin},
         {"format", "whitespace hygiene: tabs, trailing space, CRLF, 100 columns",
          check_format},
     };
