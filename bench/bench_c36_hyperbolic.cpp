@@ -14,11 +14,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 
 #include "bench_common.h"
+#include "core/annotations.h"
 #include "core/greedy.h"
 #include "core/phi_dfs.h"
 #include "hyperbolic/embedder.h"
@@ -30,12 +30,12 @@ namespace smallworld::bench {
 namespace {
 
 const HyperbolicGraph& cached_hrg(const HrgParams& params, std::uint64_t seed) {
-    static std::mutex mutex;
+    static Mutex mutex;
     static std::map<std::string, std::unique_ptr<HyperbolicGraph>> cache;
     std::ostringstream key;
     key << params.n << '|' << params.alpha_h << '|' << params.c_h << '|' << params.t_h
         << '|' << seed;
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     auto& slot = cache[key.str()];
     if (!slot) slot = std::make_unique<HyperbolicGraph>(generate_hrg(params, seed));
     return *slot;

@@ -6,11 +6,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include "core/annotations.h"
 #include "core/thread_pool.h"
 #include "experiments/memory.h"
 #include "experiments/runner.h"
@@ -34,12 +34,12 @@ inline double bench_scale() {
 /// Process-wide cache of generated GIRGs so every sweep point of every
 /// registered benchmark reuses the instance instead of re-sampling it.
 inline const Girg& cached_girg(const GirgParams& params, std::uint64_t seed) {
-    static std::mutex mutex;
+    static Mutex mutex;
     static std::map<std::string, std::unique_ptr<Girg>> cache;
     std::ostringstream key;
     key << params.n << '|' << params.dim << '|' << params.alpha << '|' << params.beta
         << '|' << params.wmin << '|' << params.edge_scale << '|' << seed;
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     auto& slot = cache[key.str()];
     if (!slot) slot = std::make_unique<Girg>(generate_girg(params, seed));
     return *slot;

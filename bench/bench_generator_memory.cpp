@@ -17,7 +17,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>

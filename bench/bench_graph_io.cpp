@@ -22,7 +22,6 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>

@@ -1,6 +1,5 @@
 #include "core/message_history.h"
 
-#include <algorithm>
 #include <deque>
 #include <optional>
 #include <queue>

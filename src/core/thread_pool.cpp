@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "core/annotations.h"
 
 namespace smallworld {
 
@@ -30,7 +31,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -47,8 +48,8 @@ void ThreadPool::worker_loop(unsigned index) {
     for (;;) {
         bool participate = false;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            UniqueLock lock(mutex_);
+            while (!stop_ && generation_ == seen) work_cv_.wait(lock);
             if (stop_) return;
             seen = generation_;
             // Only the first job_workers_ workers join (the concurrency
@@ -61,7 +62,7 @@ void ThreadPool::worker_loop(unsigned index) {
         if (!participate) continue;
         drain();
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             if (--workers_remaining_ == 0) done_cv_.notify_one();
         }
     }
@@ -79,7 +80,7 @@ void ThreadPool::drain() {
         try {
             for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             if (!error_) error_ = std::current_exception();
             // Park the counter past the end so no further blocks start.
             // LINT-ALLOW(relaxed): only stops further claims; error_ is under mutex_
@@ -104,9 +105,9 @@ void ThreadPool::for_each(std::size_t count, const std::function<void(std::size_
         return;
     }
 
-    const std::lock_guard<std::mutex> call_lock(call_mutex_);
+    const MutexLock call_lock(call_mutex_);
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         job_fn_ = &fn;
         job_count_ = count;
         job_chunk_ = chunk;
@@ -121,8 +122,8 @@ void ThreadPool::for_each(std::size_t count, const std::function<void(std::size_
     drain();
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] { return workers_remaining_ == 0; });
+        UniqueLock lock(mutex_);
+        while (workers_remaining_ != 0) done_cv_.wait(lock);
         error = error_;
         error_ = nullptr;
     }

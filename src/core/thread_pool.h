@@ -1,14 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.h"
 
 namespace smallworld {
 
@@ -49,7 +49,8 @@ public:
     /// from inside a pool job runs inline and serially instead of
     /// deadlocking on its own pool.
     void for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  std::size_t chunk = 1, unsigned max_concurrency = 0);
+                  std::size_t chunk = 1, unsigned max_concurrency = 0)
+        GIRG_EXCLUDES(call_mutex_, mutex_);
 
     /// Process-wide pool sized to the hardware, shared by the sampler and
     /// the experiment runner.
@@ -60,20 +61,26 @@ private:
     /// Claims and runs blocks of the current job until the counter runs dry.
     void drain();
 
-    std::mutex call_mutex_;  // serializes concurrent for_each callers
+    Mutex call_mutex_;  // serializes concurrent for_each callers (never nested in mutex_)
 
-    std::mutex mutex_;  // guards the job fields and both condition variables
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    std::uint64_t generation_ = 0;
+    Mutex mutex_;       // guards the job fields and both condition variables
+    CondVar work_cv_;   // waiters re-check stop_/generation_, guarded by mutex_
+    CondVar done_cv_;   // waiters re-check workers_remaining_, guarded by mutex_
+    std::uint64_t generation_ GIRG_GUARDED_BY(mutex_) = 0;
+    // Job descriptor: written under mutex_ before the generation bump, then
+    // read lock-free by the participants drain() admits. Publication rides
+    // the generation protocol (a worker only reads these after observing the
+    // new generation under mutex_, and for_each cannot rewrite them until
+    // every participant checks back out), so they are deliberately not
+    // GIRG_GUARDED_BY — the mutex is not what makes the reads safe.
     const std::function<void(std::size_t)>* job_fn_ = nullptr;
     std::size_t job_count_ = 0;
     std::size_t job_chunk_ = 1;
-    unsigned job_workers_ = 0;         // pool workers participating in this job
-    unsigned workers_remaining_ = 0;   // participants not yet checked out
+    unsigned job_workers_ GIRG_GUARDED_BY(mutex_) = 0;        // participants this job
+    unsigned workers_remaining_ GIRG_GUARDED_BY(mutex_) = 0;  // not yet checked out
     std::atomic<std::size_t> next_{0};
-    std::exception_ptr error_;
-    bool stop_ = false;
+    std::exception_ptr error_ GIRG_GUARDED_BY(mutex_);
+    bool stop_ GIRG_GUARDED_BY(mutex_) = false;
 
     std::vector<std::thread> threads_;
 };

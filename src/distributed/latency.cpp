@@ -1,6 +1,5 @@
 #include "distributed/latency.h"
 
-#include <cmath>
 
 #include "core/check.h"
 #include "core/fault.h"

@@ -1,6 +1,5 @@
 #include "distributed/protocols.h"
 
-#include <cmath>
 #include <limits>
 
 namespace smallworld {

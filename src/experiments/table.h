@@ -2,7 +2,6 @@
 
 #include <iosfwd>
 #include <string>
-#include <variant>
 #include <vector>
 
 namespace smallworld {

@@ -1,6 +1,5 @@
 #include "geometry/morton.h"
 
-#include <cmath>
 
 #include "core/check.h"
 

@@ -2,21 +2,19 @@
 
 #include <limits>
 #include <memory>
-#include <mutex>
 
+#include "core/annotations.h"
 #include "geometry/torus.h"
 #include "girg/phi_soa.h"
 
 namespace smallworld {
 
-namespace {
-// One process-wide mutex (not per instance) keeps Girg copyable/movable; the
-// critical section is a pointer check plus, once per graph, the plane build.
-std::mutex g_phi_soa_mutex;
-}  // namespace
+namespace detail {
+Mutex phi_soa_mutex;  // declared in girg.h next to the member it guards
+}  // namespace detail
 
 std::shared_ptr<const PhiSoA> Girg::phi_soa() const {
-    const std::lock_guard<std::mutex> lock(g_phi_soa_mutex);
+    const MutexLock lock(detail::phi_soa_mutex);
     if (phi_soa_cache_ == nullptr || phi_soa_cache_->size() != weights.size()) {
         phi_soa_cache_ = std::make_shared<PhiSoA>(weights, positions);
     }
@@ -24,7 +22,7 @@ std::shared_ptr<const PhiSoA> Girg::phi_soa() const {
 }
 
 void Girg::invalidate_phi_soa() const {
-    const std::lock_guard<std::mutex> lock(g_phi_soa_mutex);
+    const MutexLock lock(detail::phi_soa_mutex);
     phi_soa_cache_.reset();
 }
 

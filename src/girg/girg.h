@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/annotations.h"
 #include "graph/graph.h"
 #include "girg/params.h"
 #include "random/point_process.h"
@@ -10,6 +11,15 @@
 namespace smallworld {
 
 class PhiSoA;
+
+namespace detail {
+/// Process-wide lock for every Girg's lazily built SoA cache. One shared
+/// mutex (not a per-instance member) keeps Girg copyable/movable; the
+/// critical section is a pointer check plus, once per graph, the plane
+/// build. Defined in girg.cpp; named here so the guarded member below can
+/// carry its capability annotation.
+extern Mutex phi_soa_mutex;
+}  // namespace detail
 
 /// A sampled geometric inhomogeneous random graph: the parameters, the
 /// vertex attributes (weights, torus positions), and the resulting graph.
@@ -55,7 +65,8 @@ struct Girg {
     void invalidate_phi_soa() const;
 
 private:
-    mutable std::shared_ptr<const PhiSoA> phi_soa_cache_;
+    mutable std::shared_ptr<const PhiSoA> phi_soa_cache_
+        GIRG_GUARDED_BY(detail::phi_soa_mutex);
 };
 
 }  // namespace smallworld

@@ -6,7 +6,6 @@
 #include <limits>
 #include <memory>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 

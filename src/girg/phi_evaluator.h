@@ -5,7 +5,6 @@
 #include <memory>
 #include <span>
 #include <utility>
-#include <vector>
 
 #include "core/check.h"
 #include "geometry/torus.h"

@@ -7,7 +7,6 @@
 // bit-identical regardless of the enclosing TU's -m flags.
 
 #include <cmath>
-#include <cstddef>
 #include <limits>
 
 #include "girg/phi_soa.h"

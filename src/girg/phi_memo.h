@@ -4,10 +4,10 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/check.h"
 #include "graph/graph.h"
 
@@ -60,7 +60,7 @@ class PhiMemoPool {
 public:
     [[nodiscard]] std::unique_ptr<PhiMemoTable> acquire(std::size_t n) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             while (!free_.empty()) {
                 std::unique_ptr<PhiMemoTable> table = std::move(free_.back());
                 free_.pop_back();
@@ -78,13 +78,13 @@ public:
     void release(std::unique_ptr<PhiMemoTable> table) {
         if (table == nullptr) return;
         table->reset();
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         free_.push_back(std::move(table));
     }
 
 private:
-    std::mutex mutex_;
-    std::vector<std::unique_ptr<PhiMemoTable>> free_;
+    Mutex mutex_;
+    std::vector<std::unique_ptr<PhiMemoTable>> free_ GIRG_GUARDED_BY(mutex_);
 };
 
 }  // namespace smallworld

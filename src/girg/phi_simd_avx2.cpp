@@ -14,7 +14,6 @@
 #include <algorithm>
 #include <bit>
 #include <cstddef>
-#include <vector>
 
 #include "girg/phi_kernels_inl.h"
 

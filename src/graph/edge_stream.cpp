@@ -6,12 +6,13 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
-#include <mutex>
 #include <new>
 #include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
+
+#include "core/annotations.h"
 
 #if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
 #define SMALLWORLD_EDGE_STREAM_MMAP 1
@@ -60,6 +61,9 @@ void unmap_pages(std::byte* mem, std::size_t bytes) noexcept { unmap_slab(mem, b
 }  // namespace detail
 
 EdgeArena::~EdgeArena() {
+    // Destruction is single-threaded by contract, but the analysis cannot
+    // know that; taking the (uncontended) lock keeps the proof uniform.
+    const MutexLock lock(mutex_);
     for (Slab& slab : slabs_) release_slab(slab);
 }
 
@@ -81,7 +85,7 @@ EdgeArena::Chunk EdgeArena::allocate(std::uint32_t capacity) {
     thread_local const unsigned thread_lane =
         lane_counter.fetch_add(1, std::memory_order_relaxed);
     const std::size_t lane = thread_lane % kLanes;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
 
     std::size_t& current = current_[lane];
     if (current == kNoSlab || slabs_[current].bytes - slabs_[current].used < bytes) {
@@ -112,7 +116,7 @@ EdgeArena::Chunk EdgeArena::allocate(std::uint32_t capacity) {
 
 void EdgeArena::shrink_to_fit(Chunk& chunk) noexcept {
     if (chunk.data == nullptr || chunk.size == chunk.capacity) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     Slab& slab = slabs_[chunk.slab];
     const std::size_t chunk_end =
         static_cast<std::size_t>(reinterpret_cast<std::byte*>(chunk.data) - slab.mem) +
@@ -124,7 +128,7 @@ void EdgeArena::shrink_to_fit(Chunk& chunk) noexcept {
 }
 
 void EdgeArena::retire(const Chunk& chunk) noexcept {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     Slab& slab = slabs_[chunk.slab];
     GIRG_CHECK(slab.live_chunks > 0, "retire on slab ", chunk.slab,
                " with no live chunks (double retire?)");
@@ -133,7 +137,7 @@ void EdgeArena::retire(const Chunk& chunk) noexcept {
 }
 
 std::size_t EdgeArena::mapped_bytes() const noexcept {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::size_t total = 0;
     for (const Slab& slab : slabs_) {
         if (slab.mem != nullptr) total += slab.bytes;

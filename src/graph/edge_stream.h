@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/check.h"
 #include "graph/graph.h"
 
@@ -132,12 +132,12 @@ private:
     static constexpr std::size_t kLanes = 8;
     static constexpr std::size_t kNoSlab = static_cast<std::size_t>(-1);
 
-    void release_slab(Slab& slab) noexcept;
+    void release_slab(Slab& slab) noexcept GIRG_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::vector<Slab> slabs_;
-    std::size_t current_[kLanes] = {kNoSlab, kNoSlab, kNoSlab, kNoSlab,
-                                    kNoSlab, kNoSlab, kNoSlab, kNoSlab};
+    mutable Mutex mutex_;
+    std::vector<Slab> slabs_ GIRG_GUARDED_BY(mutex_);
+    std::size_t current_[kLanes] GIRG_GUARDED_BY(mutex_) = {
+        kNoSlab, kNoSlab, kNoSlab, kNoSlab, kNoSlab, kNoSlab, kNoSlab, kNoSlab};
 };
 
 /// An ordered sequence of edge chunks — the streaming replacement for

@@ -1,0 +1,13 @@
+// Fixture: raw std synchronization members are invisible to -Wthread-safety
+// (libstdc++ types carry no capability attributes) and must be flagged.
+#include <condition_variable>
+#include <mutex>
+
+class BadQueue {
+public:
+    void close();
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};

@@ -1,0 +1,15 @@
+// Fixture: synchronization through the annotated wrappers is silent, and
+// lock templates naming std::mutex as a type argument are not declarations.
+#include <mutex>
+
+#include "core/annotations.h"
+
+class GoodQueue {
+public:
+    void clear() { const MutexLock lock(mutex_); }
+    void wait_drained(std::unique_lock<std::mutex>& lock);
+
+private:
+    Mutex mutex_;
+    CondVar drained_;
+};

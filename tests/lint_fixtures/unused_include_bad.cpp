@@ -1,0 +1,4 @@
+// Fixture: <vector> provides nothing this file references.
+#include <vector>
+
+int answer() { return 42; }

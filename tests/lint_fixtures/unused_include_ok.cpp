@@ -1,0 +1,4 @@
+// Fixture: every include is referenced.
+#include <vector>
+
+std::vector<int> values() { return {1, 2, 3}; }

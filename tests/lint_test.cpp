@@ -1,10 +1,13 @@
 // Tests for girg-lint: lexer behavior, each rule against its violating and
 // clean fixture (tests/lint_fixtures/), and LINT-ALLOW annotation hygiene.
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -354,9 +357,299 @@ TEST(LintOnly, FilteredModeSkipsAllowHygiene) {
     EXPECT_TRUE(filtered.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Layer manifest (R8 infrastructure)
+// ---------------------------------------------------------------------------
+
+girglint::LayerManifest parse_manifest_ok(const std::string& text) {
+    girglint::LayerManifest manifest;
+    std::string error;
+    EXPECT_TRUE(girglint::parse_layer_manifest(text, manifest, error)) << error;
+    return manifest;
+}
+
+TEST(LintLayers, ParsesManifestAndComputesReachability) {
+    const auto manifest = parse_manifest_ok(read_fixture("layers_ok.toml"));
+    ASSERT_EQ(manifest.layers.size(), 3u);
+    EXPECT_EQ(manifest.include_roots, std::vector<std::string>{"src"});
+
+    const girglint::Layer* top = manifest.layer_of("src/top/x.h");
+    const girglint::Layer* mid = manifest.layer_of("src/mid/x.h");
+    const girglint::Layer* base = manifest.layer_of("src/base/x.h");
+    ASSERT_NE(top, nullptr);
+    ASSERT_NE(mid, nullptr);
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(top->name, "top");
+    EXPECT_EQ(manifest.layer_of("src/top_special.h")->name, "top");
+    EXPECT_EQ(manifest.layer_of("elsewhere/x.h"), nullptr);
+
+    // top -> mid is declared, top -> base transitive, everything upward illegal.
+    EXPECT_TRUE(manifest.allows_edge(*top, *mid));
+    EXPECT_TRUE(manifest.allows_edge(*top, *base));
+    EXPECT_TRUE(manifest.allows_edge(*base, *base));
+    EXPECT_FALSE(manifest.allows_edge(*base, *top));
+    EXPECT_FALSE(manifest.allows_edge(*mid, *top));
+    EXPECT_FALSE(manifest.allows_edge(*base, *mid));
+}
+
+TEST(LintLayers, LongestPrefixWinsOnFileLevelSplits) {
+    // Mirrors the real src/core split: a file-level prefix carves a
+    // sub-layer out of a directory another layer owns.
+    const auto manifest = parse_manifest_ok(
+        "[layer.outer]\npaths = [\"src/a/\"]\ndeps = [\"inner\"]\n"
+        "[layer.inner]\npaths = [\"src/a/special.\"]\ndeps = []\n");
+    EXPECT_EQ(manifest.layer_of("src/a/special.h")->name, "inner");
+    EXPECT_EQ(manifest.layer_of("src/a/special.cpp")->name, "inner");
+    EXPECT_EQ(manifest.layer_of("src/a/other.h")->name, "outer");
+}
+
+TEST(LintLayers, RejectsCycle) {
+    girglint::LayerManifest manifest;
+    std::string error;
+    EXPECT_FALSE(
+        girglint::parse_layer_manifest(read_fixture("layers_cycle.toml"), manifest, error));
+    EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+}
+
+TEST(LintLayers, RejectsUnknownDepDuplicateAndMalformed) {
+    girglint::LayerManifest manifest;
+    std::string error;
+    EXPECT_FALSE(girglint::parse_layer_manifest(
+        "[layer.a]\npaths = [\"src/\"]\ndeps = [\"ghost\"]\n", manifest, error));
+    EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+    EXPECT_FALSE(girglint::parse_layer_manifest(
+        "[layer.a]\npaths = [\"src/\"]\n[layer.a]\npaths = [\"bench/\"]\n", manifest,
+        error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+    EXPECT_FALSE(girglint::parse_layer_manifest("[layer.a]\npaths = [\"src/\"\n",
+                                                manifest, error));
+    EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(LintLayersDeathTest, CycleInManifestIsFatal) {
+    // The CLI refuses to run with a cyclic manifest (a cyclic "DAG" would
+    // legalize every edge); model that reject-or-die path.
+    const std::string cyclic = read_fixture("layers_cycle.toml");
+    EXPECT_DEATH(
+        {
+            girglint::LayerManifest manifest;
+            std::string error;
+            if (!girglint::parse_layer_manifest(cyclic, manifest, error)) {
+                std::fprintf(stderr, "girg-lint: %s\n", error.c_str());
+                std::abort();
+            }
+        },
+        "cycle");
+}
+
+// ---------------------------------------------------------------------------
+// Project-wide rules: layering (R8) and unused-include (R9)
+// ---------------------------------------------------------------------------
+
+/// Lexes `sources` as one project, builds the context, and returns the
+/// diagnostics for `report_path` only.
+std::vector<Diagnostic> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const girglint::LayerManifest* manifest, const std::vector<std::string>& only,
+    const std::string& report_path) {
+    std::vector<SourceFile> files;
+    files.reserve(sources.size());
+    for (const auto& [path, content] : sources) {
+        files.push_back(girglint::lex_file(path, FileKind::kSrc, content));
+    }
+    const girglint::ProjectContext context =
+        girglint::build_project_context(files, manifest);
+    std::vector<Diagnostic> out;
+    for (const SourceFile& file : files) {
+        if (file.display_path == report_path) {
+            girglint::run_rules(file, &context, only, out);
+        }
+    }
+    return out;
+}
+
+TEST(LintLayering, FlagsUpwardInclude) {
+    const auto manifest = parse_manifest_ok(read_fixture("layers_ok.toml"));
+    const auto diagnostics = lint_project(
+        {{"src/base/util.h", "#pragma once\n#include \"top/api.h\"\nint helper();\n"},
+         {"src/top/api.h", "#pragma once\nint top_api();\n"}},
+        &manifest, {"layering"}, "src/base/util.h");
+    ASSERT_EQ(count_rule(diagnostics, "layering"), 1);
+    EXPECT_NE(diagnostics[0].message.find("may not include layer 'top'"),
+              std::string::npos);
+}
+
+TEST(LintLayering, TransitiveDependencyIsLegal) {
+    const auto manifest = parse_manifest_ok(read_fixture("layers_ok.toml"));
+    // top declares only mid; base is reachable through mid and thus legal.
+    const auto diagnostics = lint_project(
+        {{"src/top/api.cpp",
+          "#include \"base/util.h\"\nint top_api() { return helper(); }\n"},
+         {"src/base/util.h", "#pragma once\nint helper();\n"}},
+        &manifest, {"layering"}, "src/top/api.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "layering"), 0);
+}
+
+TEST(LintLayering, AllowSuppressesWithReason) {
+    const auto manifest = parse_manifest_ok(read_fixture("layers_ok.toml"));
+    const auto diagnostics = lint_project(
+        {{"src/base/util.h",
+          "#pragma once\n// LINT-ALLOW(layering): transitional, tracked in ROADMAP\n"
+          "#include \"top/api.h\"\nint helper();\n"},
+         {"src/top/api.h", "#pragma once\nint top_api();\n"}},
+        &manifest, {"layering"}, "src/base/util.h");
+    EXPECT_EQ(count_rule(diagnostics, "layering"), 0);
+}
+
+TEST(LintUnusedInclude, FlagsDeadStdInclude) {
+    const auto diagnostics =
+        lint_project({{"src/core/fixture.cpp", read_fixture("unused_include_bad.cpp")}},
+                     nullptr, {"unused-include"}, "src/core/fixture.cpp");
+    ASSERT_EQ(count_rule(diagnostics, "unused-include"), 1);
+    EXPECT_NE(diagnostics[0].message.find("<vector>"), std::string::npos);
+}
+
+TEST(LintUnusedInclude, CleanFixtureIsSilent) {
+    const auto diagnostics =
+        lint_project({{"src/core/fixture.cpp", read_fixture("unused_include_ok.cpp")}},
+                     nullptr, {"unused-include"}, "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "unused-include"), 0);
+}
+
+TEST(LintUnusedInclude, FlagsDeadProjectInclude) {
+    const auto diagnostics = lint_project(
+        {{"src/core/dead.cpp", "#include \"core/a.h\"\nint unrelated() { return 0; }\n"},
+         {"src/core/a.h", "#pragma once\nint alpha_fn();\n"}},
+        nullptr, {"unused-include"}, "src/core/dead.cpp");
+    ASSERT_EQ(count_rule(diagnostics, "unused-include"), 1);
+    EXPECT_NE(diagnostics[0].message.find("core/a.h"), std::string::npos);
+}
+
+TEST(LintUnusedInclude, TransitiveUseKeepsUmbrellaInclude) {
+    // consumer references only alpha_fn, which b.h re-exports by including
+    // a.h — removing "core/b.h" would break the build, so it must stay.
+    const auto diagnostics = lint_project(
+        {{"src/core/consumer.cpp",
+          "#include \"core/b.h\"\nint use() { return alpha_fn(); }\n"},
+         {"src/core/a.h", "#pragma once\nint alpha_fn();\n"},
+         {"src/core/b.h", "#pragma once\n#include \"core/a.h\"\nint beta_fn();\n"}},
+        nullptr, {"unused-include"}, "src/core/consumer.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "unused-include"), 0);
+}
+
+TEST(LintUnusedInclude, OwnHeaderIsExempt) {
+    const auto diagnostics = lint_project(
+        {{"src/core/own.cpp", "#include \"core/own.h\"\nint helper() { return 1; }\n"},
+         {"src/core/own.h", "#pragma once\nint own_fn();\n"}},
+        nullptr, {"unused-include"}, "src/core/own.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "unused-include"), 0);
+}
+
+TEST(LintUnusedInclude, AllowSuppressesAndIsNotStaleWithoutContext) {
+    const std::string content =
+        "// LINT-ALLOW(unused-include): documents the subsystem under test\n"
+        "#include <vector>\nint x = 0;\n";
+    // Full run with project context: the hit exists, the allow consumes it.
+    const auto with_context =
+        lint_project({{"src/core/x.cpp", content}}, nullptr, {}, "src/core/x.cpp");
+    EXPECT_EQ(count_rule(with_context, "unused-include"), 0);
+    EXPECT_EQ(count_rule(with_context, "allow-syntax"), 0);
+    // Full run without context: the rule cannot run, so the allow must not
+    // be reported stale.
+    EXPECT_EQ(count_rule(lint("src/core/x.cpp", FileKind::kSrc, content), "allow-syntax"),
+              0);
+}
+
+// ---------------------------------------------------------------------------
+// R10 — thread-safety wrappers
+// ---------------------------------------------------------------------------
+
+TEST(LintThreadSafety, FlagsRawMembers) {
+    const auto diagnostics =
+        lint_fixture("thread_safety_bad.cpp", "src/core/fixture.cpp");
+    // One raw std::mutex and one raw std::condition_variable.
+    EXPECT_EQ(count_rule(diagnostics, "thread-safety"), 2);
+}
+
+TEST(LintThreadSafety, WrappersAndLockTemplatesAreClean) {
+    const auto diagnostics =
+        lint_fixture("thread_safety_ok.cpp", "src/core/fixture.cpp");
+    EXPECT_EQ(count_rule(diagnostics, "thread-safety"), 0);
+}
+
+TEST(LintThreadSafety, AllowWithReasonSuppresses) {
+    const std::string wrapper_internals =
+        "#include <mutex>\nclass Mutex {\n"
+        "    // LINT-ALLOW(thread-safety): this is the annotated wrapper itself\n"
+        "    std::mutex m_;\n};\n";
+    const auto diagnostics = lint("src/core/annotations.h", FileKind::kSrc,
+                                  wrapper_internals);
+    EXPECT_EQ(count_rule(diagnostics, "thread-safety"), 0);
+    EXPECT_EQ(count_rule(diagnostics, "allow-syntax"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+// ---------------------------------------------------------------------------
+
+TEST(LintSarif, MatchesGoldenLog) {
+    const std::vector<Diagnostic> diagnostics{
+        {"src/core/greedy.cpp", 12, "pow",
+         "std::pow in a designated hot-path file; use repeated multiplication"},
+        {"/abs/build/path/src/girg/girg.h", 3, "format",
+         "tab character; indent with \"spaces\""},
+    };
+    EXPECT_EQ(girglint::to_sarif(diagnostics), read_fixture("sarif_golden.sarif"));
+}
+
+TEST(LintSarif, ListsEveryRuleAndRelativizesPaths) {
+    const std::vector<Diagnostic> diagnostics{
+        {"/abs/build/path/src/girg/girg.h", 3, "format", "tab character"}};
+    const std::string sarif = girglint::to_sarif(diagnostics);
+    for (const girglint::Rule& rule : girglint::all_rules()) {
+        EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+                  std::string::npos)
+            << rule.id;
+    }
+    EXPECT_NE(sarif.find("\"uri\": \"src/girg/girg.h\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+    EXPECT_EQ(sarif.find("/abs/build/path"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// --fix (mechanical format repair)
+// ---------------------------------------------------------------------------
+
+TEST(LintFix, RepairsMechanicalFindings) {
+    const std::string messy = "int a = 1;  \r\n\tint b = 2;\nint c = 3;";
+    const std::string fixed = girglint::apply_format_fixes(messy);
+    // CRLF normalized, trailing whitespace stripped, final newline added;
+    // the tab is a finding --fix deliberately does not touch.
+    EXPECT_EQ(fixed, "int a = 1;\n\tint b = 2;\nint c = 3;\n");
+    const auto diagnostics = lint("src/core/x.cpp", FileKind::kSrc, fixed);
+    EXPECT_EQ(count_rule(diagnostics, "format"), 1);  // only the tab remains
+}
+
+TEST(LintFix, IsIdempotent) {
+    const std::vector<std::string> inputs{
+        "", "x", "x\n", "x\n\n", "a \t\r\nb\r\nc  ",
+        "int a = 1;  \r\n\tint b = 2;\nint c = 3;"};
+    for (const std::string& input : inputs) {
+        const std::string once = girglint::apply_format_fixes(input);
+        EXPECT_EQ(girglint::apply_format_fixes(once), once) << "input: " << input;
+    }
+}
+
+TEST(LintLexer, RecordsDefines) {
+    const SourceFile f = girglint::lex_file(
+        "src/a.h", FileKind::kSrc,
+        "#define FOO 1\n#define BAR(x) ((x) + 1)\n#define   SPACED value\n");
+    EXPECT_EQ(f.defines, (std::vector<std::string>{"FOO", "BAR", "SPACED"}));
+}
+
 TEST(LintRegistry, AllRulesHaveIdAndSummary) {
     const auto& rules = girglint::all_rules();
-    EXPECT_GE(rules.size(), 8u);
+    EXPECT_GE(rules.size(), 12u);
     std::set<std::string> ids;
     for (const girglint::Rule& rule : rules) {
         EXPECT_NE(std::string(rule.id), "");

@@ -6,6 +6,8 @@
 // threads.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -43,7 +45,10 @@ GirgParams pack_params(double n) {
 }
 
 std::string temp_pack_path(const std::string& name) {
-    return testing::TempDir() + name;
+    // Parallel ctest runs each case in its own process but TempDir() is
+    // shared; prefix the pid so e.g. the /raw and /compressed instances of a
+    // parametrized case never race on the same file.
+    return testing::TempDir() + std::to_string(::getpid()) + "_" + name;
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {

@@ -1,12 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/thread_pool.h"
 
 namespace smallworld {
@@ -74,11 +74,11 @@ TEST(ThreadPool, NestedCallRunsInline) {
 TEST(ThreadPool, MaxConcurrencyOneIsSerial) {
     ThreadPool pool(4);
     std::set<std::thread::id> ids;
-    std::mutex m;
+    Mutex m;
     pool.for_each(
         200,
         [&](std::size_t) {
-            const std::lock_guard<std::mutex> lock(m);
+            const MutexLock lock(m);
             ids.insert(std::this_thread::get_id());
         },
         /*chunk=*/1, /*max_concurrency=*/1);

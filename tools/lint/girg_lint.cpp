@@ -11,16 +11,26 @@
 
 /// girg-lint CLI. Usage:
 ///
-///   girg-lint [--list-rules] [--only <rule>]... <dir-or-file>...
+///   girg-lint [--list-rules] [--only <rule>]... [--manifest <layers.toml>]
+///             [--format=text|sarif] [--fix] [--check-idempotent]
+///             <dir-or-file>...
 ///
-/// Directories are walked recursively in sorted order; every .h/.hpp/.hh/
-/// .cpp/.cc file is lexed and run through the rule registry. A path
-/// containing a `bench` component is classified FileKind::kBench (clock
-/// reads permitted), everything else is kSrc. `--only` (repeatable)
-/// restricts the run to the named rules — used to hold out-of-library trees
-/// (tools/) to the determinism rule without imposing the full hygiene set.
-/// Output is one `path:line: [rule] message` per diagnostic; exit status 1
-/// iff any diagnostic was emitted, 2 on I/O or usage errors.
+/// Two-pass operation: every .h/.hpp/.hh/.cpp/.cc file under the roots is
+/// read and lexed first (fixture trees named `lint_fixtures` are skipped —
+/// they are deliberately broken), a ProjectContext is built over the full
+/// set (include graph, export sets, layer manifest), and only then do the
+/// rules run — so the layering and unused-include rules see the whole
+/// project no matter which subset of roots was passed. Paths containing a
+/// `bench` or `tests` component are classified FileKind::kBench (clock reads
+/// permitted); everything else is kSrc. `--only` (repeatable) restricts the
+/// run to the named rules. `--manifest` points at the layer DAG; when
+/// omitted, <repo-root>/tools/lint/layers.toml is tried (layering is skipped
+/// if absent). `--fix` rewrites files in place, repairing the mechanical
+/// format findings (CRLF, trailing whitespace, missing final newline) before
+/// linting; `--check-idempotent` then verifies a second fix pass changes
+/// nothing. `--format=sarif` emits a SARIF 2.1.0 log on stdout for GitHub
+/// code scanning instead of text diagnostics. Exit status 1 iff any
+/// diagnostic was emitted, 2 on I/O or usage errors.
 namespace {
 
 namespace fs = std::filesystem;
@@ -32,9 +42,16 @@ using girglint::FileKind;
     return ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".cpp" || ext == ".cc";
 }
 
+[[nodiscard]] bool in_fixture_tree(const fs::path& p) {
+    for (const fs::path& part : p) {
+        if (part == "lint_fixtures") return true;
+    }
+    return false;
+}
+
 [[nodiscard]] FileKind classify(const fs::path& p) {
     for (const fs::path& part : p) {
-        if (part == "bench") return FileKind::kBench;
+        if (part == "bench" || part == "tests") return FileKind::kBench;
     }
     return FileKind::kSrc;
 }
@@ -49,11 +66,22 @@ using girglint::FileKind;
     return true;
 }
 
+[[nodiscard]] bool write_file(const fs::path& p, const std::string& content) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::vector<fs::path> roots;
     std::vector<std::string> only;
+    std::string manifest_path;
+    std::string output_format = "text";
+    bool fix = false;
+    bool check_idempotent = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--list-rules") {
@@ -63,8 +91,11 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: girg-lint [--list-rules] [--only <rule>]... "
-                        "<dir-or-file>...\n");
+            std::printf(
+                "usage: girg-lint [--list-rules] [--only <rule>]... "
+                "[--manifest <layers.toml>]\n"
+                "                 [--format=text|sarif] [--fix] [--check-idempotent]\n"
+                "                 <dir-or-file>...\n");
             return 0;
         }
         if (arg == "--only") {
@@ -84,6 +115,31 @@ int main(int argc, char** argv) {
             only.emplace_back(rule_id);
             continue;
         }
+        if (arg == "--manifest") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "girg-lint: --manifest needs a path\n");
+                return 2;
+            }
+            manifest_path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--format=", 0) == 0) {
+            output_format = arg.substr(9);
+            if (output_format != "text" && output_format != "sarif") {
+                std::fprintf(stderr, "girg-lint: unknown format '%s'\n",
+                             output_format.c_str());
+                return 2;
+            }
+            continue;
+        }
+        if (arg == "--fix") {
+            fix = true;
+            continue;
+        }
+        if (arg == "--check-idempotent") {
+            check_idempotent = true;
+            continue;
+        }
         roots.emplace_back(arg);
     }
     if (roots.empty()) {
@@ -93,42 +149,104 @@ int main(int argc, char** argv) {
 
     // Collect the work list up front and sort it so diagnostics are stable
     // regardless of directory-entry order.
-    std::vector<fs::path> files;
+    std::vector<fs::path> paths;
     for (const fs::path& root : roots) {
         std::error_code ec;
         if (fs::is_directory(root, ec)) {
             for (fs::recursive_directory_iterator it(root, ec), end; it != end;
                  it.increment(ec)) {
                 if (ec) break;
-                if (it->is_regular_file() && lintable_extension(it->path())) {
-                    files.push_back(it->path());
+                if (it->is_regular_file() && lintable_extension(it->path()) &&
+                    !in_fixture_tree(it->path())) {
+                    paths.push_back(it->path());
                 }
             }
         } else if (fs::is_regular_file(root, ec)) {
-            files.push_back(root);
+            paths.push_back(root);
         } else {
             std::fprintf(stderr, "girg-lint: cannot open %s\n", root.string().c_str());
             return 2;
         }
     }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-    std::vector<Diagnostic> diagnostics;
-    for (const fs::path& path : files) {
+    // Pass 1: read (optionally repair) and lex everything.
+    std::vector<girglint::SourceFile> files;
+    files.reserve(paths.size());
+    for (const fs::path& path : paths) {
         std::string content;
         if (!read_file(path, content)) {
             std::fprintf(stderr, "girg-lint: cannot read %s\n", path.string().c_str());
             return 2;
         }
-        const girglint::SourceFile file =
-            girglint::lex_file(path.generic_string(), classify(path), content);
-        girglint::run_rules(file, only, diagnostics);
+        if (fix) {
+            const std::string fixed = girglint::apply_format_fixes(content);
+            if (check_idempotent &&
+                girglint::apply_format_fixes(fixed) != fixed) {
+                std::fprintf(stderr, "girg-lint: --fix is not idempotent on %s\n",
+                             path.string().c_str());
+                return 2;
+            }
+            if (fixed != content) {
+                if (!write_file(path, fixed)) {
+                    std::fprintf(stderr, "girg-lint: cannot write %s\n",
+                                 path.string().c_str());
+                    return 2;
+                }
+                std::fprintf(stderr, "girg-lint: fixed %s\n", path.string().c_str());
+                content = fixed;
+            }
+        }
+        files.push_back(
+            girglint::lex_file(path.generic_string(), classify(path), content));
     }
 
-    for (const Diagnostic& d : diagnostics) {
-        std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
-                    d.message.c_str());
+    // The layer manifest: explicit path, else <repo-root>/tools/lint/layers.toml
+    // derived from the first file (layering silently skipped when absent —
+    // partial trees still lint).
+    girglint::LayerManifest manifest;
+    const girglint::LayerManifest* manifest_ptr = nullptr;
+    {
+        std::string search = manifest_path;
+        if (search.empty() && !files.empty()) {
+            const std::string& display = files.front().display_path;
+            const std::string rel = girglint::repo_relative(display);
+            search = display.substr(0, display.size() - rel.size()) +
+                     "tools/lint/layers.toml";
+        }
+        std::string content;
+        if (!search.empty() && read_file(search, content)) {
+            std::string error;
+            if (!girglint::parse_layer_manifest(content, manifest, error)) {
+                std::fprintf(stderr, "girg-lint: %s: %s\n", search.c_str(),
+                             error.c_str());
+                return 2;
+            }
+            manifest_ptr = &manifest;
+        } else if (!manifest_path.empty()) {
+            std::fprintf(stderr, "girg-lint: cannot read manifest %s\n",
+                         manifest_path.c_str());
+            return 2;
+        }
+    }
+
+    // Pass 2: project context, then rules.
+    const girglint::ProjectContext project =
+        girglint::build_project_context(files, manifest_ptr);
+    std::vector<Diagnostic> diagnostics;
+    for (const girglint::SourceFile& file : files) {
+        girglint::run_rules(file, &project, only, diagnostics);
+    }
+
+    if (output_format == "sarif") {
+        const std::string sarif = girglint::to_sarif(diagnostics);
+        std::fwrite(sarif.data(), 1, sarif.size(), stdout);
+    } else {
+        for (const Diagnostic& d : diagnostics) {
+            std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                        d.message.c_str());
+        }
     }
     if (!diagnostics.empty()) {
         std::fprintf(stderr, "girg-lint: %zu diagnostic(s)\n", diagnostics.size());

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+/// layers.toml parsing and the layer DAG (rule R8). The manifest format is a
+/// deliberately small TOML subset — `[layer.<name>]` tables, single-line
+/// string arrays — parsed here without a TOML library so girg-lint keeps its
+/// zero-dependency property. Validation is strict: a manifest that parses
+/// but declares an unknown dependency or a dependency cycle is rejected with
+/// a message, because a cyclic "DAG" would make every include edge legal and
+/// silently disable the rule.
+namespace girglint {
+
+namespace {
+
+[[nodiscard]] std::string trim(std::string_view s) {
+    std::size_t b = s.find_first_not_of(" \t\r");
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return b == std::string_view::npos ? std::string()
+                                       : std::string(s.substr(b, e - b + 1));
+}
+
+/// Strips a trailing `# comment` (never inside a quoted string).
+[[nodiscard]] std::string strip_comment(std::string_view line) {
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"') quoted = !quoted;
+        if (line[i] == '#' && !quoted) return std::string(line.substr(0, i));
+    }
+    return std::string(line);
+}
+
+/// Parses `["a", "b"]` into its elements; returns false on malformed input.
+[[nodiscard]] bool parse_string_array(std::string_view value,
+                                      std::vector<std::string>& out) {
+    const std::string v = trim(value);
+    if (v.size() < 2 || v.front() != '[' || v.back() != ']') return false;
+    std::size_t i = 1;
+    const std::size_t end = v.size() - 1;
+    while (true) {
+        while (i < end && (v[i] == ' ' || v[i] == '\t' || v[i] == ',')) ++i;
+        if (i >= end) return true;
+        if (v[i] != '"') return false;
+        const std::size_t close = v.find('"', i + 1);
+        if (close == std::string::npos || close > end) return false;
+        out.push_back(v.substr(i + 1, close - i - 1));
+        i = close + 1;
+    }
+}
+
+}  // namespace
+
+const Layer* LayerManifest::layer_of(std::string_view repo_path) const {
+    const Layer* best = nullptr;
+    std::size_t best_len = 0;
+    for (const Layer& layer : layers) {
+        for (const std::string& prefix : layer.paths) {
+            if (repo_path.substr(0, prefix.size()) == prefix && prefix.size() >= best_len) {
+                best = &layer;
+                best_len = prefix.size();
+            }
+        }
+    }
+    return best;
+}
+
+bool LayerManifest::allows_edge(const Layer& from, const Layer& to) const {
+    if (from.name == to.name) return true;
+    const auto it = reachable.find(from.name);
+    return it != reachable.end() && it->second.count(to.name) > 0;
+}
+
+bool parse_layer_manifest(std::string_view content, LayerManifest& out, std::string& error) {
+    out = LayerManifest{};
+    Layer* current = nullptr;
+    int lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        const std::string line = trim(strip_comment(
+            content.substr(pos, nl == std::string_view::npos ? nl : nl - pos)));
+        pos = nl == std::string_view::npos ? content.size() + 1 : nl + 1;
+        ++lineno;
+        if (line.empty()) continue;
+
+        if (line.front() == '[') {
+            constexpr std::string_view kTable = "[layer.";
+            if (line.back() != ']' || line.compare(0, kTable.size(), kTable) != 0) {
+                error = "line " + std::to_string(lineno) + ": expected [layer.<name>]";
+                return false;
+            }
+            const std::string name = line.substr(kTable.size(),
+                                                 line.size() - kTable.size() - 1);
+            if (name.empty()) {
+                error = "line " + std::to_string(lineno) + ": empty layer name";
+                return false;
+            }
+            for (const Layer& layer : out.layers) {
+                if (layer.name == name) {
+                    error = "line " + std::to_string(lineno) + ": duplicate layer '" +
+                            name + "'";
+                    return false;
+                }
+            }
+            out.layers.push_back({name, {}, {}});
+            current = &out.layers.back();
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            error = "line " + std::to_string(lineno) + ": expected key = [...]";
+            return false;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        std::vector<std::string> values;
+        if (!parse_string_array(line.substr(eq + 1), values)) {
+            error = "line " + std::to_string(lineno) + ": malformed string array for '" +
+                    key + "'";
+            return false;
+        }
+        if (current == nullptr) {
+            if (key != "include_roots") {
+                error = "line " + std::to_string(lineno) + ": unknown top-level key '" +
+                        key + "'";
+                return false;
+            }
+            out.include_roots = std::move(values);
+        } else if (key == "paths") {
+            current->paths = std::move(values);
+        } else if (key == "deps") {
+            current->deps = std::move(values);
+        } else {
+            error = "line " + std::to_string(lineno) + ": unknown layer key '" + key + "'";
+            return false;
+        }
+    }
+
+    if (out.layers.empty()) {
+        error = "manifest declares no layers";
+        return false;
+    }
+    std::set<std::string> names;
+    for (const Layer& layer : out.layers) names.insert(layer.name);
+    for (const Layer& layer : out.layers) {
+        if (layer.paths.empty()) {
+            error = "layer '" + layer.name + "' declares no paths";
+            return false;
+        }
+        for (const std::string& dep : layer.deps) {
+            if (names.count(dep) == 0) {
+                error = "layer '" + layer.name + "' depends on undeclared layer '" +
+                        dep + "'";
+                return false;
+            }
+            if (dep == layer.name) {
+                error = "layer '" + layer.name + "' depends on itself";
+                return false;
+            }
+        }
+    }
+
+    // Transitive closure by DFS, rejecting cycles (white/grey/black marking).
+    std::map<std::string, const Layer*> by_name;
+    for (const Layer& layer : out.layers) by_name[layer.name] = &layer;
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::string cycle_at;
+    const auto dfs = [&](const auto& self, const std::string& name) -> bool {
+        color[name] = 1;
+        std::set<std::string>& reach = out.reachable[name];
+        for (const std::string& dep : by_name.at(name)->deps) {
+            if (color[dep] == 1) {
+                cycle_at = dep;
+                return false;
+            }
+            if (color[dep] == 0 && !self(self, dep)) return false;
+            reach.insert(dep);
+            const std::set<std::string>& sub = out.reachable[dep];
+            reach.insert(sub.begin(), sub.end());
+        }
+        color[name] = 2;
+        return true;
+    };
+    for (const Layer& layer : out.layers) {
+        if (color[layer.name] == 0 && !dfs(dfs, layer.name)) {
+            error = "dependency cycle through layer '" + cycle_at + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace girglint

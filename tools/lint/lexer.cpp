@@ -141,6 +141,14 @@ void consume_preprocessor(Cursor& c, SourceFile& out) {
         }
     } else if (directive == "pragma") {
         if (rest.find("once") != std::string::npos) out.has_pragma_once = true;
+    } else if (directive == "define") {
+        // The macro name is the first identifier; parameters and the body
+        // are irrelevant to the export-set heuristic.
+        std::size_t i = 0;
+        while (i < rest.size() && (rest[i] == ' ' || rest[i] == '\t')) ++i;
+        std::string name;
+        while (i < rest.size() && ident_char(rest[i])) name.push_back(rest[i++]);
+        if (!name.empty()) out.defines.push_back(std::move(name));
     }
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +64,7 @@ struct SourceFile {
     std::vector<Token> tokens;
     std::vector<Comment> comments;
     std::vector<Include> includes;
+    std::vector<std::string> defines;  // names introduced by #define
     std::vector<Allow> allows;
     std::vector<std::string> lines;  // raw physical lines (no '\n')
 };
@@ -72,6 +75,75 @@ struct Diagnostic {
     std::string rule;
     std::string message;
 };
+
+// ---------------------------------------------------------------------------
+// Project-wide analysis: the layering manifest and the cross-file context.
+// Per-file rules see one token stream; the layering (R8) and unused-include
+// (R9) rules need the whole include graph, so the CLI lexes every file first
+// and hands the rules a ProjectContext built from the full set.
+// ---------------------------------------------------------------------------
+
+/// One layer of the architecture: a name, the path prefixes it owns, and the
+/// names of the layers it is allowed to include (its direct dependencies).
+struct Layer {
+    std::string name;
+    std::vector<std::string> paths;  // repo-relative prefixes, longest match wins
+    std::vector<std::string> deps;
+};
+
+/// The parsed layers.toml: the declared layer DAG. An include edge from
+/// layer A to layer B is legal iff A == B or B is reachable from A through
+/// the declared dependency edges (dependencies are transitive — `girg` may
+/// reach `base` through `graph` without redeclaring it).
+struct LayerManifest {
+    std::vector<Layer> layers;
+    std::vector<std::string> include_roots;  // prefixes quoted includes resolve under
+    std::map<std::string, std::set<std::string>> reachable;  // name -> transitive deps
+
+    /// Longest-prefix owner of a repo-relative path, or nullptr when no
+    /// layer claims it (such files are exempt from layering checks).
+    [[nodiscard]] const Layer* layer_of(std::string_view repo_path) const;
+
+    [[nodiscard]] bool allows_edge(const Layer& from, const Layer& to) const;
+};
+
+/// Parses the manifest (a deliberately small TOML subset: `key = ["..."]`
+/// arrays and `[layer.<name>]` tables). Returns false — with a human-readable
+/// message in `error` — on syntax errors, duplicate layers, dependencies on
+/// undeclared layers, or a cycle in the dependency graph.
+[[nodiscard]] bool parse_layer_manifest(std::string_view content, LayerManifest& out,
+                                        std::string& error);
+
+/// `display_path` reduced to its repo-relative form ("src/girg/girg.h"),
+/// keyed off the last `src/`/`bench/`/`tests/`/`tools/` component so absolute
+/// build paths and relative CI paths normalize identically. Paths outside
+/// every known tree come back unchanged.
+[[nodiscard]] std::string repo_relative(const std::string& display_path);
+
+/// Everything the project-wide rules need: the manifest (may be null — then
+/// layering is skipped), every lexed file keyed by repo-relative path, and
+/// the per-header transitive export sets used by the unused-include rule.
+struct ProjectContext {
+    const LayerManifest* manifest = nullptr;
+    std::map<std::string, const SourceFile*> files;
+    /// Names a header makes visible to its includers: its own declared
+    /// names (types, functions, macros, aliases) plus — transitively — the
+    /// exports of every project header it includes, plus the marker symbols
+    /// of the std headers it pulls in. Deliberately an over-approximation:
+    /// an include is only flagged unused when *nothing* it could provide is
+    /// referenced.
+    std::map<std::string, std::set<std::string>> exports;
+
+    /// Resolves one quoted include to the lexed file it names, trying the
+    /// including file's own directory first and then each include root.
+    /// Returns the repo-relative path, or an empty string when the target is
+    /// not part of the lexed set (system and third-party headers).
+    [[nodiscard]] std::string resolve(const SourceFile& from, const Include& inc) const;
+};
+
+/// Builds the context over every lexed file. `manifest` may be null.
+[[nodiscard]] ProjectContext build_project_context(const std::vector<SourceFile>& files,
+                                                   const LayerManifest* manifest);
 
 /// Lexes one file's contents. `display_path` decides path-matched rules
 /// (e.g. the std::pow hot-path list) and appears in diagnostics.
@@ -89,7 +161,11 @@ struct RuleHit {
 struct Rule {
     const char* id;       // stable id used in LINT-ALLOW annotations
     const char* summary;  // one line for --list-rules
-    void (*check)(const SourceFile& file, std::vector<RuleHit>& hits);
+    /// Per-file check; null for rules that only run project-wide.
+    void (*check)(const SourceFile& file, std::vector<RuleHit>& hits) = nullptr;
+    /// Project-wide check; runs only when a ProjectContext is available.
+    void (*check_project)(const SourceFile& file, const ProjectContext& project,
+                          std::vector<RuleHit>& hits) = nullptr;
 };
 
 /// The full registry, in the order rules run and report.
@@ -107,5 +183,27 @@ void run_rules(const SourceFile& file, std::vector<Diagnostic>& out);
 /// (e.g. nondeterminism-only over tools/) stay meaningful.
 void run_rules(const SourceFile& file, const std::vector<std::string>& only,
                std::vector<Diagnostic>& out);
+
+/// Full variant: per-file rules always run; project-wide rules run when
+/// `project` is non-null. Allows naming a project-only rule are never
+/// reported stale when that rule could not run.
+void run_rules(const SourceFile& file, const ProjectContext* project,
+               const std::vector<std::string>& only, std::vector<Diagnostic>& out);
+
+// ---------------------------------------------------------------------------
+// Output and auto-repair.
+// ---------------------------------------------------------------------------
+
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, driver "girg-lint",
+/// every registered rule listed) for GitHub code-scanning upload. Paths are
+/// emitted repo-relative so annotations land on the right blob.
+[[nodiscard]] std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
+
+/// Auto-repairs the mechanical format findings — CRLF line endings, trailing
+/// whitespace, missing final newline — and returns the fixed content.
+/// Idempotent by construction: apply_format_fixes(apply_format_fixes(x)) ==
+/// apply_format_fixes(x), which `girg-lint --fix --check-idempotent`
+/// re-verifies in CI.
+[[nodiscard]] std::string apply_format_fixes(std::string_view content);
 
 }  // namespace girglint

@@ -1,0 +1,113 @@
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+/// Machine-readable output and mechanical auto-repair. SARIF 2.1.0 is the
+/// interchange format GitHub code scanning ingests: one run, driver
+/// "girg-lint", the full rule registry in tool.driver.rules (so the UI can
+/// show help text), and one result per diagnostic with a repo-relative
+/// artifact URI so annotations land on the right line of the right blob.
+namespace girglint {
+
+namespace {
+
+/// JSON string escaping per RFC 8259 (control characters as \u00XX).
+[[nodiscard]] std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    constexpr char kHex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out.push_back(kHex[(c >> 4) & 0xF]);
+                    out.push_back(kHex[c & 0xF]);
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics) {
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n";
+    out += "    {\n";
+    out += "      \"tool\": {\n";
+    out += "        \"driver\": {\n";
+    out += "          \"name\": \"girg-lint\",\n";
+    out += "          \"rules\": [\n";
+    const std::vector<Rule>& rules = all_rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += "            {\"id\": \"" + json_escape(rules[i].id) +
+               "\", \"shortDescription\": {\"text\": \"" + json_escape(rules[i].summary) +
+               "\"}}";
+        out += i + 1 < rules.size() ? ",\n" : "\n";
+    }
+    // allow-syntax hygiene findings have no registry entry but may appear as
+    // results; SARIF permits results whose ruleId is not in the registry.
+    out += "          ]\n";
+    out += "        }\n";
+    out += "      },\n";
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic& d = diagnostics[i];
+        out += "        {\"ruleId\": \"" + json_escape(d.rule) +
+               "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+               json_escape(d.message) +
+               "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+               "{\"uri\": \"" +
+               json_escape(repo_relative(d.path)) +
+               "\"}, \"region\": {\"startLine\": " + std::to_string(d.line < 1 ? 1 : d.line) +
+               "}}}]}";
+        out += i + 1 < diagnostics.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n";
+    out += "    }\n";
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string apply_format_fixes(std::string_view content) {
+    std::string out;
+    out.reserve(content.size());
+    std::size_t line_start = 0;  // index in `out` where the current line began
+    for (const char c : content) {
+        if (c == '\n') {
+            // Strip trailing spaces/tabs (and the CR of a CRLF ending).
+            while (out.size() > line_start &&
+                   (out.back() == ' ' || out.back() == '\t' || out.back() == '\r')) {
+                out.pop_back();
+            }
+            out.push_back('\n');
+            line_start = out.size();
+        } else {
+            out.push_back(c);
+        }
+    }
+    // Final line without a newline: strip its trailing whitespace too, then
+    // terminate the file. An empty file stays empty.
+    while (out.size() > line_start &&
+           (out.back() == ' ' || out.back() == '\t' || out.back() == '\r')) {
+        out.pop_back();
+    }
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+    return out;
+}
+
+}  // namespace girglint

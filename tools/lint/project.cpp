@@ -1,0 +1,230 @@
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+#include "std_symbols.h"
+
+/// ProjectContext construction: the cross-file side of girg-lint. The CLI
+/// lexes every file, then this module resolves the quoted-include graph and
+/// computes per-header export sets — the names a header (transitively) makes
+/// visible — that the unused-include rule tests references against. The
+/// export extraction is a deliberate over-approximation (see lint.h): extra
+/// names can only hide a dead include, never flag a live one.
+namespace girglint {
+
+namespace {
+
+[[nodiscard]] bool is_tree_boundary(const std::string& path, std::size_t at) {
+    return at == 0 || path[at - 1] == '/';
+}
+
+/// Keywords and declaration noise that must never count as an exported name.
+[[nodiscard]] const std::set<std::string_view>& keyword_set() {
+    static const std::set<std::string_view> kKeywords{
+        "alignas",   "alignof",  "auto",      "bool",      "break",     "case",
+        "catch",     "char",     "class",     "const",     "consteval", "constexpr",
+        "constinit", "continue", "co_await",  "co_return", "co_yield",  "decltype",
+        "default",   "delete",   "do",        "double",    "else",      "enum",
+        "explicit",  "export",   "extern",    "false",     "final",     "float",
+        "for",       "friend",   "goto",      "if",        "inline",    "int",
+        "long",      "mutable",  "namespace", "new",       "noexcept",  "nullptr",
+        "operator",  "override", "private",   "protected", "public",    "register",
+        "requires",  "return",   "short",     "signed",    "sizeof",    "static",
+        "struct",    "switch",   "template",  "this",      "thread_local",
+        "throw",     "true",     "try",       "typedef",   "typeid",    "typename",
+        "union",     "unsigned", "using",     "virtual",   "void",      "volatile",
+        "while",     "std"};
+    return kKeywords;
+}
+
+[[nodiscard]] bool is_keyword(std::string_view text) {
+    return keyword_set().count(text) > 0;
+}
+
+[[nodiscard]] bool ident_is(const Token& t, std::string_view text) {
+    return t.kind == Token::Kind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] bool punct_is(const Token& t, std::string_view text) {
+    return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+/// Skips one balanced `( ... )` group starting at the opening paren index;
+/// returns the index one past the closing paren.
+[[nodiscard]] std::size_t skip_parens(const std::vector<Token>& ts, std::size_t open) {
+    int depth = 0;
+    for (std::size_t j = open; j < ts.size(); ++j) {
+        if (punct_is(ts[j], "(")) ++depth;
+        if (punct_is(ts[j], ")") && --depth == 0) return j + 1;
+    }
+    return ts.size();
+}
+
+/// Names this file declares: types, aliases, macros, and — heuristically —
+/// functions and variables (an identifier in a declaration-shaped position).
+[[nodiscard]] std::set<std::string> declared_names(const SourceFile& f) {
+    std::set<std::string> out;
+    for (const std::string& name : f.defines) out.insert(name);
+
+    const std::vector<Token>& ts = f.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        const Token& t = ts[i];
+        if (t.kind != Token::Kind::kIdentifier) continue;
+
+        // Type definitions: class/struct/enum [class]/union NAME, skipping
+        // macro attributes between the keyword and the name
+        // (`class GIRG_CAPABILITY("mutex") Mutex`).
+        if (t.text == "class" || t.text == "struct" || t.text == "enum" ||
+            t.text == "union") {
+            std::size_t j = i + 1;
+            if (j < ts.size() && (ident_is(ts[j], "class") || ident_is(ts[j], "struct"))) {
+                ++j;
+            }
+            while (j + 1 < ts.size() && ts[j].kind == Token::Kind::kIdentifier &&
+                   punct_is(ts[j + 1], "(")) {
+                j = skip_parens(ts, j + 1);
+            }
+            if (j < ts.size() && ts[j].kind == Token::Kind::kIdentifier &&
+                !is_keyword(ts[j].text)) {
+                out.insert(ts[j].text);
+            }
+            continue;
+        }
+
+        // Alias: using NAME = ...;
+        if (t.text == "using" && i + 2 < ts.size() &&
+            ts[i + 1].kind == Token::Kind::kIdentifier && punct_is(ts[i + 2], "=")) {
+            out.insert(ts[i + 1].text);
+            continue;
+        }
+
+        // typedef ... NAME;
+        if (t.text == "typedef") {
+            const Token* last_ident = nullptr;
+            for (std::size_t j = i + 1; j < ts.size(); ++j) {
+                if (punct_is(ts[j], ";")) break;
+                if (ts[j].kind == Token::Kind::kIdentifier) last_ident = &ts[j];
+            }
+            if (last_ident != nullptr && !is_keyword(last_ident->text)) {
+                out.insert(last_ident->text);
+            }
+            continue;
+        }
+
+        // Declaration-shaped identifier: `Type name(` (function) or
+        // `Type name =` / `Type name;` / `Type name{` / `Type name[`
+        // (variable). The preceding token must look like the tail of a type
+        // (identifier, `>`, `&`, `*`) and must not be a statement keyword —
+        // `return foo(x)` is a call, not a declaration.
+        if (is_keyword(t.text)) continue;
+        if (i == 0 || i + 1 >= ts.size()) continue;
+        const Token& p = ts[i - 1];
+        const Token& n = ts[i + 1];
+        const bool type_tail =
+            (p.kind == Token::Kind::kIdentifier && !is_keyword(p.text)) ||
+            punct_is(p, ">") || punct_is(p, "&") || punct_is(p, "*");
+        const bool typeish_keyword_tail =
+            p.kind == Token::Kind::kIdentifier &&
+            (p.text == "bool" || p.text == "char" || p.text == "int" ||
+             p.text == "long" || p.text == "short" || p.text == "double" ||
+             p.text == "float" || p.text == "unsigned" || p.text == "signed" ||
+             p.text == "auto" || p.text == "void");
+        if (!type_tail && !typeish_keyword_tail) continue;
+        if (punct_is(n, "(") || punct_is(n, "=") || punct_is(n, ";") ||
+            punct_is(n, "{") || punct_is(n, "[")) {
+            out.insert(t.text);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string repo_relative(const std::string& display_path) {
+    constexpr std::string_view kTrees[] = {"src/", "bench/", "tests/", "tools/"};
+    std::size_t best = std::string::npos;
+    for (const std::string_view tree : kTrees) {
+        for (std::size_t at = display_path.find(tree); at != std::string::npos;
+             at = display_path.find(tree, at + 1)) {
+            if (is_tree_boundary(display_path, at) &&
+                (best == std::string::npos || at > best)) {
+                best = at;
+            }
+        }
+    }
+    return best == std::string::npos ? display_path : display_path.substr(best);
+}
+
+std::string ProjectContext::resolve(const SourceFile& from, const Include& inc) const {
+    if (inc.angled) return {};
+    // Sibling include first ("bench_common.h", "lint.h"): the compiler's
+    // quoted-include search starts at the including file's directory.
+    const std::string from_repo = repo_relative(from.display_path);
+    const std::size_t slash = from_repo.find_last_of('/');
+    if (slash != std::string::npos) {
+        const std::string sibling = from_repo.substr(0, slash + 1) + inc.header;
+        if (files.count(sibling) > 0) return sibling;
+    }
+    static const std::vector<std::string> kDefaultRoots{"src", "tools/lint", "tools/pack",
+                                                        "bench", "tests"};
+    const std::vector<std::string>& roots =
+        (manifest != nullptr && !manifest->include_roots.empty()) ? manifest->include_roots
+                                                                  : kDefaultRoots;
+    for (const std::string& root : roots) {
+        const std::string candidate = root + "/" + inc.header;
+        if (files.count(candidate) > 0) return candidate;
+    }
+    if (files.count(inc.header) > 0) return inc.header;
+    return {};
+}
+
+ProjectContext build_project_context(const std::vector<SourceFile>& files,
+                                     const LayerManifest* manifest) {
+    ProjectContext ctx;
+    ctx.manifest = manifest;
+    for (const SourceFile& f : files) {
+        ctx.files[repo_relative(f.display_path)] = &f;
+    }
+
+    std::map<std::string, std::set<std::string>> direct;
+    for (const auto& [path, file] : ctx.files) direct[path] = declared_names(*file);
+
+    // Memoized DFS over the quoted-include graph. An in-progress entry (only
+    // possible with an include cycle, which #pragma once makes survivable)
+    // contributes its partial set — still an under-count only of *extra*
+    // names, so the over-approximation property is preserved in practice.
+    std::map<std::string, int> state;  // 0 unvisited, 1 in progress, 2 done
+    const auto closure = [&](const auto& self,
+                             const std::string& path) -> const std::set<std::string>& {
+        std::set<std::string>& out = ctx.exports[path];
+        if (state[path] != 0) return out;
+        state[path] = 1;
+        const SourceFile& f = *ctx.files.at(path);
+        out = direct[path];
+        for (const Include& inc : f.includes) {
+            if (inc.angled) {
+                for (const StdHeaderMarkers& markers : std_header_markers()) {
+                    if (markers.header != inc.header) continue;
+                    for (const std::string_view sym : markers.symbols) {
+                        out.insert(std::string(sym));
+                    }
+                    break;
+                }
+                continue;
+            }
+            const std::string target = ctx.resolve(f, inc);
+            if (target.empty() || target == path) continue;
+            const std::set<std::string>& sub = self(self, target);
+            out.insert(sub.begin(), sub.end());
+        }
+        state[path] = 2;
+        return out;
+    };
+    for (const auto& [path, file] : ctx.files) closure(closure, path);
+    return ctx;
+}
+
+}  // namespace girglint

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lint.h"
+#include "std_symbols.h"
 
 namespace girglint {
 
@@ -407,22 +408,10 @@ constexpr std::string_view kSimdMarker = "Scalar-equivalence test:";
 
 /// Prefix of `path` up to the *last* top-level-tree component (`src/`,
 /// `bench/`, `tests/`, `tools/`) — the repo root the named test is resolved
-/// against. Taking the last occurrence makes absolute paths
-/// ("/root/repo/src/..."), relative CI paths ("src/..."), and fixture paths
-/// ("/.../tests/lint_fixtures/...") all resolve to the same root.
+/// against. The complement of repo_relative(): absolute build paths,
+/// relative CI paths, and fixture paths all resolve to the same root.
 [[nodiscard]] std::string repo_root_of(const std::string& path) {
-    constexpr std::string_view kTrees[] = {"src/", "bench/", "tests/", "tools/"};
-    std::size_t best = std::string::npos;
-    for (const std::string_view tree : kTrees) {
-        for (std::size_t at = path.find(tree); at != std::string::npos;
-             at = path.find(tree, at + 1)) {
-            if ((at == 0 || path[at - 1] == '/') &&
-                (best == std::string::npos || at > best)) {
-                best = at;
-            }
-        }
-    }
-    return best == std::string::npos ? std::string() : path.substr(0, best);
+    return path.substr(0, path.size() - repo_relative(path).size());
 }
 
 void check_simd_equiv(const SourceFile& f, std::vector<RuleHit>& hits) {
@@ -550,6 +539,133 @@ void check_layout_pin(const SourceFile& f, std::vector<RuleHit>& hits) {
 }
 
 // ---------------------------------------------------------------------------
+// R8 — layering: every quoted include must follow the layer DAG declared in
+// tools/lint/layers.toml. The architecture is a strict stack (base →
+// concurrency/random/geometry → graph → girg → routing → applications); an
+// upward or sideways include is how cyclic coupling starts, and the compiler
+// will happily accept it. Edges are legal within a layer and along the
+// *transitive* closure of declared dependencies; anything else needs either
+// a manifest change (a real new dependency, reviewed as such) or a
+// LINT-ALLOW(layering) with the reason.
+// ---------------------------------------------------------------------------
+void check_layering(const SourceFile& f, const ProjectContext& project,
+                    std::vector<RuleHit>& hits) {
+    if (project.manifest == nullptr) return;
+    const LayerManifest& manifest = *project.manifest;
+    const std::string repo_path = repo_relative(f.display_path);
+    const Layer* from = manifest.layer_of(repo_path);
+    if (from == nullptr) return;  // unclaimed files are exempt
+    for (const Include& inc : f.includes) {
+        if (inc.angled) continue;
+        const std::string target = project.resolve(f, inc);
+        if (target.empty()) continue;  // not part of the lexed project
+        const Layer* to = manifest.layer_of(target);
+        if (to == nullptr || manifest.allows_edge(*from, *to)) continue;
+        hits.push_back({inc.line, "layering",
+                        "layer '" + from->name + "' may not include layer '" + to->name +
+                            "' (\"" + inc.header +
+                            "\"); declare the dependency in tools/lint/layers.toml or "
+                            "invert the edge"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R9 — unused-include: an #include none of whose names are referenced. For
+// std headers the judgment uses the curated marker table (std_symbols.cpp);
+// for project headers it uses the transitive export sets in ProjectContext.
+// Both sides over-approximate "used", so a hit means the include really
+// provides nothing the file mentions — dead weight that slows every rebuild
+// and misleads readers about the file's dependencies. Includes kept for
+// documentation or platform reasons take a LINT-ALLOW(unused-include).
+// ---------------------------------------------------------------------------
+[[nodiscard]] std::string stem_of(const std::string& path) {
+    const std::string base = basename_of(path);
+    const std::size_t dot = base.rfind('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+void check_unused_include(const SourceFile& f, const ProjectContext& project,
+                          std::vector<RuleHit>& hits) {
+    std::set<std::string_view> referenced;
+    for (const Token& t : f.tokens) {
+        if (t.kind == Token::Kind::kIdentifier) referenced.insert(t.text);
+    }
+    const std::string own_stem = stem_of(f.display_path);
+
+    for (const Include& inc : f.includes) {
+        if (inc.angled) {
+            const std::vector<StdHeaderMarkers>& table = std_header_markers();
+            const auto it = std::find_if(
+                table.begin(), table.end(),
+                [&](const StdHeaderMarkers& m) { return m.header == inc.header; });
+            if (it == table.end()) continue;  // unknown header: never judged
+            const bool live =
+                std::any_of(it->symbols.begin(), it->symbols.end(),
+                            [&](std::string_view s) { return referenced.count(s) > 0; });
+            if (!live) {
+                hits.push_back({inc.line, "unused-include",
+                                "#include <" + inc.header +
+                                    "> is unused: none of its symbols are referenced"});
+            }
+            continue;
+        }
+        // A TU always keeps its own header (that is where its declarations
+        // live), matched by stem so foo.cpp <-> foo.h pairs are exempt.
+        if (stem_of(inc.header) == own_stem) continue;
+        const std::string target = project.resolve(f, inc);
+        if (target.empty()) continue;
+        const auto exp = project.exports.find(target);
+        if (exp == project.exports.end() || exp->second.empty()) continue;
+        const bool live =
+            std::any_of(exp->second.begin(), exp->second.end(),
+                        [&](const std::string& s) { return referenced.count(s) > 0; });
+        if (!live) {
+            hits.push_back({inc.line, "unused-include",
+                            "#include \"" + inc.header +
+                                "\" is unused: nothing it (transitively) declares is "
+                                "referenced"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R10 — thread-safety: a raw std::mutex / std::condition_variable declared
+// as a member (or variable) is invisible to Clang's -Wthread-safety
+// analysis: libstdc++ types carry no capability attributes, so nothing the
+// lock protects is ever checked. Every synchronization primitive in the
+// tree goes through the annotated wrappers in core/annotations.h
+// (Mutex/MutexLock/UniqueLock/CondVar) so the CI clang leg can prove the
+// locking discipline. The wrappers' own internals carry the one legitimate
+// LINT-ALLOW(thread-safety).
+// ---------------------------------------------------------------------------
+void check_thread_safety(const SourceFile& f, std::vector<RuleHit>& hits) {
+    static const std::set<std::string_view> kRawSyncTypes{
+        "mutex",        "recursive_mutex",    "timed_mutex",
+        "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex",
+        "condition_variable", "condition_variable_any"};
+    const Tokens& ts = f.tokens;
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+        if (!is_ident(ts[i], "std") || !is_punct(ts[i + 1], "::")) continue;
+        const Token& type = ts[i + 2];
+        if (type.kind != Token::Kind::kIdentifier ||
+            kRawSyncTypes.count(type.text) == 0) {
+            continue;
+        }
+        const Token& name = ts[i + 3];
+        if (name.kind != Token::Kind::kIdentifier) continue;
+        const Token& after = next(ts, i + 3);
+        if (!is_punct(after, ";") && !is_punct(after, "{") && !is_punct(after, "=")) {
+            continue;
+        }
+        hits.push_back({type.line, "thread-safety",
+                        "raw std::" + type.text + " declaration '" + name.text +
+                            "' is invisible to -Wthread-safety; use the annotated "
+                            "wrappers in core/annotations.h (Mutex/MutexLock/"
+                            "UniqueLock/CondVar)"});
+    }
+}
+
+// ---------------------------------------------------------------------------
 // format — mechanical whitespace invariants that do not need clang-format:
 // no tabs, no trailing whitespace, no CR, <= 100 columns, single trailing
 // newline. clang-format (CI) owns real layout; this keeps the tree clean
@@ -605,6 +721,15 @@ const std::vector<Rule>& all_rules() {
         {"layout-pin",
          "R7: on-disk format structs need trivially-copyable + sizeof static_asserts",
          check_layout_pin},
+        {"layering",
+         "R8: quoted includes must respect the layer DAG (tools/lint/layers.toml)",
+         nullptr, check_layering},
+        {"unused-include",
+         "R9: an include none of whose names are referenced must be removed",
+         nullptr, check_unused_include},
+        {"thread-safety",
+         "R10: raw std mutex/condvar declarations must use the annotated wrappers",
+         check_thread_safety},
         {"format", "whitespace hygiene: tabs, trailing space, CRLF, 100 columns",
          check_format},
     };
@@ -612,18 +737,36 @@ const std::vector<Rule>& all_rules() {
 }
 
 void run_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
-    run_rules(file, {}, out);
+    run_rules(file, nullptr, {}, out);
 }
 
 void run_rules(const SourceFile& file, const std::vector<std::string>& only,
                std::vector<Diagnostic>& out) {
+    run_rules(file, nullptr, only, out);
+}
+
+void run_rules(const SourceFile& file, const ProjectContext* project,
+               const std::vector<std::string>& only, std::vector<Diagnostic>& out) {
     const auto selected = [&](const char* id) {
         return only.empty() ||
                std::find(only.begin(), only.end(), id) != only.end();
     };
     std::vector<RuleHit> hits;
+    // Rules that actually ran: an allow naming a rule that could not run
+    // (a project rule with no context) must not be reported as stale.
+    std::set<std::string_view> ran;
     for (const Rule& rule : all_rules()) {
-        if (selected(rule.id)) rule.check(file, hits);
+        if (!selected(rule.id)) continue;
+        bool did_run = false;
+        if (rule.check != nullptr) {
+            rule.check(file, hits);
+            did_run = true;
+        }
+        if (rule.check_project != nullptr && project != nullptr) {
+            rule.check_project(file, *project, hits);
+            did_run = true;
+        }
+        if (did_run) ran.insert(rule.id);
     }
 
     std::vector<bool> allow_used(file.allows.size(), false);
@@ -663,7 +806,7 @@ void run_rules(const SourceFile& file, const std::vector<std::string>& only,
         } else if (allow.reason.empty()) {
             out.push_back({file.display_path, allow.line, "allow-syntax",
                            "LINT-ALLOW(" + allow.rule + ") must carry a reason"});
-        } else if (!allow_used[a]) {
+        } else if (!allow_used[a] && ran.count(allow.rule) > 0) {
             out.push_back({file.display_path, allow.line, "allow-syntax",
                            "LINT-ALLOW(" + allow.rule +
                                ") suppresses nothing; remove the stale annotation"});

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace girglint {
+
+/// Marker symbols for one standard header: if none of `symbols` appears as
+/// an identifier token in a file, an `#include <header>` in that file is
+/// unused. Only headers listed here are ever judged — a header absent from
+/// the table is simply skipped, so the table errs toward listing too many
+/// symbols (a false "used" misses a dead include; a false "unused" breaks a
+/// build), and toward omitting headers whose usage cannot be recognized
+/// lexically.
+struct StdHeaderMarkers {
+    std::string_view header;
+    std::vector<std::string_view> symbols;
+};
+
+[[nodiscard]] const std::vector<StdHeaderMarkers>& std_header_markers();
+
+}  // namespace girglint
