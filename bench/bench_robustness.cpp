@@ -8,14 +8,19 @@
 //     x link_failure_prob {0, 0.1, 0.3, 0.5}
 //     x crash_fraction    {0, 0.05, 0.15}   (random crashes)
 //   + an adversarial kHighestDegree crash series per router
+//   + a byzantine series per router (EXP-ADV, core/adversary.h):
+//       {inflate_blackhole, phantom_misroute}
+//         x byzantine_fraction {0.05, 0.15}
+//         x selection {random, highest_layer}
+//     + one cell crossing inflate_blackhole with the crash/link grid
 //
 // on one cached instance and the same counter-seeded (s,t) pairs, reporting
 // success rate, in-component success, stretch (vs *unfaulted* BFS distances
 // — the runner's baseline, so stretch reads as "cost vs the intact graph"),
-// and wait-out retries per attempt. Every fault draw is a pure function of
-// (plan seed, source, edge, epoch), so each grid point is re-run at 1/2/8
-// threads and the outcomes are asserted identical before anything is
-// written.
+// and wait-out retries per attempt. Every fault and adversary draw is a pure
+// function of (plan seed, source, edge, epoch / vertex), so each grid point
+// is re-run at 1/2/8 threads and the outcomes are asserted identical before
+// anything is written.
 //
 // `--sweep [output.json]` writes BENCH_robustness.json; `--smoke` shrinks
 // the instance so CI can execute the full code path in seconds.
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/adversary.h"
 #include "core/fault.h"
 #include "core/gravity_pressure.h"
 #include "core/greedy.h"
@@ -82,10 +88,22 @@ struct RouterEntry {
     std::unique_ptr<Router> router;
 };
 
+/// Named byzantine behavior bundles for the adversary axis.
+struct AdversaryProfile {
+    const char* name = "none";
+    double weight_lie_factor = 1.0;
+    int phantom_neighbors = 0;
+    bool blackhole = false;
+    bool misroute = false;
+};
+
 struct GridPoint {
     double link_failure_prob = 0.0;
     double crash_fraction = 0.0;
     CrashSelection crash_selection = CrashSelection::kRandom;
+    AdversaryProfile adversary;  // "none" = honest vertices
+    double byzantine_fraction = 0.0;
+    AdversarySelection byzantine_selection = AdversarySelection::kRandom;
 };
 
 const char* selection_name(CrashSelection s) {
@@ -93,6 +111,16 @@ const char* selection_name(CrashSelection s) {
         case CrashSelection::kRandom: return "random";
         case CrashSelection::kHighestWeight: return "highest_weight";
         case CrashSelection::kHighestDegree: return "highest_degree";
+    }
+    return "?";
+}
+
+const char* selection_name(AdversarySelection s) {
+    switch (s) {
+        case AdversarySelection::kRandom: return "random";
+        case AdversarySelection::kHighestWeight: return "highest_weight";
+        case AdversarySelection::kHighestDegree: return "highest_degree";
+        case AdversarySelection::kHighestLayer: return "highest_layer";
     }
     return "?";
 }
@@ -139,12 +167,54 @@ int run_sweep(const std::string& output_path, bool smoke) {
         smoke ? std::vector<double>{0.0, 0.15} : std::vector<double>{0.0, 0.05, 0.15};
     for (const double p : link_probs) {
         for (const double f : crash_fracs) {
-            grid.push_back({p, f, CrashSelection::kRandom});
+            GridPoint point;
+            point.link_failure_prob = p;
+            point.crash_fraction = f;
+            grid.push_back(point);
         }
     }
     for (const double f : smoke ? std::vector<double>{0.15}
                                 : std::vector<double>{0.05, 0.15}) {
-        grid.push_back({0.0, f, CrashSelection::kHighestDegree});
+        GridPoint point;
+        point.crash_fraction = f;
+        point.crash_selection = CrashSelection::kHighestDegree;
+        grid.push_back(point);
+    }
+
+    // Byzantine series (EXP-ADV): two behavior profiles — claimed-weight
+    // inflation feeding a blackhole (the attraction-sink attack) and phantom
+    // advertisement plus misrouting (the equivocation attack) — each at two
+    // compromise fractions, under scattered (random) and adaptive
+    // (highest_layer, the Lemma 8.1 landmark layers) victim selection.
+    const AdversaryProfile inflate_blackhole{"inflate_blackhole", 8.0, 0, true, false};
+    const AdversaryProfile phantom_misroute{"phantom_misroute", 1.0, 4, false, true};
+    const std::vector<double> byz_fracs =
+        smoke ? std::vector<double>{0.15} : std::vector<double>{0.05, 0.15};
+    const std::vector<AdversarySelection> byz_selections =
+        smoke ? std::vector<AdversarySelection>{AdversarySelection::kHighestLayer}
+              : std::vector<AdversarySelection>{AdversarySelection::kRandom,
+                                                AdversarySelection::kHighestLayer};
+    for (const AdversaryProfile& profile : {inflate_blackhole, phantom_misroute}) {
+        for (const AdversarySelection selection : byz_selections) {
+            for (const double f : byz_fracs) {
+                GridPoint point;
+                point.adversary = profile;
+                point.byzantine_fraction = f;
+                point.byzantine_selection = selection;
+                grid.push_back(point);
+            }
+        }
+    }
+    // One crossed cell: byzantine landmarks on top of the crash/link grid —
+    // the composition the serving story actually faces.
+    {
+        GridPoint point;
+        point.link_failure_prob = 0.1;
+        point.crash_fraction = 0.05;
+        point.adversary = inflate_blackhole;
+        point.byzantine_fraction = 0.15;
+        point.byzantine_selection = AdversarySelection::kHighestLayer;
+        grid.push_back(point);
     }
 
     struct Row {
@@ -165,6 +235,13 @@ int run_sweep(const std::string& output_path, bool smoke) {
             config.faults.link_failure_prob = point.link_failure_prob;
             config.faults.crash_fraction = point.crash_fraction;
             config.faults.crash_selection = point.crash_selection;
+            config.adversary.seed = 71002;
+            config.adversary.byzantine_fraction = point.byzantine_fraction;
+            config.adversary.selection = point.byzantine_selection;
+            config.adversary.weight_lie_factor = point.adversary.weight_lie_factor;
+            config.adversary.phantom_neighbors = point.adversary.phantom_neighbors;
+            config.adversary.blackhole = point.adversary.blackhole;
+            config.adversary.misroute = point.adversary.misroute;
 
             // The determinism contract is the point of the subsystem: every
             // grid cell must produce bit-identical aggregates at 1, 2 and 8
@@ -183,14 +260,17 @@ int run_sweep(const std::string& output_path, bool smoke) {
                               << point.link_failure_prob << " crash="
                               << point.crash_fraction << " ("
                               << selection_name(point.crash_selection)
-                              << ") changed outcomes at " << threads << " threads\n";
+                              << ") adversary=" << point.adversary.name << " byz="
+                              << point.byzantine_fraction
+                              << " changed outcomes at " << threads << " threads\n";
                     threads_identical = false;
                 }
             }
             std::cerr << "sweep: " << entry.name << " p=" << point.link_failure_prob
                       << " crash=" << point.crash_fraction << " ("
-                      << selection_name(point.crash_selection)
-                      << ") success=" << stats.success_rate()
+                      << selection_name(point.crash_selection) << ") adversary="
+                      << point.adversary.name << " byz=" << point.byzantine_fraction
+                      << " success=" << stats.success_rate()
                       << " stretch=" << stats.stretch.mean() << " retries/attempt="
                       << static_cast<double>(stats.retries) /
                              static_cast<double>(stats.attempts)
@@ -209,6 +289,7 @@ int run_sweep(const std::string& output_path, bool smoke) {
     json.field("targets", static_cast<double>(kTargets));
     json.field("sources_per_target", static_cast<double>(kSources));
     json.field("fault_seed", 71001.0);
+    json.field("adversary_seed", 71002.0);
     json.field("max_retries", 3.0);
     json.field("stretch_baseline", "BFS distance on the intact (unfaulted) graph");
     json.field("outcomes_identical_across_threads", 1.0);
@@ -221,7 +302,11 @@ int run_sweep(const std::string& output_path, bool smoke) {
         series << "    {\"router\": \"" << row.router << "\", \"link_failure_prob\": "
                << row.point.link_failure_prob << ", \"crash_fraction\": "
                << row.point.crash_fraction << ", \"crash_selection\": \""
-               << selection_name(row.point.crash_selection) << "\", \"attempts\": "
+               << selection_name(row.point.crash_selection)
+               << "\", \"adversary_profile\": \"" << row.point.adversary.name
+               << "\", \"byzantine_fraction\": " << row.point.byzantine_fraction
+               << ", \"byzantine_selection\": \""
+               << selection_name(row.point.byzantine_selection) << "\", \"attempts\": "
                << row.stats.attempts << ", \"success_rate\": "
                << row.stats.success_rate() << ", \"in_component_success_rate\": "
                << row.stats.in_component_success_rate() << ", \"mean_hops\": "

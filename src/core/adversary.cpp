@@ -1,0 +1,223 @@
+#include "core/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+#include "geometry/torus.h"
+
+namespace smallworld {
+
+namespace {
+
+/// Byzantine count for a fraction: round-to-nearest, clamped to n — the same
+/// exact-count rule as FaultState's crash set, so set sizes are a pure
+/// function of (fraction, n).
+[[nodiscard]] std::size_t byzantine_count(double fraction, std::size_t n) noexcept {
+    const auto k = static_cast<std::size_t>(fraction * static_cast<double>(n) + 0.5);
+    return k < n ? k : n;
+}
+
+/// Uniform [0,1) coin from a hashed key — the 53-mantissa-bit scheme shared
+/// with FaultState::fault_coin, duplicated here because core/fault.h lives in
+/// the routing layer above this one (tools/lint/layers.toml).
+[[nodiscard]] double unit_coin(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The phase-1 eps of Lemma 8.1's weight ladder (core/phases.h kDefaultEps1,
+/// restated for the same layering reason as unit_coin).
+constexpr double kLayerEps1 = 0.05;
+
+/// Weight landmarks y_{j+1} = y_j^gamma from wmin up to wmin * n — the
+/// Lemma 8.1 ladder, mirroring LayerStructure's construction (core/layers.cpp)
+/// so the adaptive adversary and the layer analysis agree on layer indices.
+[[nodiscard]] std::vector<double> weight_ladder(const GirgParams& params, double gamma) {
+    std::vector<double> landmarks;
+    const double w_cap = params.wmin * params.n;
+    for (double y = params.wmin; y < w_cap; y = std::pow(y, gamma)) {
+        landmarks.push_back(y);
+        if (y <= 1.0 + 1e-12) break;  // gamma-powering would not grow
+    }
+    if (landmarks.empty()) landmarks.push_back(params.wmin);
+    return landmarks;
+}
+
+}  // namespace
+
+AdversaryState::AdversaryState(const GraphView& graph, const AdversaryPlan& plan,
+                               std::span<const double> weights,
+                               const PointCloud* positions, const GirgParams* params)
+    : plan_(plan), streams_(plan.seed), positions_(positions) {
+    GIRG_CHECK(plan.byzantine_fraction >= 0.0 && plan.byzantine_fraction <= 1.0,
+               "AdversaryPlan: byzantine_fraction=", plan.byzantine_fraction,
+               " not in [0,1]");
+    GIRG_CHECK(plan.weight_lie_factor > 0.0 && std::isfinite(plan.weight_lie_factor),
+               "AdversaryPlan: weight_lie_factor=", plan.weight_lie_factor,
+               " must be positive and finite");
+    GIRG_CHECK(plan.position_lie_shift >= 0.0 && plan.position_lie_shift <= 0.5,
+               "AdversaryPlan: position_lie_shift=", plan.position_lie_shift,
+               " not in [0, 0.5]");
+    GIRG_CHECK(plan.phantom_neighbors >= 0,
+               "AdversaryPlan: phantom_neighbors=", plan.phantom_neighbors);
+
+    // Stream indexes >= 2^32 cannot collide with any 32-bit vertex key.
+    position_salt_ = streams_.stream_seed(std::uint64_t{1} << 32);
+    const std::uint64_t select_salt = streams_.stream_seed((std::uint64_t{1} << 32) + 1);
+    const std::uint64_t phantom_salt = streams_.stream_seed((std::uint64_t{1} << 32) + 2);
+
+    const std::size_t n = graph.num_vertices();
+    const std::size_t k = byzantine_count(plan.byzantine_fraction, n);
+    if (plan.byzantine_fraction <= 0.0 || k == 0) return;
+    GIRG_CHECK(plan.position_lie_shift <= 0.0 ||
+                   (positions != nullptr && positions->count() == n),
+               "AdversaryPlan: position_lie_shift needs one position per vertex");
+    const bool weight_ranked = plan.selection == AdversarySelection::kHighestWeight ||
+                               plan.selection == AdversarySelection::kHighestLayer;
+    GIRG_CHECK(!weight_ranked || weights.size() == n,
+               "AdversaryPlan: ", plan.selection == AdversarySelection::kHighestWeight
+                                      ? "kHighestWeight"
+                                      : "kHighestLayer",
+               " needs one weight per vertex (got ", weights.size(), " for n=", n, ")");
+
+    if (plan.selection == AdversarySelection::kHighestLayer) {
+        GIRG_CHECK(params != nullptr,
+                   "AdversaryPlan: kHighestLayer needs GirgParams for the "
+                   "Lemma 8.1 weight ladder");
+        const double gamma = params->gamma(kLayerEps1);
+        GIRG_CHECK(gamma > 1.0, "AdversaryPlan: kHighestLayer needs gamma(eps1)=",
+                   gamma, " > 1 (beta too close to 3)");
+        const std::vector<double> landmarks = weight_ladder(*params, gamma);
+        num_layers_ = static_cast<int>(landmarks.size());
+        layer_.resize(n);
+        for (std::size_t v = 0; v < n; ++v) {
+            const auto it =
+                std::upper_bound(landmarks.begin(), landmarks.end(), weights[v]);
+            layer_[v] = static_cast<std::int16_t>(it - landmarks.begin() - 1);
+        }
+    }
+
+    // Rank every vertex by the selection criterion and compromise the top k;
+    // ties toward the smaller id, so the set is a pure function of (plan,
+    // graph attributes) regardless of sort internals.
+    std::vector<Vertex> order(n);
+    for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<Vertex>(v);
+    const auto rank_of = [&](Vertex v) -> double {
+        switch (plan_.selection) {
+            case AdversarySelection::kHighestWeight:
+                return weights[v];
+            case AdversarySelection::kHighestDegree:
+                return static_cast<double>(graph.degree(v));
+            case AdversarySelection::kHighestLayer:
+                // Whole layers first; within a layer a counter-seeded uniform
+                // order decides who falls inside the boundary cut.
+                return static_cast<double>(layer_[v]) * 0x1.0p64 +
+                       static_cast<double>(hash_combine(select_salt, v));
+            case AdversarySelection::kRandom:
+            default:
+                return static_cast<double>(hash_combine(select_salt, v));
+        }
+    };
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     order.end(), [&](Vertex a, Vertex b) {
+                         const double ra = rank_of(a);
+                         const double rb = rank_of(b);
+                         if (ra != rb) return ra > rb;
+                         return a < b;
+                     });
+    byzantine_.assign(n, 0);
+    for (std::size_t i = 0; i < k; ++i) byzantine_[order[i]] = 1;
+    num_byzantine_ = k;
+
+    if (plan.phantom_neighbors <= 0) return;
+    // Phantom advertisements: per byzantine vertex, up to phantom_neighbors
+    // distinct non-neighbor vertex ids, each a bounded-try rejection sample
+    // keyed by (seed, vertex, slot, try) — execution-order free.
+    phantom_offsets_.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        phantom_offsets_[v] = static_cast<std::uint32_t>(phantom_targets_.size());
+        if (byzantine_[v] == 0) continue;
+        const auto honest = graph.neighbors(static_cast<Vertex>(v));
+        const std::size_t first = phantom_targets_.size();
+        for (int slot = 0; slot < plan.phantom_neighbors; ++slot) {
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                const std::uint64_t h = hash_combine(
+                    hash_combine(phantom_salt, static_cast<std::uint64_t>(v)),
+                    static_cast<std::uint64_t>(slot) * 8 + static_cast<std::uint64_t>(attempt));
+                const auto cand = static_cast<Vertex>(h % n);
+                if (cand == static_cast<Vertex>(v)) continue;
+                if (std::binary_search(honest.begin(), honest.end(), cand)) continue;
+                if (std::find(phantom_targets_.begin() +
+                                  static_cast<std::ptrdiff_t>(first),
+                              phantom_targets_.end(), cand) != phantom_targets_.end()) {
+                    continue;
+                }
+                phantom_targets_.push_back(cand);
+                break;
+            }
+        }
+        std::sort(phantom_targets_.begin() + static_cast<std::ptrdiff_t>(first),
+                  phantom_targets_.end());
+    }
+    phantom_offsets_[n] = static_cast<std::uint32_t>(phantom_targets_.size());
+}
+
+void AdversaryState::claimed_position(Vertex v, double* out) const noexcept {
+    const int dim = positions_->dim;
+    const double* true_pos = positions_->point(v);
+    if (!byzantine(v) || plan_.position_lie_shift <= 0.0) {
+        for (int axis = 0; axis < dim; ++axis) out[axis] = true_pos[axis];
+        return;
+    }
+    for (int axis = 0; axis < dim; ++axis) {
+        const std::uint64_t h = hash_combine(
+            hash_combine(position_salt_, v), static_cast<std::uint64_t>(axis));
+        const double offset = (unit_coin(h) * 2.0 - 1.0) * plan_.position_lie_shift;
+        double x = true_pos[axis] + offset;
+        x -= std::floor(x);  // wrap onto [0, 1)
+        out[axis] = x;
+    }
+}
+
+double AdversaryState::claim_factor(Vertex v, const double* target_position) const noexcept {
+    if (!byzantine(v)) return 1.0;
+    double factor = plan_.weight_lie_factor;
+    if (plan_.position_lie_shift <= 0.0 || positions_ == nullptr ||
+        target_position == nullptr) {
+        return factor;
+    }
+    const int dim = positions_->dim;
+    const double d_true = torus_distance(positions_->point(v), target_position, dim);
+    if (!(d_true > 0.0)) return factor;  // v sits exactly on the target
+    double claimed[kMaxDim];
+    claimed_position(v, claimed);
+    double d_claimed = torus_distance(claimed, target_position, dim);
+    if (d_claimed < 0x1.0p-1000) d_claimed = 0x1.0p-1000;  // never divide by zero
+    const double ratio = d_true / d_claimed;
+    double ratio_pow = ratio;
+    for (int i = 1; i < dim; ++i) ratio_pow *= ratio;
+    return factor * ratio_pow;
+}
+
+std::span<const Vertex> AdversaryView::advertised_neighbors(
+    const GraphView& graph, Vertex v, std::vector<Vertex>& scratch) const {
+    const auto honest = graph.neighbors(v);
+    if (!advertises_phantoms(v)) return honest;
+    const auto ph = state_->phantoms(v);
+    scratch.clear();
+    scratch.reserve(honest.size() + ph.size());
+    std::merge(honest.begin(), honest.end(), ph.begin(), ph.end(),
+               std::back_inserter(scratch));
+    return scratch;
+}
+
+bool AdversaryView::phantom_link(const GraphView& graph, Vertex u, Vertex v) {
+    const auto honest = graph.neighbors(u);
+    return !std::binary_search(honest.begin(), honest.end(), v);
+}
+
+}  // namespace smallworld

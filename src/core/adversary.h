@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "girg/params.h"
+#include "graph/graph.h"
+#include "random/point_process.h"
+#include "random/rng.h"
+#include "random/splitmix64.h"
+
+namespace smallworld {
+
+/// How compromised (byzantine) vertices are picked. Random compromise models
+/// scattered malware; the adaptive modes capture an adversary that knows the
+/// routing structure and corrupts exactly the vertices greedy traffic funnels
+/// through — the heavy hubs, and (kHighestLayer) the Lemma 8.1 landmark
+/// layers the first routing phase climbs.
+enum class AdversarySelection {
+    kRandom,         ///< counter-seeded uniform subset
+    kHighestWeight,  ///< heaviest vertices first (requires weights)
+    kHighestDegree,  ///< highest-degree vertices first
+    /// Whole weight layers of the Lemma 8.1 ladder, top layer first. Within
+    /// the one partially-compromised boundary layer membership is a
+    /// counter-seeded uniform draw, NOT a weight order — compromising a
+    /// *layer* is the adaptive attack on the first routing phase, and it is
+    /// deliberately distinct from kHighestWeight's per-vertex greedy order.
+    /// Requires weights and GirgParams.
+    kHighestLayer,
+};
+
+/// Declarative, counter-seeded description of a byzantine adversary: which
+/// vertices are compromised and which lies they tell. One plan drives the
+/// centralized routers (via `RoutingOptions::adversary`), the trial runner
+/// (`TrialConfig::adversary`) and both distributed simulators. Every lie is
+/// a pure function of (seed, stable keys) — never of execution order, thread
+/// count, or wall clock — so adversarial runs replay bit for bit.
+///
+/// Unlike a FaultPlan (honest failures: a crashed vertex is *gone*), a
+/// byzantine vertex stays reachable and attractive: it advertises lied-about
+/// attributes, then drops or deflects the traffic those lies attract.
+struct AdversaryPlan {
+    std::uint64_t seed = 0;  ///< root of all adversary draws (RngStreams style)
+
+    /// Fraction of vertices compromised for the whole run (rounded to an
+    /// exact count, like FaultPlan::crash_fraction).
+    double byzantine_fraction = 0.0;
+    AdversarySelection selection = AdversarySelection::kRandom;
+
+    /// Attribute lie: a byzantine vertex reports weight_lie_factor * its true
+    /// weight. phi is linear in the weight, so this is an exact multiplicative
+    /// distortion of the claimed objective — > 1 turns the liar into a sink
+    /// for weight-seeking greedy (it attracts traffic, then no honest
+    /// neighbor beats its claimed value), < 1 makes it hide. 1 = honest.
+    double weight_lie_factor = 1.0;
+
+    /// Attribute lie: a byzantine vertex reports a position shifted per axis
+    /// by a hashed uniform draw in [-shift, +shift], wrapped on the torus.
+    /// Must be in [0, 0.5] (half the torus diameter). 0 = honest.
+    double position_lie_shift = 0.0;
+
+    /// Equivocation: a byzantine vertex advertises up to this many phantom
+    /// neighbors — real vertex ids it has no edge to. A packet forwarded
+    /// along an advertised-but-nonexistent link is swallowed (the trace
+    /// records the attempted hop, which the P-checker audit flags as a
+    /// non-edge move).
+    int phantom_neighbors = 0;
+
+    /// Behavior lie: a byzantine vertex silently drops every packet it
+    /// *receives* (it still originates its own queries — the adversary
+    /// attracts and kills transit traffic, it does not self-censor).
+    bool blackhole = false;
+
+    /// Behavior lie: whenever a byzantine vertex holds a packet it forwards
+    /// it to its *worst* advertised usable neighbor by claimed objective,
+    /// ignoring the protocol's choice.
+    bool misroute = false;
+
+    /// True when vertices are compromised AND at least one lie is enabled; an
+    /// inactive plan leaves every consumer on its honest code path, byte for
+    /// byte (the same contract FaultPlan::any() pins).
+    [[nodiscard]] bool any() const noexcept {
+        return byzantine_fraction > 0.0 &&
+               (weight_lie_factor != 1.0 || position_lie_shift > 0.0 ||
+                phantom_neighbors > 0 || blackhole || misroute);
+    }
+};
+
+/// Immutable per-(graph, plan) adversary state: the validated plan, the
+/// byzantine vertex set, the phantom-neighbor advertisements, and the claimed
+/// (lied-about) attribute distortions. Construction is the only mutation, so
+/// one instance may be shared read-only by any number of routing threads.
+class AdversaryState {
+public:
+    /// Validates the plan (GIRG_CHECK: fraction in [0,1], factor > 0, shift
+    /// in [0, 0.5], phantom count >= 0) and materializes the byzantine set
+    /// and phantom lists. `weights` is required iff selection is
+    /// kHighestWeight or kHighestLayer with a positive fraction; `params` is
+    /// required for kHighestLayer (the Lemma 8.1 weight ladder); `positions`
+    /// is required iff position_lie_shift > 0.
+    AdversaryState(const GraphView& graph, const AdversaryPlan& plan,
+                   std::span<const double> weights = {},
+                   const PointCloud* positions = nullptr,
+                   const GirgParams* params = nullptr);
+
+    [[nodiscard]] const AdversaryPlan& plan() const noexcept { return plan_; }
+
+    [[nodiscard]] bool byzantine(Vertex v) const noexcept {
+        return !byzantine_.empty() && byzantine_[v] != 0;
+    }
+    [[nodiscard]] std::size_t num_byzantine() const noexcept { return num_byzantine_; }
+
+    /// kHighestLayer bookkeeping, exposed for tests and the audit: the
+    /// Lemma 8.1 weight-layer index of v (-1 when the plan did not need the
+    /// ladder), and the number of ladder layers.
+    [[nodiscard]] int landmark_layer(Vertex v) const noexcept {
+        return layer_.empty() ? -1 : layer_[v];
+    }
+    [[nodiscard]] int num_landmark_layers() const noexcept { return num_layers_; }
+
+    /// Phantom neighbors advertised by v: sorted, real vertex ids with no
+    /// honest edge to v. Empty for honest vertices (and when the plan
+    /// advertises none).
+    [[nodiscard]] std::span<const Vertex> phantoms(Vertex v) const noexcept {
+        if (phantom_offsets_.empty()) return {};
+        return {phantom_targets_.data() + phantom_offsets_[v],
+                phantom_targets_.data() + phantom_offsets_[v + 1]};
+    }
+
+    /// Claimed position of byzantine v (honest position otherwise), written
+    /// into `out` (>= positions()->dim doubles). The per-axis shift is a pure
+    /// function of (seed, v, axis). Requires positions.
+    void claimed_position(Vertex v, double* out) const noexcept;
+
+    /// Multiplicative distortion claimed/true of v's objective as seen by a
+    /// packet bound for `target_position` (null suppresses the position
+    /// term): weight_lie_factor times the distance ratio
+    /// (d_true / d_claimed)^dim. Exactly 1.0 for honest vertices — honest
+    /// claims are bit-identical to the truth, which is what lets the trace
+    /// audit flag equivocation with zero false positives.
+    [[nodiscard]] double claim_factor(Vertex v, const double* target_position) const noexcept;
+
+    [[nodiscard]] const PointCloud* positions() const noexcept { return positions_; }
+
+private:
+    AdversaryPlan plan_;
+    RngStreams streams_;               // rooted at plan.seed
+    std::uint64_t position_salt_ = 0;  // stream seed for position lies
+    const PointCloud* positions_ = nullptr;
+    std::vector<std::uint8_t> byzantine_;  // empty when fraction == 0
+    std::size_t num_byzantine_ = 0;
+    std::vector<std::int16_t> layer_;  // kHighestLayer only: per-vertex layer
+    int num_layers_ = 0;
+    // CSR phantom advertisements (empty unless phantom_neighbors > 0).
+    std::vector<std::uint32_t> phantom_offsets_;  // n + 1
+    std::vector<Vertex> phantom_targets_;
+};
+
+/// Route-scoped view of an AdversaryState: the trust-boundary seam every
+/// router and simulator consumes, mirroring FaultView. Default-constructed
+/// (or built from an inactive plan) it distorts nothing and the consumer
+/// takes its honest code path, byte-identical to pre-adversary behavior.
+/// All lies are static per (seed, vertex/edge) — the view carries no epoch —
+/// so it composes freely with FaultView's per-epoch and per-query-nonce
+/// streams at the shared send chokepoint.
+class AdversaryView {
+public:
+    AdversaryView() = default;
+    explicit AdversaryView(const AdversaryState* state) noexcept : state_(state) {}
+
+    [[nodiscard]] bool active() const noexcept {
+        return state_ != nullptr && state_->plan().any();
+    }
+    [[nodiscard]] const AdversaryState* state() const noexcept { return state_; }
+
+    [[nodiscard]] bool byzantine(Vertex v) const noexcept {
+        return state_ != nullptr && state_->byzantine(v);
+    }
+    /// v swallows every packet it receives (never applies to the target: a
+    /// packet arriving at its destination is delivered, byzantine or not).
+    [[nodiscard]] bool blackholes(Vertex v) const noexcept {
+        return active() && state_->plan().blackhole && state_->byzantine(v);
+    }
+    /// v overrides the protocol's forwarding choice with its worst neighbor.
+    [[nodiscard]] bool misroutes(Vertex v) const noexcept {
+        return active() && state_->plan().misroute && state_->byzantine(v);
+    }
+    [[nodiscard]] bool advertises_phantoms(Vertex v) const noexcept {
+        return active() && state_->plan().phantom_neighbors > 0 &&
+               state_->byzantine(v) && !state_->phantoms(v).empty();
+    }
+
+    /// The neighborhood v *advertises*: its honest adjacency row, plus its
+    /// phantom neighbors merged in sorted order when v is byzantine. The
+    /// scratch vector backs the merged span for the caller's scan; when v
+    /// advertises no phantoms the honest span is returned untouched (no
+    /// copy, byte-identical scan order).
+    [[nodiscard]] std::span<const Vertex> advertised_neighbors(
+        const GraphView& graph, Vertex v, std::vector<Vertex>& scratch) const;
+
+    /// True when the advertised link {u, v} does not exist in the honest
+    /// graph — the equivocation a phantom forward commits.
+    [[nodiscard]] static bool phantom_link(const GraphView& graph, Vertex u, Vertex v);
+
+private:
+    const AdversaryState* state_ = nullptr;
+};
+
+}  // namespace smallworld

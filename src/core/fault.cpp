@@ -78,7 +78,7 @@ FaultState::FaultState(const GraphView& graph, const FaultPlan& plan,
 
 RoutingResult route_greedy_faulted(const GraphView& graph, const Objective& objective,
                                    Vertex source, const RoutingOptions& options,
-                                   FaultView faults) {
+                                   FaultView faults, AdversaryView adversary) {
     RoutingResult result;
     result.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
@@ -90,6 +90,7 @@ RoutingResult route_greedy_faulted(const GraphView& graph, const Objective& obje
         result.status = RoutingStatus::kDeadEnd;
         return result;
     }
+    std::vector<Vertex> scratch;  // advertised-neighbor merge buffer
     int streak = 0;  // consecutive all-improving-links-down epochs
     while (true) {
         // Arrival before budget (the PR-1 boundary convention), budget
@@ -103,32 +104,72 @@ RoutingResult route_greedy_faulted(const GraphView& graph, const Objective& obje
             result.status = RoutingStatus::kStepLimit;
             return result;
         }
-        const double current_value = objective.value(current);
-        Vertex best = kNoVertex;
-        double best_value = current_value;
-        bool any_improving = false;
-        for (const Vertex u : graph.neighbors(current)) {
-            if (!faults.usable(current, u)) continue;  // residual filter
-            const double value = objective.value(u);
-            if (!(value > current_value)) continue;
-            any_improving = true;
-            if (faults.link_up(current, u) && value > best_value) {
-                best = u;
-                best_value = value;
+        const bool holder_lies = adversary.advertises_phantoms(current);
+        const std::span<const Vertex> neighborhood =
+            adversary.active() ? adversary.advertised_neighbors(graph, current, scratch)
+                               : graph.neighbors(current);
+        Vertex next = kNoVertex;
+        if (adversary.misroutes(current)) {
+            // A misrouting holder ignores the protocol: the packet goes to
+            // the *worst* advertised usable neighbor by claimed value
+            // (first-min in list order), improving or not.
+            double worst_value = 0.0;
+            bool any_usable = false;
+            for (const Vertex u : neighborhood) {
+                if (!faults.usable(current, u)) continue;
+                any_usable = true;
+                if (!faults.link_up(current, u)) continue;
+                const double value = objective.value(u);
+                if (next == kNoVertex || value < worst_value) {
+                    next = u;
+                    worst_value = value;
+                }
+            }
+            faults.advance_epoch();
+            if (next == kNoVertex && !any_usable) {
+                result.status = RoutingStatus::kDeadEnd;  // isolated liar
+                return result;
+            }
+        } else {
+            const double current_value = objective.value(current);
+            double best_value = current_value;
+            bool any_improving = false;
+            for (const Vertex u : neighborhood) {
+                if (!faults.usable(current, u)) continue;  // residual filter
+                const double value = objective.value(u);
+                if (!(value > current_value)) continue;
+                any_improving = true;
+                if (faults.link_up(current, u) && value > best_value) {
+                    next = u;
+                    best_value = value;
+                }
+            }
+            faults.advance_epoch();
+            if (next == kNoVertex && !any_improving) {
+                result.status = RoutingStatus::kDeadEnd;  // genuine local optimum
+                return result;
             }
         }
-        faults.advance_epoch();
-        if (best != kNoVertex) {
+        if (next != kNoVertex) {
             streak = 0;
-            result.path.push_back(best);
-            current = best;
+            result.path.push_back(next);
+            // A forward along an advertised-but-nonexistent link is
+            // swallowed; the attempted hop stays on the trace for the
+            // P-checker audit to flag as a non-edge move.
+            if (holder_lies && AdversaryView::phantom_link(graph, current, next)) {
+                result.status = RoutingStatus::kDeadEnd;
+                return result;
+            }
+            current = next;
+            // Blackholing byzantine vertices swallow everything they
+            // receive; arrival at the target is delivery regardless.
+            if (current != target && adversary.blackholes(current)) {
+                result.status = RoutingStatus::kDeadEnd;
+                return result;
+            }
             continue;
         }
-        if (!any_improving) {
-            result.status = RoutingStatus::kDeadEnd;  // genuine local optimum
-            return result;
-        }
-        // Every improving link is down this epoch: wait out one hop, give up
+        // Every usable link is down this epoch: wait out one hop, give up
         // after max_retries consecutive waits.
         if (streak >= faults.max_retries()) {
             result.status = RoutingStatus::kDeadEnd;

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "core/adversary.h"
 #include "core/router.h"
 #include "graph/graph.h"
 #include "random/rng.h"
@@ -218,10 +219,20 @@ private:
 /// out one hop (charged against the step budget) up to max_retries
 /// consecutive times, then drops. Used by GreedyRouter when a plan is
 /// active and by the FaultyLinkGreedyRouter compat adapter.
+///
+/// Under an active `adversary` view the caller passes the *claimed*
+/// objective (ClaimedObjective) and this loop adds the byzantine behaviors:
+/// scans advertised neighborhoods (phantom links included — a forward along
+/// one is swallowed with the attempted hop on the trace), byzantine holders
+/// with `misroute` override the greedy pick with their worst advertised
+/// usable neighbor, and a packet arriving at a `blackhole` byzantine vertex
+/// (never the target) is silently dropped. The default inactive view leaves
+/// the loop byte-identical to the fault-only path.
 [[nodiscard]] RoutingResult route_greedy_faulted(const GraphView& graph,
                                                  const Objective& objective,
                                                  Vertex source,
                                                  const RoutingOptions& options,
-                                                 FaultView faults);
+                                                 FaultView faults,
+                                                 AdversaryView adversary = {});
 
 }  // namespace smallworld

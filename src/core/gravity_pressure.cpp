@@ -7,9 +7,11 @@
 
 namespace smallworld {
 
-RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objective& objective,
-                                           Vertex source,
-                                           const RoutingOptions& options) const {
+namespace {
+
+RoutingResult route_impl(const GraphView& graph, const Objective& objective,
+                         Vertex source, const RoutingOptions& options,
+                         AdversaryView adversary) {
     RoutingResult result;
     result.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
@@ -26,6 +28,7 @@ RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objecti
     // only queried point-wise, never iterated.
     std::unordered_map<Vertex, std::size_t> visits;
     std::vector<double> scratch;  // batched neighbor objectives, reused per scan
+    std::vector<Vertex> adv_scratch;  // advertised-neighbor merge buffer
     bool pressure = false;
     double escape_value = 0.0;  // objective of the local optimum to beat
 
@@ -43,20 +46,45 @@ RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objecti
         }
 
         Vertex next = kNoVertex;
-        if (!pressure) {
+        if (adversary.misroutes(current)) {
+            // The byzantine holder ignores the protocol (pressure state and
+            // visit counts untouched): the packet goes to the *worst*
+            // advertised usable neighbor by claimed value, first-min in list
+            // order; the transient chokepoint below retries it verbatim.
+            const auto neighborhood =
+                adversary.advertised_neighbors(graph, current, adv_scratch);
+            double worst_value = 0.0;
+            for (const Vertex u : neighborhood) {
+                if (!faults.usable(current, u)) continue;
+                const double value = objective.value(u);
+                if (next == kNoVertex || value < worst_value) {
+                    next = u;
+                    worst_value = value;
+                }
+            }
+            if (next == kNoVertex) {
+                result.status = RoutingStatus::kDeadEnd;  // isolated liar
+                return result;
+            }
+        } else if (!pressure) {
             Vertex best = kNoVertex;
             double best_value = 0.0;
             bool any_neighbor = false;
-            if (!faults.active()) {
+            if (!faults.active() && !adversary.active()) {
                 const BestNeighbor bn = objective.best_of(graph.neighbors(current));
                 best = bn.vertex;
                 best_value = bn.value;
                 any_neighbor = best != kNoVertex;
             } else {
                 // Same first-maximum argmax as best_of, restricted to the
-                // residual neighborhood. One batched values() call; phi is
-                // pure, so evaluating dead neighbors changes nothing.
-                const auto neighbors = graph.neighbors(current);
+                // residual neighborhood — and under an adversary run over the
+                // *advertised* row (phantoms included, claimed values). One
+                // batched values() call; phi is pure, so evaluating dead
+                // neighbors changes nothing.
+                const auto neighbors =
+                    adversary.active()
+                        ? adversary.advertised_neighbors(graph, current, adv_scratch)
+                        : graph.neighbors(current);
                 scratch.resize(neighbors.size());
                 objective.values(neighbors, scratch.data());
                 for (std::size_t i = 0; i < neighbors.size(); ++i) {
@@ -80,11 +108,14 @@ RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objecti
                 escape_value = objective.value(current);
             }
         }
-        if (pressure) {
+        if (next == kNoVertex && pressure) {
             ++visits[current];
             // Least-visited usable neighbor; ties toward higher objective.
             // Neighbor objectives come from one batched values() call.
-            const auto neighbors = graph.neighbors(current);
+            const auto neighbors =
+                adversary.active()
+                    ? adversary.advertised_neighbors(graph, current, adv_scratch)
+                    : graph.neighbors(current);
             scratch.resize(neighbors.size());
             objective.values(neighbors, scratch.data());
             std::size_t best_visits = 0;
@@ -131,8 +162,35 @@ RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objecti
             faults.advance_epoch();
         }
         result.path.push_back(next);
+        // A forward along an advertised-but-nonexistent link is swallowed;
+        // the attempted hop stays on the trace for the audit to flag.
+        if (adversary.advertises_phantoms(current) &&
+            AdversaryView::phantom_link(graph, current, next)) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
         current = next;
+        // Blackholing byzantine vertices swallow everything they receive;
+        // arrival at the target is delivery regardless.
+        if (current != target && adversary.blackholes(current)) {
+            result.status = RoutingStatus::kDeadEnd;
+            return result;
+        }
     }
+}
+
+}  // namespace
+
+RoutingResult GravityPressureRouter::route(const GraphView& graph, const Objective& objective,
+                                           Vertex source,
+                                           const RoutingOptions& options) const {
+    if (options.adversary != nullptr && options.adversary->plan().any()) {
+        // Byzantine regime: gravity-pressure maximizes what vertices *claim*.
+        const ClaimedObjective claimed(objective, *options.adversary);
+        return route_impl(graph, claimed, source, options,
+                          AdversaryView(options.adversary));
+    }
+    return route_impl(graph, objective, source, options, {});
 }
 
 }  // namespace smallworld

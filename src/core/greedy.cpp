@@ -6,7 +6,19 @@ namespace smallworld {
 
 RoutingResult GreedyRouter::route(const GraphView& graph, const Objective& objective,
                                   Vertex source, const RoutingOptions& options) const {
-    if (options.faults != nullptr && options.faults->plan().any()) {
+    const bool faulted = options.faults != nullptr && options.faults->plan().any();
+    const bool adversarial =
+        options.adversary != nullptr && options.adversary->plan().any();
+    if (adversarial) {
+        // Byzantine regime: maximize what vertices *claim* (lied-about
+        // attributes) over advertised neighborhoods, with blackholing and
+        // misrouting applied at the shared faulted-greedy loop.
+        const ClaimedObjective claimed(objective, *options.adversary);
+        return route_greedy_faulted(graph, claimed, source, options,
+                                    FaultView(options.faults, source),
+                                    AdversaryView(options.adversary));
+    }
+    if (faulted) {
         // Faulted regime: greedy over the residual neighborhood with
         // per-epoch link states (core/fault.h). The unfaulted loop below is
         // untouched so an absent or inactive plan is byte-identical.

@@ -3,6 +3,7 @@
 #include <deque>
 #include <optional>
 #include <queue>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -36,7 +37,8 @@ public:
           objective_(objective),
           source_(source),
           max_steps_(options.effective_max_steps(graph.num_vertices())),
-          faults_(options.faults, source) {}
+          faults_(options.faults, source),
+          adversary_(options.adversary) {}
 
     RoutingResult execute() {
         result_.path.push_back(source_);
@@ -56,8 +58,10 @@ public:
             if (visited_.insert(current).second) {
                 // One batched values() call per frontier fill; phi is pure,
                 // so evaluating dead or already-visited neighbors too changes
-                // nothing beyond warming the memo.
-                const auto neighbors = graph_.neighbors(current);
+                // nothing beyond warming the memo. Under an adversary the
+                // fill scans the *advertised* row, so phantom links enter the
+                // frontier with their claimed values.
+                const auto neighbors = scan_neighbors(current);
                 scratch_.resize(neighbors.size());
                 objective_.values(neighbors, scratch_.data());
                 for (std::size_t i = 0; i < neighbors.size(); ++i) {
@@ -79,9 +83,11 @@ public:
                 const Vertex best = best_usable_neighbor(current);
                 if (best != kNoVertex &&
                     objective_.value(best) > objective_.value(current)) {
-                    first_visit = !visited_.contains(best);
                     if (!move_to(best)) return result_;
-                    current = best;
+                    // A misrouting holder may have landed the packet
+                    // somewhere other than `best`; resync from the trace.
+                    current = result_.path.back();
+                    first_visit = !visited_.contains(current);
                     continue;
                 }
             }
@@ -96,20 +102,37 @@ public:
             }
             if (candidate->from != current) {
                 if (!walk_within_visited(current, candidate->from)) return result_;
-                current = candidate->from;
+                current = result_.path.back();
+                if (current != candidate->from) {
+                    // Hijacked mid-walk: keep the unexplored edge for a later
+                    // retry and resume the protocol where the packet landed.
+                    frontier_.push(*candidate);
+                    first_visit = !visited_.contains(current);
+                    continue;
+                }
             }
-            first_visit = true;
             if (!move_to(candidate->to)) return result_;
-            current = candidate->to;
+            current = result_.path.back();
+            first_visit = !visited_.contains(current);
         }
     }
 
 private:
+    /// The neighborhood the protocol at v decides over: honest adjacency, or
+    /// the *advertised* row (phantoms merged) under an active adversary.
+    [[nodiscard]] std::span<const Vertex> scan_neighbors(Vertex v) const {
+        return adversary_.active()
+                   ? adversary_.advertised_neighbors(graph_, v, adv_scratch_)
+                   : graph_.neighbors(v);
+    }
+
     /// best_neighbor() restricted to the residual neighborhood under an
     /// active plan; plain best_neighbor() (batched argmax) otherwise.
     [[nodiscard]] Vertex best_usable_neighbor(Vertex v) const {
-        if (!faults_.active()) return best_neighbor(graph_, objective_, v);
-        const auto neighbors = graph_.neighbors(v);
+        if (!faults_.active() && !adversary_.active()) {
+            return best_neighbor(graph_, objective_, v);
+        }
+        const auto neighbors = scan_neighbors(v);
         scratch_.resize(neighbors.size());
         objective_.values(neighbors, scratch_.data());
         Vertex best = kNoVertex;
@@ -162,6 +185,9 @@ private:
         for (Vertex v = to; v != from; v = parent.at(v)) walk.push_back(v);
         for (auto it = walk.rbegin(); it != walk.rend(); ++it) {
             if (!move_to(*it)) return false;
+            // A misrouting holder diverted the walk; the caller resyncs from
+            // the trace and resumes the protocol at the landing vertex.
+            if (result_.path.back() != *it) return true;
         }
         return true;
     }
@@ -173,8 +199,29 @@ private:
     /// then the packet is dropped. A wait landing exactly on the budget
     /// reports kStepLimit — budget beats retry exhaustion.
     bool move_to(Vertex v) {
+        const Vertex from = result_.path.back();
+        if (adversary_.misroutes(from) && from != v) {
+            // The holder ignores the protocol's choice: worst advertised
+            // usable neighbor by claimed value (first-min in list order).
+            const auto neighborhood =
+                adversary_.advertised_neighbors(graph_, from, adv_scratch_);
+            Vertex worst = kNoVertex;
+            double worst_value = 0.0;
+            for (const Vertex u : neighborhood) {
+                if (!faults_.usable(from, u)) continue;
+                const double value = objective_.value(u);
+                if (worst == kNoVertex || value < worst_value) {
+                    worst = u;
+                    worst_value = value;
+                }
+            }
+            if (worst == kNoVertex) {
+                result_.status = RoutingStatus::kDeadEnd;  // isolated liar
+                return false;
+            }
+            v = worst;
+        }
         if (faults_.transient()) {
-            const Vertex from = result_.path.back();
             int waits = 0;
             while (!faults_.link_up(from, v)) {
                 faults_.advance_epoch();
@@ -196,6 +243,19 @@ private:
             return false;
         }
         result_.path.push_back(v);
+        // A forward along an advertised-but-nonexistent link is swallowed;
+        // the attempted hop stays on the trace for the audit to flag.
+        if (adversary_.advertises_phantoms(from) &&
+            AdversaryView::phantom_link(graph_, from, v)) {
+            result_.status = RoutingStatus::kDeadEnd;
+            return false;
+        }
+        // Blackholing byzantine vertices swallow everything they receive;
+        // arrival at the target is delivery regardless.
+        if (v != objective_.target() && adversary_.blackholes(v)) {
+            result_.status = RoutingStatus::kDeadEnd;
+            return false;
+        }
         return true;
     }
 
@@ -203,12 +263,14 @@ private:
     const Objective& objective_;
     Vertex source_;
     std::size_t max_steps_;
-    FaultView faults_;  // route-scoped; inactive when no plan is set
+    FaultView faults_;        // route-scoped; inactive when no plan is set
+    AdversaryView adversary_; // shared-state view; inactive when no plan is set
 
     // Audited lookup-only (contains/insert): membership probe, never iterated.
     std::unordered_set<Vertex> visited_;
     std::priority_queue<Candidate> frontier_;
     mutable std::vector<double> scratch_;  // batched neighbor objectives
+    mutable std::vector<Vertex> adv_scratch_;  // advertised-neighbor merges
     RoutingResult result_;
 };
 
@@ -217,6 +279,11 @@ private:
 RoutingResult MessageHistoryRouter::route(const GraphView& graph, const Objective& objective,
                                           Vertex source,
                                           const RoutingOptions& options) const {
+    if (options.adversary != nullptr && options.adversary->plan().any()) {
+        // Byzantine regime: the walk maximizes what vertices *claim*.
+        const ClaimedObjective claimed(objective, *options.adversary);
+        return Run(graph, claimed, source, options).execute();
+    }
     return Run(graph, objective, source, options).execute();
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <limits>
 
+#include "core/adversary.h"
 #include "geometry/torus.h"
 #include "random/splitmix64.h"
 
@@ -96,6 +97,29 @@ double QuantizedObjective::value(Vertex v) const {
 
 void QuantizedObjective::values(std::span<const Vertex> vertices, double* out) const {
     for (std::size_t i = 0; i < vertices.size(); ++i) out[i] = value(vertices[i]);
+}
+
+ClaimedObjective::ClaimedObjective(const Objective& base, const AdversaryState& adversary)
+    : base_(&base),
+      adversary_(&adversary),
+      target_position_(adversary.positions() != nullptr
+                           ? adversary.positions()->point(base.target())
+                           : nullptr) {}
+
+double ClaimedObjective::value(Vertex v) const {
+    // The target's value stays the honest +infinity: delivery is decided by
+    // *arrival*, not by a claim, and inf * factor would be NaN-prone anyway.
+    if (v == base_->target()) return base_->value(v);
+    return base_->value(v) * adversary_->claim_factor(v, target_position_);
+}
+
+void ClaimedObjective::values(std::span<const Vertex> vertices, double* out) const {
+    base_->values(vertices, out);
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const Vertex v = vertices[i];
+        if (v == base_->target()) continue;
+        out[i] *= adversary_->claim_factor(v, target_position_);
+    }
 }
 
 }  // namespace smallworld

@@ -151,4 +151,31 @@ private:
     int mantissa_bits_;
 };
 
+class AdversaryState;  // core/adversary.h
+
+/// The objective *as advertised* under a byzantine adversary
+/// (core/adversary.h): honest vertices report their true phi, byzantine
+/// vertices report phi scaled by their claim factor (weight lie times the
+/// claimed-position distance distortion). This is the decorating seam every
+/// router takes in adversarial mode — protocols maximize what vertices
+/// *claim*, which is precisely how an inflating liar becomes an attraction
+/// sink. With an inactive adversary every claim factor is exactly 1.0 and
+/// phi~ == phi bit for bit.
+///
+/// Wraps (does not own) a base objective; same per-thread concurrency
+/// contract as the base.
+class ClaimedObjective final : public Objective {
+public:
+    ClaimedObjective(const Objective& base, const AdversaryState& adversary);
+
+    [[nodiscard]] double value(Vertex v) const override;
+    [[nodiscard]] Vertex target() const override { return base_->target(); }
+    void values(std::span<const Vertex> vertices, double* out) const override;
+
+private:
+    const Objective* base_;
+    const AdversaryState* adversary_;
+    const double* target_position_;  // null when the adversary has no positions
+};
+
 }  // namespace smallworld

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/adversary.h"
 #include "core/fault.h"
 
 namespace smallworld {
@@ -134,6 +135,67 @@ std::vector<PatchingViolation> check_patching_conditions(
         }
     }
     return violations;
+}
+
+TraceAudit audit_trace(const Graph& graph, const Objective& objective,
+                       const std::vector<Vertex>& path,
+                       const TraceAuditOptions& options) {
+    TraceAudit audit;
+    if (path.empty()) return audit;
+    const AdversaryState* adversary = options.adversary;
+    const double* target_position =
+        adversary != nullptr && adversary->positions() != nullptr
+            ? adversary->positions()->point(objective.target())
+            : nullptr;
+    const bool misrouting =
+        adversary != nullptr && adversary->plan().any() && adversary->plan().misroute;
+
+    // Per-visited-vertex attribute evidence, counted once per distinct vertex.
+    std::unordered_set<Vertex> inspected;
+    const auto inspect_vertex = [&](Vertex v, std::size_t index) {
+        if (adversary == nullptr || !inspected.insert(v).second) return;
+        if (!adversary->phantoms(v).empty()) {
+            ++audit.phantom_advertisements;
+            std::ostringstream os;
+            os << "vertex " << v << " advertises " << adversary->phantoms(v).size()
+               << " neighbors it has no edge to";
+            audit.flags.push_back({index, "equivocation", os.str()});
+        }
+        if (adversary->claim_factor(v, target_position) != 1.0) {
+            ++audit.objective_equivocations;
+            std::ostringstream os;
+            os << "vertex " << v << " claims " << adversary->claim_factor(v, target_position)
+               << "x its true objective";
+            audit.flags.push_back({index, "equivocation", os.str()});
+        }
+    };
+
+    inspect_vertex(path.front(), 0);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const Vertex v = path[i];
+        const Vertex next = path[i + 1];
+        inspect_vertex(next, i + 1);
+        if (!graph.has_edge(v, next)) {
+            ++audit.phantom_moves;
+            audit.flags.push_back(
+                {i, "phantom", describe_move(v, next) + " is not a graph edge"});
+            continue;
+        }
+        if (options.faults != nullptr && options.faults->plan().any() &&
+            !options.faults->edge_present(v, next)) {
+            audit.flags.push_back({i, "dead-edge",
+                                   describe_move(v, next) +
+                                       " traverses a dead edge of the residual graph"});
+            continue;
+        }
+        if (misrouting && adversary->byzantine(v)) {
+            ++audit.misroute_moves;
+            audit.flags.push_back(
+                {i, "misroute",
+                 describe_move(v, next) + " was forced by a misrouting holder"});
+        }
+    }
+    return audit;
 }
 
 }  // namespace smallworld

@@ -45,4 +45,54 @@ struct PatchingCheckOptions {
     const Graph& graph, const Objective& objective, const std::vector<Vertex>& path,
     const PatchingCheckOptions& options = {});
 
+struct TraceAuditOptions {
+    /// The ground-truth adversary the audit holds the trace against. The
+    /// audit is an oracle-assisted *measurement instrument* (it knows who is
+    /// byzantine, so experiments can report exact detection counts), but the
+    /// evidence it flags — non-edge moves, claimed-vs-true objective
+    /// mismatches — is exactly what an online auditor with honest attribute
+    /// knowledge would see. Null audits an honest run (only non-edge moves
+    /// can be flagged, and an honest router never produces one).
+    const AdversaryState* adversary = nullptr;
+
+    /// Optional fault ground truth: a move across a dead residual edge is
+    /// flagged as "dead-edge" rather than counted against the adversary.
+    const FaultState* faults = nullptr;
+};
+
+/// Per-trace byzantine evidence found by audit_trace().
+struct TraceAudit {
+    /// Moves along advertised-but-nonexistent links (the hop the trace
+    /// records when a phantom forward is swallowed). Every non-edge move is
+    /// flagged; honest routers never produce one, so false positives are
+    /// structurally impossible.
+    std::size_t phantom_moves = 0;
+    /// Distinct visited vertices whose advertised neighbor list differs from
+    /// their honest adjacency row (the advertised-vs-actual equivocation).
+    std::size_t phantom_advertisements = 0;
+    /// Distinct visited vertices whose claimed objective deviates from their
+    /// true attributes (claim factor != 1; honest claims are bit-identical
+    /// to the truth, so again zero false positives by construction).
+    std::size_t objective_equivocations = 0;
+    /// Forwards committed by a byzantine holder that overrides the protocol.
+    std::size_t misroute_moves = 0;
+    /// Step-level detail, rules "phantom" / "equivocation" / "misroute".
+    std::vector<PatchingViolation> flags;
+
+    [[nodiscard]] bool clean() const noexcept {
+        return phantom_moves == 0 && phantom_advertisements == 0 &&
+               objective_equivocations == 0 && misroute_moves == 0;
+    }
+};
+
+/// Audits a recorded routing trace against the *honest* graph and objective:
+/// flags every hop along a non-existent edge, every visited vertex whose
+/// advertised neighborhood or claimed objective contradicts its true
+/// attributes, and every forward committed by a misrouting holder. Pass the
+/// honest (unclaimed) objective — the router ran on the claimed one; the
+/// audit's whole point is the comparison against ground truth.
+[[nodiscard]] TraceAudit audit_trace(const Graph& graph, const Objective& objective,
+                                     const std::vector<Vertex>& path,
+                                     const TraceAuditOptions& options = {});
+
 }  // namespace smallworld

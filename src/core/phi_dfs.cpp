@@ -1,6 +1,7 @@
 #include "core/phi_dfs.h"
 
 #include <limits>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -30,7 +31,8 @@ public:
           source_(source),
           max_steps_(options.effective_max_steps(graph.num_vertices())),
           prefetch_(options.prefetch),
-          faults_(options.faults, source) {}
+          faults_(options.faults, source),
+          adversary_(options.adversary) {}
 
     RoutingResult execute() {
         result_.path.push_back(source_);
@@ -57,7 +59,9 @@ public:
 
         while (true) {
             if (op == Op::kExplore) {
-                if (!move_to(v)) return result_;
+                const Vertex landed = move_to(v);
+                if (landed == kNoVertex) return result_;
+                v = landed;  // a misrouting holder may have hijacked the hop
                 if (v == objective_.target()) {
                     result_.status = RoutingStatus::kDelivered;
                     return result_;
@@ -102,7 +106,16 @@ public:
             // BACKTRACK_TO(v, m), lines 18-29. backtrack_upper_ is the
             // objective of the child we returned from; it bounds the
             // remaining children so the scan proceeds in decreasing order.
-            if (!move_to(v)) return result_;
+            const Vertex landed = move_to(v);
+            if (landed == kNoVertex) return result_;
+            if (landed != v) {
+                // The holder hijacked the backtrack: the message arrives at
+                // the misroute target instead, which processes it as a fresh
+                // exploration (last_visited_ already points at the hijacker).
+                op = Op::kExplore;
+                v = landed;
+                continue;
+            }
             VertexState& st = state_[v];
             const Vertex child = best_unexplored_child(v, st.parent);
             if (child != kNoVertex) {
@@ -166,12 +179,22 @@ private:
         }
     }
 
+    /// The neighborhood the protocol at v decides over: the honest adjacency
+    /// row, or — under an active adversary — the *advertised* row (phantom
+    /// links merged in when v is byzantine; the claimed objective is what
+    /// `objective_` already evaluates, wrapped by the route() dispatch).
+    [[nodiscard]] std::span<const Vertex> scan_neighbors(Vertex v) const {
+        return adversary_.active()
+                   ? adversary_.advertised_neighbors(graph_, v, adv_scratch_)
+                   : graph_.neighbors(v);
+    }
+
     /// argmax over all neighbors (line 15); ties toward smaller id. Under an
     /// active plan the argmax runs over the residual neighborhood, so a dead
     /// neighbor can never be chosen — the DFS backtracks past it exactly as
     /// if it had been explored (graceful degradation, not a protocol error).
     [[nodiscard]] BestNeighbor best_any_neighbor(Vertex v) const {
-        const auto neighbors = graph_.neighbors(v);
+        const auto neighbors = scan_neighbors(v);
         if (!faults_.active()) return objective_.best_of(neighbors);
         scratch_.resize(neighbors.size());
         objective_.values(neighbors, scratch_.data());
@@ -191,7 +214,7 @@ private:
     /// neighbor objectives come from one batched values() call.
     [[nodiscard]] Vertex best_unexplored_child(Vertex v, Vertex parent) const {
         const double upper = backtrack_upper_;
-        const auto neighbors = graph_.neighbors(v);
+        const auto neighbors = scan_neighbors(v);
         scratch_.resize(neighbors.size());
         objective_.values(neighbors, scratch_.data());
         Vertex best = kNoVertex;
@@ -209,39 +232,76 @@ private:
         return best;
     }
 
-    /// Appends a message move; false when the step budget is exhausted or
-    /// the packet drops in flight. Under transient link faults the move is
-    /// the send chokepoint: a down link parks the message for an epoch (a
-    /// retry charged against the budget) up to max_retries consecutive
-    /// times, then the packet is dropped (kDeadEnd). A wait-out hop landing
-    /// exactly on the budget reports kStepLimit — budget beats retry
-    /// exhaustion, matching the greedy loop's convention.
-    bool move_to(Vertex v) {
+    /// Appends a message move and returns the vertex the packet actually
+    /// lands on (== v honestly; a byzantine misrouting holder hijacks the
+    /// forward to its worst advertised usable neighbor); kNoVertex when the
+    /// step budget is exhausted or the packet drops — in flight, into a
+    /// phantom link, or into a blackhole. Under transient link faults the
+    /// move is the send chokepoint: a down link parks the message for an
+    /// epoch (a retry charged against the budget) up to max_retries
+    /// consecutive times, then the packet is dropped (kDeadEnd). A wait-out
+    /// hop landing exactly on the budget reports kStepLimit — budget beats
+    /// retry exhaustion, matching the greedy loop's convention.
+    Vertex move_to(Vertex v) {
         const Vertex from = result_.path.back();
-        if (from == v) return true;  // reprocessing in place
+        if (from == v) return v;  // reprocessing in place, not a send
+        if (adversary_.misroutes(from)) {
+            // The holder ignores the protocol's choice: worst advertised
+            // usable neighbor by claimed value (first-min in list order).
+            const auto neighborhood =
+                adversary_.advertised_neighbors(graph_, from, adv_scratch_);
+            Vertex worst = kNoVertex;
+            double worst_value = 0.0;
+            for (const Vertex u : neighborhood) {
+                if (!faults_.usable(from, u)) continue;
+                const double value = objective_.value(u);
+                if (worst == kNoVertex || value < worst_value) {
+                    worst = u;
+                    worst_value = value;
+                }
+            }
+            if (worst == kNoVertex) {
+                result_.status = RoutingStatus::kDeadEnd;  // isolated liar
+                return kNoVertex;
+            }
+            v = worst;
+        }
         if (faults_.transient()) {
             int waits = 0;
             while (!faults_.link_up(from, v)) {
                 faults_.advance_epoch();
                 if (waits >= faults_.max_retries()) {
                     result_.status = RoutingStatus::kDeadEnd;  // dropped in flight
-                    return false;
+                    return kNoVertex;
                 }
                 ++waits;
                 ++result_.retries;
                 if (result_.steps() + result_.retries >= max_steps_) {
                     result_.status = RoutingStatus::kStepLimit;
-                    return false;
+                    return kNoVertex;
                 }
             }
             faults_.advance_epoch();
         }
         if (result_.steps() + result_.retries >= max_steps_) {
             result_.status = RoutingStatus::kStepLimit;
-            return false;
+            return kNoVertex;
         }
         result_.path.push_back(v);
-        return true;
+        // A forward along an advertised-but-nonexistent link is swallowed;
+        // the attempted hop stays on the trace for the audit to flag.
+        if (adversary_.advertises_phantoms(from) &&
+            AdversaryView::phantom_link(graph_, from, v)) {
+            result_.status = RoutingStatus::kDeadEnd;
+            return kNoVertex;
+        }
+        // Blackholing byzantine vertices swallow everything they receive;
+        // arrival at the target is delivery regardless.
+        if (v != objective_.target() && adversary_.blackholes(v)) {
+            result_.status = RoutingStatus::kDeadEnd;
+            return kNoVertex;
+        }
+        return v;
     }
 
     const GraphView& graph_;
@@ -249,12 +309,14 @@ private:
     Vertex source_;
     std::size_t max_steps_;
     bool prefetch_;
-    FaultView faults_;  // route-scoped; inactive when no plan is set
+    FaultView faults_;        // route-scoped; inactive when no plan is set
+    AdversaryView adversary_; // shared-state view; inactive when no plan is set
 
     // Audited lookup-only (operator[]/find): never iterated, so hash order
     // cannot reach the DFS decisions or any reported statistic.
     std::unordered_map<Vertex, VertexState> state_;
     mutable std::vector<double> scratch_;  // neighbor objectives, reused per scan
+    mutable std::vector<Vertex> adv_scratch_;  // advertised-neighbor merges
     double best_seen_ = kNegInf;
     double message_phi_ = kNegInf;
     double backtrack_upper_ = kNegInf;
@@ -266,6 +328,11 @@ private:
 
 RoutingResult PhiDfsRouter::route(const GraphView& graph, const Objective& objective,
                                   Vertex source, const RoutingOptions& options) const {
+    if (options.adversary != nullptr && options.adversary->plan().any()) {
+        // Byzantine regime: the DFS maximizes what vertices *claim*.
+        const ClaimedObjective claimed(objective, *options.adversary);
+        return Run(graph, claimed, source, options).execute();
+    }
     return Run(graph, objective, source, options).execute();
 }
 

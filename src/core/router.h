@@ -9,7 +9,8 @@
 
 namespace smallworld {
 
-class FaultState;  // core/fault.h
+class AdversaryState;  // core/adversary.h
+class FaultState;      // core/fault.h
 
 /// Outcome of one routing attempt.
 enum class RoutingStatus {
@@ -52,6 +53,15 @@ struct RoutingOptions {
     /// unfaulted router. The state is immutable and may be shared across
     /// concurrent route() calls.
     const FaultState* faults = nullptr;
+
+    /// Optional byzantine adversary (core/adversary.h): when non-null and the
+    /// plan is active, routers evaluate the *claimed* objective (wrapping the
+    /// honest one in a ClaimedObjective), scan advertised neighborhoods
+    /// (honest edges plus phantom links), and byzantine vertices blackhole or
+    /// misroute the packets their lies attract. Null or an inactive plan
+    /// leaves behavior byte-identical to the honest router. Immutable and
+    /// shareable across concurrent route() calls; composes with `faults`.
+    const AdversaryState* adversary = nullptr;
 
     /// Software-prefetch the chosen next hop's neighbor span in the greedy /
     /// Φ-DFS walk loops before the move is committed. Purely a memory-system

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/adversary.h"
 #include "core/check.h"
 #include "core/fault.h"
 #include "core/thread_pool.h"
@@ -75,6 +76,21 @@ ServingResult simulate_many(const GraphView& graph, const TargetObjectiveFactory
 
     const FaultState* fault_state =
         options.faults != nullptr ? options.faults : options.routing.faults;
+    const AdversaryState* adversary_state =
+        options.adversary != nullptr ? options.adversary : options.routing.adversary;
+    const AdversaryView adversary(
+        adversary_state != nullptr && adversary_state->plan().any() ? adversary_state
+                                                                    : nullptr);
+    // Byzantine regime: every wake evaluates what vertices *claim*. One
+    // claimed decorator per distinct target, over the honest cohort-shared
+    // objective (reserve pins the addresses run.objective captures).
+    std::vector<ClaimedObjective> claimed;
+    if (adversary.active()) {
+        claimed.reserve(targets.size());
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            claimed.emplace_back(*objectives[i], *adversary_state);
+        }
+    }
     const std::size_t max_steps = options.routing.effective_max_steps(n);
     const LinkLatency latency(options.latency, options.positions);
 
@@ -91,10 +107,15 @@ ServingResult simulate_many(const GraphView& graph, const TargetObjectiveFactory
     // loop-owned storage (the event loop is sequential, so one scratch
     // buffer serves every query).
     std::vector<Vertex> visible_scratch;
+    std::vector<Vertex> adv_scratch;
     const auto visible = [&](QueryRun& run, Vertex v) -> std::span<const Vertex> {
-        if (!run.faults.active()) return graph.neighbors(v);
+        const bool lies = adversary.advertises_phantoms(v);
+        if (!run.faults.active() && !lies) return graph.neighbors(v);
+        const auto base = lies ? adversary.advertised_neighbors(graph, v, adv_scratch)
+                               : graph.neighbors(v);
+        if (!run.faults.active()) return base;
         visible_scratch.clear();
-        for (const Vertex u : graph.neighbors(v)) {
+        for (const Vertex u : base) {
             if (run.faults.usable(v, u)) {
                 visible_scratch.push_back(u);
             } else {
@@ -117,7 +138,10 @@ ServingResult simulate_many(const GraphView& graph, const TargetObjectiveFactory
         QueryRun& run = runs[i];
         run.result.routing.path.push_back(q.source);
         const auto it = std::lower_bound(targets.begin(), targets.end(), q.target);
-        run.objective = objectives[static_cast<std::size_t>(it - targets.begin())].get();
+        const auto target_index = static_cast<std::size_t>(it - targets.begin());
+        run.objective = adversary.active()
+                            ? static_cast<const Objective*>(&claimed[target_index])
+                            : objectives[target_index].get();
         run.faults = FaultView(fault_state, q.source, static_cast<std::uint64_t>(i));
 
         if (run.faults.active() && !run.faults.vertex_alive(q.source) &&
@@ -172,9 +196,31 @@ ServingResult simulate_many(const GraphView& graph, const TargetObjectiveFactory
         const Vertex self = e.node;
         ++run.result.telemetry.wakes;
         const auto nbrs = visible(run, self);
-        const LocalView view(graph, *run.objective, self,
-                             &run.result.telemetry.locality_violations, nbrs);
-        const Action action = protocol.on_wake(view, run.message, run.slots[self]);
+        Action action;
+        if (adversary.misroutes(self) && self != run.message.target) {
+            // A byzantine holder never runs the honest protocol: the packet
+            // goes to its *worst* visible neighbor by claimed value
+            // (first-min in span order); slot state stays untouched.
+            Vertex worst = kNoVertex;
+            double worst_value = 0.0;
+            for (const Vertex u : nbrs) {
+                const double value = run.objective->value(u);
+                if (worst == kNoVertex || value < worst_value) {
+                    worst = u;
+                    worst_value = value;
+                }
+            }
+            if (worst == kNoVertex) {
+                action = Action::drop();  // isolated liar
+            } else {
+                action = Action::forward(worst);
+                ++run.result.telemetry.misroutes_observed;
+            }
+        } else {
+            const LocalView view(graph, *run.objective, self,
+                                 &run.result.telemetry.locality_violations, nbrs);
+            action = protocol.on_wake(view, run.message, run.slots[self]);
+        }
         switch (action.kind) {
             case ActionKind::kDeliver:
                 finish(run, RoutingStatus::kDelivered);
@@ -215,6 +261,21 @@ ServingResult simulate_many(const GraphView& graph, const TargetObjectiveFactory
                 }
                 ++run.result.telemetry.messages_sent;
                 run.result.routing.path.push_back(action.next);
+                // Byzantine packet kills, in the same order as simulate_impl
+                // (lockstep parity): phantom swallow, then blackhole, then
+                // the budget check.
+                if (adversary.advertises_phantoms(self) &&
+                    AdversaryView::phantom_link(graph, self, action.next)) {
+                    ++run.result.telemetry.audit_flags;
+                    finish(run, RoutingStatus::kDeadEnd);
+                    break;
+                }
+                if (action.next != run.message.target &&
+                    adversary.blackholes(action.next)) {
+                    ++run.result.telemetry.audit_flags;
+                    finish(run, RoutingStatus::kDeadEnd);
+                    break;
+                }
                 // Arrival beats budget, exactly as in simulate_impl: the
                 // delivering hop is exempt from the budget check.
                 if (action.next != run.message.target &&

@@ -48,6 +48,12 @@ struct ServingOptions {
     /// shared send chokepoint. Query k draws from the per-query fault stream
     /// FaultView(state, source, k) — query 0 replays the lockstep stream.
     const FaultState* faults = nullptr;
+    /// Byzantine adversary (overrides routing.adversary when non-null): the
+    /// event loop serves advertised neighborhoods, wakes evaluate claimed
+    /// objectives, byzantine holders blackhole/misroute. The adversary's lies
+    /// are static per (seed, vertex) — no per-query stream, every query sees
+    /// the same liars — so it composes with the per-query fault nonces.
+    const AdversaryState* adversary = nullptr;
 
     /// Per-link message latency model.
     LatencyModel latency;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/adversary.h"
 #include "core/fault.h"
 
 namespace smallworld {
@@ -38,11 +39,13 @@ namespace {
 DistributedResult simulate_impl(const GraphView& graph, const Objective& objective,
                                 const DistributedProtocol& protocol, Vertex source,
                                 const RoutingOptions& options,
-                                const FaultState* fault_state) {
+                                const FaultState* fault_state,
+                                const AdversaryState* adversary_state) {
     DistributedResult result;
     result.routing.path.push_back(source);
     const std::size_t max_steps = options.effective_max_steps(graph.num_vertices());
     FaultView faults(fault_state, source);
+    const AdversaryView adversary(adversary_state);
 
     if (faults.active() && !faults.vertex_alive(source) &&
         source != objective.target()) {
@@ -59,11 +62,19 @@ DistributedResult simulate_impl(const GraphView& graph, const Objective& objecti
 
     // Residual neighborhood of the awake node, rebuilt per wake into
     // simulator-owned storage (valid for the lifetime of that wake's view).
+    // Under an active adversary the base row is what the node *advertises*
+    // (phantom links merged in), so the lies reach the protocol through the
+    // same LocalView seam the fault filter uses.
     std::vector<Vertex> visible_scratch;
+    std::vector<Vertex> adv_scratch;
     const auto visible = [&](Vertex v) -> std::span<const Vertex> {
-        if (!faults.active()) return graph.neighbors(v);
+        const bool lies = adversary.advertises_phantoms(v);
+        if (!faults.active() && !lies) return graph.neighbors(v);
+        const auto base = lies ? adversary.advertised_neighbors(graph, v, adv_scratch)
+                               : graph.neighbors(v);
+        if (!faults.active()) return base;
         visible_scratch.clear();
-        for (const Vertex u : graph.neighbors(v)) {
+        for (const Vertex u : base) {
             if (faults.usable(v, u)) {
                 visible_scratch.push_back(u);
             } else {
@@ -90,9 +101,31 @@ DistributedResult simulate_impl(const GraphView& graph, const Objective& objecti
     while (true) {
         ++result.telemetry.wakes;
         const auto nbrs = visible(current);
-        const LocalView view(graph, objective, current,
-                             &result.telemetry.locality_violations, nbrs);
-        const Action action = protocol.on_wake(view, message, slots[current]);
+        Action action;
+        if (adversary.misroutes(current) && current != message.target) {
+            // A byzantine holder never runs the honest protocol: the packet
+            // goes to its *worst* visible neighbor by claimed value
+            // (first-min in span order); slot state stays untouched.
+            Vertex worst = kNoVertex;
+            double worst_value = 0.0;
+            for (const Vertex u : nbrs) {
+                const double value = objective.value(u);
+                if (worst == kNoVertex || value < worst_value) {
+                    worst = u;
+                    worst_value = value;
+                }
+            }
+            if (worst == kNoVertex) {
+                action = Action::drop();  // isolated liar
+            } else {
+                action = Action::forward(worst);
+                ++result.telemetry.misroutes_observed;
+            }
+        } else {
+            const LocalView view(graph, objective, current,
+                                 &result.telemetry.locality_violations, nbrs);
+            action = protocol.on_wake(view, message, slots[current]);
+        }
         switch (action.kind) {
             case ActionKind::kDeliver:
                 return finish(RoutingStatus::kDelivered);
@@ -122,6 +155,19 @@ DistributedResult simulate_impl(const GraphView& graph, const Objective& objecti
                 }
                 ++result.telemetry.messages_sent;
                 result.routing.path.push_back(action.next);
+                // A forward along an advertised-but-nonexistent link is
+                // swallowed (the hop stays on the trace for the audit); a
+                // blackholing byzantine vertex swallows every arrival except
+                // at the target, where arrival is delivery.
+                if (adversary.advertises_phantoms(current) &&
+                    AdversaryView::phantom_link(graph, current, action.next)) {
+                    ++result.telemetry.audit_flags;
+                    return finish(RoutingStatus::kDeadEnd);
+                }
+                if (action.next != message.target && adversary.blackholes(action.next)) {
+                    ++result.telemetry.audit_flags;
+                    return finish(RoutingStatus::kDeadEnd);
+                }
                 current = action.next;
                 // Arrival beats budget (greedy.cpp's boundary convention): a
                 // forward that lands on the target with exactly-exhausted
@@ -140,10 +186,29 @@ DistributedResult simulate_impl(const GraphView& graph, const Objective& objecti
 
 }  // namespace
 
+namespace {
+
+DistributedResult simulate_dispatch(const GraphView& graph, const Objective& objective,
+                                    const DistributedProtocol& protocol, Vertex source,
+                                    const RoutingOptions& options,
+                                    const FaultState* faults,
+                                    const AdversaryState* adversary) {
+    if (adversary != nullptr && adversary->plan().any()) {
+        // Byzantine regime: every wake evaluates what vertices *claim*.
+        const ClaimedObjective claimed(objective, *adversary);
+        return simulate_impl(graph, claimed, protocol, source, options, faults,
+                             adversary);
+    }
+    return simulate_impl(graph, objective, protocol, source, options, faults, nullptr);
+}
+
+}  // namespace
+
 DistributedResult simulate_routing(const GraphView& graph, const Objective& objective,
                                    const DistributedProtocol& protocol, Vertex source,
                                    const RoutingOptions& options) {
-    return simulate_impl(graph, objective, protocol, source, options, options.faults);
+    return simulate_dispatch(graph, objective, protocol, source, options,
+                             options.faults, options.adversary);
 }
 
 DistributedResult simulate_routing(const GraphView& graph, const Objective& objective,
@@ -151,7 +216,10 @@ DistributedResult simulate_routing(const GraphView& graph, const Objective& obje
                                    const FaultedSimulationOptions& options) {
     const FaultState* faults =
         options.faults != nullptr ? options.faults : options.routing.faults;
-    return simulate_impl(graph, objective, protocol, source, options.routing, faults);
+    const AdversaryState* adversary =
+        options.adversary != nullptr ? options.adversary : options.routing.adversary;
+    return simulate_dispatch(graph, objective, protocol, source, options.routing,
+                             faults, adversary);
 }
 
 namespace detail {

@@ -135,6 +135,14 @@ struct SimulationTelemetry {
     // Serving-layer telemetry (distributed/serving.h); always zero in the
     // lockstep simulator, where no node queue exists.
     std::size_t queue_drops = 0;            ///< arrivals refused by a full node queue
+
+    // Adversary telemetry (core/adversary.h); all zero without an active
+    // plan. audit_flags counts byzantine packet kills the simulator itself
+    // witnesses: forwards along advertised-but-nonexistent (phantom) links
+    // and arrivals swallowed by blackholing vertices. misroutes_observed
+    // counts forwards where a byzantine holder overrode the protocol.
+    std::size_t audit_flags = 0;         ///< phantom swallows + blackhole drops
+    std::size_t misroutes_observed = 0;  ///< byzantine forwarding overrides
 };
 
 struct DistributedResult {
@@ -153,6 +161,12 @@ struct DistributedResult {
 struct FaultedSimulationOptions {
     RoutingOptions routing;
     const FaultState* faults = nullptr;
+    /// Byzantine adversary (falling back to `routing.adversary` when null):
+    /// the simulator serves *advertised* neighborhoods to LocalView, wakes
+    /// evaluate the claimed objective, byzantine holders blackhole/misroute,
+    /// and phantom forwards are swallowed with the hop on the trace. Null or
+    /// inactive leaves the simulation byte-identical.
+    const AdversaryState* adversary = nullptr;
 };
 
 /// Runs a protocol under the distributed model. Forwards to non-neighbors

@@ -87,7 +87,9 @@ struct TargetContext {
 
 TrialStats run_trials_impl(const Graph& graph, const Router& router,
                            const GraphObjectiveFactory& factory, const TrialConfig& config,
-                           std::uint64_t seed, std::span<const double> weights = {}) {
+                           std::uint64_t seed, std::span<const double> weights = {},
+                           const PointCloud* positions = nullptr,
+                           const GirgParams* params = nullptr) {
     if (graph.num_vertices() < 2) {
         throw std::invalid_argument("run_trials: graph too small");
     }
@@ -96,8 +98,16 @@ TrialStats run_trials_impl(const Graph& graph, const Router& router,
     // stay independent of the thread schedule.
     std::optional<FaultState> fault_state;
     if (config.faults.any()) fault_state.emplace(graph, config.faults, weights);
+    // Likewise one immutable AdversaryState: every lie is keyed by
+    // (plan seed, vertex, ...), so worker scheduling cannot move a liar.
+    std::optional<AdversaryState> adversary_state;
+    if (config.adversary.any()) {
+        adversary_state.emplace(graph, config.adversary, weights, positions, params);
+    }
     RoutingOptions routing_options;
     routing_options.faults = fault_state.has_value() ? &*fault_state : nullptr;
+    routing_options.adversary =
+        adversary_state.has_value() ? &*adversary_state : nullptr;
     const Components components = connected_components(graph);
     const std::vector<Vertex> pool =
         eligible_vertices(graph, components, config.restrict_to_giant);
@@ -220,7 +230,8 @@ TrialStats run_girg_trials(const Girg& girg, const Router& router,
     const GraphObjectiveFactory graph_factory = [&](Vertex target) {
         return factory(girg, target);
     };
-    return run_trials_impl(girg.graph, router, graph_factory, config, seed, girg.weights);
+    return run_trials_impl(girg.graph, router, graph_factory, config, seed, girg.weights,
+                           &girg.positions, &girg.params);
 }
 
 TrialStats run_graph_trials(const Graph& graph, const Router& router,

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/adversary.h"
 #include "core/fault.h"
 #include "core/router.h"
 #include "girg/girg.h"
@@ -43,6 +44,13 @@ struct TrialConfig {
     /// RoutingOptions::faults. Inactive (the default) is byte-identical to
     /// the unfaulted runner.
     FaultPlan faults;
+    /// Byzantine adversary (core/adversary.h): when the plan is active, one
+    /// shared AdversaryState is built for the whole run (run_girg_trials
+    /// supplies weights, positions, and params, so every selection mode and
+    /// position lie works) and every route sees it via
+    /// RoutingOptions::adversary. Inactive (the default) is byte-identical
+    /// to the honest runner. Composes with `faults`.
+    AdversaryPlan adversary;
 };
 
 /// Aggregated outcome of routing many (s,t) pairs with one protocol.

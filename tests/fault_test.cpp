@@ -408,6 +408,10 @@ TEST(FaultedSimulation, MessageLossTelemetryMatchesHandComputedFixture) {
     EXPECT_EQ(result.telemetry.message_drops, 3u);
     EXPECT_EQ(result.telemetry.retries, 2u);
     EXPECT_EQ(result.telemetry.messages_sent, 0u);
+    // Adversary counters stay untouched by pure fault plans: the packet died
+    // on the wire, no byzantine behavior was ever in play.
+    EXPECT_EQ(result.telemetry.audit_flags, 0u);
+    EXPECT_EQ(result.telemetry.misroutes_observed, 0u);
 }
 
 TEST(FaultedSimulation, CrashedSourceNeverWakes) {
